@@ -1,0 +1,79 @@
+"""T3.5 — Theorem 3.5: all simulated weak implementations obey
+Condition 3.4.
+
+Sweeps programs x weak models x propagation policies, verifying both
+clauses on every execution, and times the checker itself.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.scp import check_condition_34
+from repro.machine.models import WEAK_MODEL_NAMES, make_model
+from repro.machine.propagation import (
+    EagerPropagation,
+    RandomPropagation,
+    StubbornPropagation,
+)
+from repro.machine.simulator import run_program
+from repro.programs.kernels import (
+    locked_counter_program,
+    producer_consumer_program,
+    racy_counter_program,
+)
+from repro.programs.random_programs import random_racy_program
+from repro.programs.workqueue import buggy_workqueue_program
+
+
+def _sweep(model_name):
+    programs = [
+        ("locked-counter", locked_counter_program(2, 3)),
+        ("producer-consumer", producer_consumer_program(4)),
+        ("racy-counter", racy_counter_program(2, 3)),
+        ("workqueue-buggy", buggy_workqueue_program()),
+    ] + [
+        (f"random-racy-{s}", random_racy_program(s, race_prob=0.5))
+        for s in range(4)
+    ]
+    propagations = [
+        StubbornPropagation(), RandomPropagation(0.3), EagerPropagation()
+    ]
+    checked = clause1 = clause2 = 0
+    for i, (name, prog) in enumerate(programs):
+        for prop in propagations:
+            result = run_program(
+                prog, make_model(model_name), seed=i, propagation=prop
+            )
+            report = check_condition_34(result)
+            checked += 1
+            clause1 += report.clause1_ok
+            clause2 += report.clause2_ok
+            assert report.ok, (model_name, name, type(prop).__name__)
+    return checked, clause1, clause2
+
+
+@pytest.mark.parametrize("model", WEAK_MODEL_NAMES)
+def test_condition_34_sweep(benchmark, model):
+    checked, clause1, clause2 = benchmark(lambda: _sweep(model))
+    emit(
+        benchmark,
+        f"Theorem 3.5 on {model}",
+        [
+            f"{checked} executions checked "
+            f"(programs x propagation policies)",
+            f"Condition 3.4(1) held: {clause1}/{checked}",
+            f"Condition 3.4(2) held: {clause2}/{checked}",
+        ],
+    )
+
+
+def test_condition_34_checker_cost(benchmark, figure2_result):
+    """The checker's own cost on the Figure 2 execution (406 ops)."""
+    report = benchmark(lambda: check_condition_34(figure2_result))
+    assert report.ok
+    emit(
+        benchmark,
+        "Condition 3.4 checker cost",
+        [f"{len(figure2_result.operations)} operations, "
+         f"{len(report.op_races)} op races, SCP size {report.scp.size}"],
+    )

@@ -1,0 +1,64 @@
+"""C7 — Definition 2.4 decided exactly: data-race-freedom is a property
+of *all* sequentially consistent executions, and the weak models'
+guarantee is conditioned on it.  This bench times the exhaustive SC
+exploration on the canonical programs and regenerates the verdict
+table, including the search sizes.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.exhaustive import explore_program
+from repro.programs.figure1 import figure1a_program, figure1b_program
+from repro.programs.kernels import (
+    locked_counter_program,
+    producer_consumer_program,
+    racy_counter_program,
+)
+from repro.programs.litmus import (
+    locked_mutual_exclusion_program,
+    store_buffering_program,
+)
+
+CASES = {
+    "figure1a": (figure1a_program, False),
+    "figure1b": (figure1b_program, True),
+    "store-buffering": (store_buffering_program, False),
+    "locked-mutex": (locked_mutual_exclusion_program, True),
+    "racy-counter": (lambda: racy_counter_program(2, 1), False),
+    "locked-counter": (lambda: locked_counter_program(2, 2), True),
+    "producer-consumer": (lambda: producer_consumer_program(2), True),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_exhaustive_drf_decision(benchmark, name):
+    make_prog, expect_drf = CASES[name]
+    program = make_prog()
+    result = benchmark(lambda: explore_program(program))
+    assert result.program_is_data_race_free == expect_drf
+    verdict = "DRF" if result.program_is_data_race_free else "NOT DRF"
+    rows = [
+        f"{name}: {verdict} - {result.executions_explored} complete "
+        f"executions, {result.states_visited} states",
+    ]
+    if result.racing_schedule is not None:
+        rows.append(f"witness schedule: {result.racing_schedule}")
+    emit(benchmark, f"Definition 2.4 decision for {name}", rows)
+
+
+def test_exploration_summary(benchmark):
+    def sweep():
+        rows = []
+        for name, (make_prog, expect) in sorted(CASES.items()):
+            res = explore_program(make_prog())
+            assert res.program_is_data_race_free == expect
+            rows.append((name, res.program_is_data_race_free,
+                         res.executions_explored, res.states_visited))
+        return rows
+
+    rows = benchmark(sweep)
+    table = [f"{'program':20s} {'DRF':>5s} {'executions':>11s} {'states':>8s}"]
+    for name, drf, execs, states in rows:
+        table.append(f"{name:20s} {str(drf):>5s} {execs:11d} {states:8d}")
+    emit(benchmark, "Exhaustive SC exploration summary", table)

@@ -1,0 +1,106 @@
+"""C1 — Section 2.2's performance motivation: weak models outrun SC on
+data-race-free programs because data writes buffer between syncs.
+
+Regenerates a stall-cycle table over the DRF kernels for all five
+models; the expected shape is SC > WO = DRF0 >= RCsc = DRF1.  Times the
+simulation under each model on the write-heavy kernel.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.machine.models import ALL_MODEL_NAMES, make_model
+from repro.machine.simulator import run_program
+from repro.programs.kernels import (
+    fanin_barrier_program,
+    locked_counter_program,
+    producer_consumer_program,
+    region_then_lock_program,
+)
+
+KERNELS = {
+    "locked-counter": lambda: locked_counter_program(4, 6),
+    "producer-consumer": lambda: producer_consumer_program(12),
+    "fanin-barrier": lambda: fanin_barrier_program(3, 12),
+    "region-then-lock": lambda: region_then_lock_program(3, 10, 4),
+}
+
+
+@pytest.mark.parametrize("model", ALL_MODEL_NAMES)
+def test_model_stall_cycles(benchmark, model):
+    program = region_then_lock_program(3, 10, 4)
+    result = benchmark(
+        lambda: run_program(program, make_model(model), seed=13)
+    )
+    assert result.completed
+    emit(
+        benchmark,
+        f"region-then-lock on {model}",
+        [f"stall cycles={result.total_stall_cycles}, "
+         f"total cycles={result.total_cycles}"],
+    )
+
+
+def test_model_comparison_table(benchmark):
+    def sweep():
+        table = {}
+        for name, make_prog in KERNELS.items():
+            prog = make_prog()
+            table[name] = {
+                model: run_program(
+                    prog, make_model(model), seed=13
+                ).total_stall_cycles
+                for model in ALL_MODEL_NAMES
+            }
+        return table
+
+    table = benchmark(sweep)
+    rows = [
+        f"{'kernel':20s}" + "".join(f"{m:>8s}" for m in ALL_MODEL_NAMES)
+    ]
+    for name, stalls in table.items():
+        rows.append(
+            f"{name:20s}"
+            + "".join(f"{stalls[m]:8d}" for m in ALL_MODEL_NAMES)
+        )
+        # the paper's shape: every weak model at most SC's stalls, and
+        # strictly better on the write-heavy kernels
+        for m in ("WO", "RCsc", "DRF0", "DRF1"):
+            assert stalls[m] <= stalls["SC"], (name, m)
+    wh = table["region-then-lock"]
+    assert wh["RCsc"] < wh["WO"] < wh["SC"]
+    assert wh["DRF1"] < wh["DRF0"] < wh["SC"]
+    emit(benchmark, "Section 2.2 stall-cycle table (lower is better)", rows)
+
+
+def test_lockfree_vs_locked_counter(benchmark):
+    """Lock-free CAS-retry vs Test&Set-locked counter under each model:
+    the lock-free version avoids the spin-lock's failed Test&Sets and
+    their stalls, while staying data-race-free on every model."""
+    from repro.core.detector import PostMortemDetector
+    from repro.programs.kernels import cas_counter_program
+
+    det = PostMortemDetector()
+
+    def sweep():
+        table = {}
+        locked = locked_counter_program(4, 6)
+        lockfree = cas_counter_program(4, 6)
+        for model in ALL_MODEL_NAMES:
+            locked_run = run_program(locked, make_model(model), seed=13)
+            free_run = run_program(lockfree, make_model(model), seed=13)
+            assert locked_run.value_of("counter") == 24
+            assert free_run.value_of("counter") == 24
+            assert det.analyze_execution(free_run).race_free
+            table[model] = (
+                locked_run.total_stall_cycles, free_run.total_stall_cycles,
+            )
+        return table
+
+    table = benchmark(sweep)
+    rows = [f"{'model':>6s} {'locked stalls':>14s} {'lock-free stalls':>17s}"]
+    for model, (locked_stalls, free_stalls) in table.items():
+        rows.append(f"{model:>6s} {locked_stalls:14d} {free_stalls:17d}")
+    emit(benchmark,
+         "Lock-free (CAS) vs locked counter, 4 procs x 6 increments",
+         rows)

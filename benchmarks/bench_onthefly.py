@@ -1,0 +1,97 @@
+"""C4 — section 5: post-mortem vs on-the-fly detection.
+
+On-the-fly methods avoid trace files by buffering bounded access
+histories, at the cost of missed races.  Regenerates the races-found /
+memory-used curve over the history bound, against the post-mortem
+detector's complete answer, and times both detectors on the same
+operation stream.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.detector import PostMortemDetector
+from repro.core.onthefly import OnTheFlyDetector
+from repro.core.ophb import find_op_races
+from repro.machine.models import make_model
+from repro.machine.program import ProgramBuilder
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator
+
+
+def _many_readers_execution(readers=8):
+    b = ProgramBuilder()
+    x = b.var("x")
+    for _ in range(readers):
+        with b.thread() as t:
+            t.read(x)
+    with b.thread() as t:
+        t.write(x, 1)
+    script = list(range(readers)) + [readers]
+    return Simulator(
+        b.build(), make_model("SC"),
+        scheduler=ScriptedScheduler(script), seed=0,
+    ).run()
+
+
+def test_history_bound_sweep(benchmark):
+    result = _many_readers_execution(8)
+    ground_truth = len([
+        r for r in find_op_races(result.operations) if r.is_data_race
+    ])
+
+    def sweep():
+        out = {}
+        for bound in (1, 2, 4, 8):
+            detector = OnTheFlyDetector(
+                result.processor_count, reader_history=bound
+            )
+            detector.process_all(result.operations)
+            out[bound] = (len(detector.races), detector.evicted_accesses,
+                          detector.memory_footprint)
+        return out
+
+    table = benchmark(sweep)
+    rows = [f"ground truth (post-mortem): {ground_truth} races"]
+    prev_found = -1
+    for bound, (found, evicted, footprint) in sorted(table.items()):
+        rows.append(
+            f"history={bound}: found {found} races, "
+            f"{evicted} evictions, {footprint} buffered accesses"
+        )
+        assert found >= prev_found  # more history never hurts here
+        prev_found = found
+    assert table[1][0] < ground_truth      # bounded history misses races
+    assert table[8][0] == ground_truth     # full history finds all
+    emit(benchmark, "Section 5: on-the-fly accuracy vs history bound", rows)
+
+
+def test_onthefly_runtime(benchmark, figure2_result):
+    def run():
+        detector = OnTheFlyDetector(figure2_result.processor_count,
+                                    reader_history=4)
+        detector.process_all(figure2_result.operations)
+        return detector
+
+    detector = benchmark(run)
+    emit(
+        benchmark,
+        "On-the-fly pass over Figure 2b execution",
+        [f"{len(figure2_result.operations)} ops -> "
+         f"{len(detector.races)} races flagged, "
+         f"footprint {detector.memory_footprint} accesses "
+         f"(no trace file written)"],
+    )
+
+
+def test_postmortem_runtime(benchmark, figure2_result):
+    det = PostMortemDetector()
+    report = benchmark(lambda: det.analyze_execution(figure2_result))
+    emit(
+        benchmark,
+        "Post-mortem pass over Figure 2b execution",
+        [f"{len(figure2_result.operations)} ops -> "
+         f"{len(report.data_races)} event races, "
+         f"{len(report.first_partitions)} first partition(s) "
+         f"(full trace, full accuracy)"],
+    )

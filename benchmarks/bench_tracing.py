@@ -1,0 +1,109 @@
+"""C3 — the section 4.1 overhead claim: recording READ/WRITE bit-vector
+sets per computation event "avoids writing a trace record for every
+memory operation".
+
+Regenerates the trace-size comparison (event records vs operation
+records, and serialized bytes) across growing workloads, and times the
+instrumentation pass.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from conftest import emit
+from repro.analysis.metrics import trace_overhead
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs.kernels import region_then_lock_program
+from repro.trace.build import build_trace
+from repro.trace.tracefile import write_trace
+
+
+def _per_op_record_bytes(result):
+    """What a per-operation trace would cost, serialized the same way."""
+    total = 0
+    for op in result.operations:
+        total += len(json.dumps({
+            "proc": op.proc, "kind": op.kind.value, "addr": op.addr,
+        })) + 1
+    return total
+
+
+@pytest.mark.parametrize("cells", [4, 16, 64])
+def test_event_tracing_overhead(benchmark, cells):
+    program = region_then_lock_program(3, cells, 3)
+    result = run_program(program, make_model("WO"), seed=5)
+
+    trace = benchmark(lambda: build_trace(result))
+
+    overhead = trace_overhead(result, trace)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "t.trace")
+        write_trace(trace, path)
+        event_bytes = os.path.getsize(path)
+    op_bytes = _per_op_record_bytes(result)
+
+    assert overhead.events < overhead.operations
+    rows = [
+        f"cells/region={cells}: {overhead.operations} operations -> "
+        f"{overhead.events} event records "
+        f"(ratio {overhead.record_ratio:.2f})",
+        f"serialized: {event_bytes} bytes (events+bitvectors) vs "
+        f"{op_bytes} bytes (per-operation log) -> "
+        f"{event_bytes / op_bytes:.2f}x",
+        f"{overhead.sync_events} sync events, "
+        f"{overhead.computation_events} computation events, "
+        f"{overhead.bitvector_bits} bits set across READ/WRITE sets",
+    ]
+    emit(benchmark, f"Section 4.1 trace compactness (cells={cells})", rows)
+
+
+def test_record_ratio_shrinks_with_event_size(benchmark):
+    """The bigger the computation events, the bigger the win."""
+    def measure():
+        ratios = {}
+        for cells in (2, 8, 32):
+            program = region_then_lock_program(2, cells, 2)
+            result = run_program(program, make_model("WO"), seed=5)
+            trace = build_trace(result)
+            ratios[cells] = trace_overhead(result, trace).record_ratio
+        return ratios
+
+    ratios = benchmark(measure)
+    assert ratios[32] < ratios[8] < ratios[2]
+    emit(
+        benchmark,
+        "Record ratio vs computation-event size",
+        [f"cells={c}: {r:.3f} event records per operation"
+         for c, r in ratios.items()],
+    )
+
+
+def test_binary_vs_json_trace_size(benchmark):
+    """The binary format carries exactly the paper's trace contents and
+    is several times smaller than the JSON-lines encoding."""
+    from repro.trace.binfile import write_binary_trace
+
+    program = region_then_lock_program(3, 32, 3)
+    result = run_program(program, make_model("WO"), seed=5)
+    trace = build_trace(result)
+
+    def serialize_both():
+        with tempfile.TemporaryDirectory() as tmp:
+            bin_path = os.path.join(tmp, "t.bin")
+            json_path = os.path.join(tmp, "t.jsonl")
+            write_binary_trace(trace, bin_path)
+            write_trace(trace, json_path)
+            return os.path.getsize(bin_path), os.path.getsize(json_path)
+
+    bin_size, json_size = benchmark(serialize_both)
+    assert bin_size < json_size
+    emit(
+        benchmark,
+        "Binary vs JSON trace encoding",
+        [f"{trace.event_count} events: binary {bin_size} bytes, "
+         f"JSON {json_size} bytes ({json_size / bin_size:.1f}x larger)"],
+    )

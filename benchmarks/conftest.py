@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates the content of one paper artifact (figure,
+theorem, or prose claim — see DESIGN.md's per-experiment index) and
+times the relevant pipeline stage with pytest-benchmark.  The
+regenerated rows are attached as ``benchmark.extra_info`` and printed,
+so ``pytest benchmarks/ --benchmark-only -s`` shows the full tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import PostMortemDetector
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs.workqueue import run_figure2
+from repro.trace.build import build_trace
+
+
+@pytest.fixture(scope="session")
+def detector():
+    return PostMortemDetector()
+
+
+@pytest.fixture(scope="session")
+def figure2_result():
+    return run_figure2(make_model("WO"))
+
+
+@pytest.fixture(scope="session")
+def figure2_trace(figure2_result):
+    return build_trace(figure2_result)
+
+
+def emit(benchmark, title, rows):
+    """Attach regenerated table rows to the benchmark record and print
+    them (visible with -s)."""
+    benchmark.extra_info["artifact"] = title
+    benchmark.extra_info["rows"] = rows
+    print(f"\n--- {title} ---")
+    for row in rows:
+        print(f"    {row}")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""A full debugging session on the Figure 2 work-queue bug.
+
+Walks through everything the paper describes for its running example:
+
+1. the buggy weak execution, with the stale dequeue visible,
+2. what a *naive* port of SC race detection would report (all races,
+   including impossible ones),
+3. what the first-partition method reports instead,
+4. the sequentially consistent prefix (SCP) and Condition 3.4 check,
+5. the augmented happens-before-1 graph G' as Graphviz DOT
+   (``figure3.dot``; render with ``dot -Tpng figure3.dot``).
+
+Run:  python examples/figure2_debugging.py
+"""
+
+from repro import (
+    NaiveDetector,
+    explain_report,
+    PostMortemDetector,
+    check_condition_34,
+    extract_scp,
+    make_model,
+    run_figure2,
+)
+from repro.trace.build import build_trace
+
+
+def main() -> None:
+    result = run_figure2(make_model("WO"))
+    trace = build_trace(result)
+
+    print("=" * 70)
+    print("1. The weak execution")
+    print("=" * 70)
+    print(f"model={result.model_name}, operations={len(result.operations)}, "
+          f"events={trace.event_count}")
+    for op in result.stale_reads:
+        print(f"  non-SC behaviour: {result.describe_op(op)} "
+              f"(the SC value would have been "
+              f"{result.final_memory[op.addr]})")
+
+    print()
+    print("=" * 70)
+    print("2. Naive detection (SC technique applied verbatim)")
+    print("=" * 70)
+    naive = NaiveDetector().analyze(trace)
+    print(naive.format())
+    print("  -> includes races that cannot occur on any SC execution!")
+
+    print()
+    print("=" * 70)
+    print("3. First-partition detection (the paper's method)")
+    print("=" * 70)
+    report = PostMortemDetector().analyze(trace)
+    print(report.format())
+
+    print()
+    print("=" * 70)
+    print("3b. Why each race was classified that way (affects chains)")
+    print("=" * 70)
+    print(explain_report(report))
+
+    print()
+    print("=" * 70)
+    print("4. The sequentially consistent prefix and Condition 3.4")
+    print("=" * 70)
+    scp = extract_scp(result)
+    for proc, cut in enumerate(scp.cuts):
+        ops = result.per_proc[proc]
+        where = "whole stream" if cut is None else f"first {cut} of {len(ops)} ops"
+        print(f"  P{proc}: SCP covers {where}")
+    condition = check_condition_34(result)
+    print(f"  {condition.summary()}")
+
+    print()
+    print("=" * 70)
+    print("5. Figure 3: the augmented graph G'")
+    print("=" * 70)
+    with open("figure3.dot", "w", encoding="utf-8") as fh:
+        fh.write(report.to_dot())
+    print("  wrote figure3.dot (race edges dashed, partitions boxed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The performance motivation for weak memory models (paper section 2.2).
+
+Runs data-race-free kernels under all five memory models and tabulates
+stall cycles.  On write-heavy DRF code:
+
+* SC stalls on every data write (stall-until-complete);
+* WO/DRF0 buffer data writes but drain them at *every* synchronization
+  operation;
+* RCsc/DRF1 drain only at releases, sailing through acquires.
+
+Detection works at full speed on all of them (the point of the paper:
+no slow SC debug mode needed).
+
+Run:  python examples/memory_model_comparison.py
+"""
+
+from repro import ALL_MODEL_NAMES, PostMortemDetector, make_model, run_program
+from repro.programs import (
+    fanin_barrier_program,
+    locked_counter_program,
+    producer_consumer_program,
+    region_then_lock_program,
+)
+
+KERNELS = [
+    ("locked-counter", locked_counter_program(4, 6)),
+    ("producer-consumer", producer_consumer_program(12)),
+    ("fanin-barrier", fanin_barrier_program(3, 12)),
+    ("region-then-lock", region_then_lock_program(3, 10, 4)),
+]
+
+
+def main() -> None:
+    detector = PostMortemDetector()
+    header = f"{'kernel':20s}" + "".join(f"{m:>10s}" for m in ALL_MODEL_NAMES)
+    print(header)
+    print("-" * len(header))
+    for name, program in KERNELS:
+        stalls = {}
+        for model_name in ALL_MODEL_NAMES:
+            result = run_program(program, make_model(model_name), seed=13)
+            assert result.completed
+            report = detector.analyze_execution(result)
+            assert report.race_free, f"{name} must be DRF"
+            stalls[model_name] = result.total_stall_cycles
+        row = f"{name:20s}" + "".join(
+            f"{stalls[m]:10d}" for m in ALL_MODEL_NAMES
+        )
+        print(row)
+    print()
+    print("stall cycles; lower is better.  Expect SC > WO = DRF0 >= RCsc = DRF1.")
+    print("Every execution above was verified race-free by the detector,")
+    print("so by Condition 3.4(1) each weak run was sequentially consistent")
+    print("- the programmer saw SC semantics at weak-model speed.")
+
+
+if __name__ == "__main__":
+    main()

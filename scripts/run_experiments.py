@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate every experiment in the repository with one command.
+
+Runs the full benchmark suite (one benchmark per paper artifact — see
+DESIGN.md's per-experiment index), exports the raw timings plus the
+regenerated tables to ``results/benchmarks.json``, and renders
+``results/RESULTS.md`` — the mechanically produced companion to the
+hand-written EXPERIMENTS.md.
+
+Usage:  python scripts/run_experiments.py [extra pytest args...]
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    results = ROOT / "results"
+    results.mkdir(exist_ok=True)
+    json_path = results / "benchmarks.json"
+    command = [
+        sys.executable, "-m", "pytest", str(ROOT / "benchmarks"),
+        "--benchmark-only", "-q",
+        f"--benchmark-json={json_path}",
+        *sys.argv[1:],
+    ]
+    print("$", " ".join(command))
+    code = subprocess.call(command, cwd=ROOT)
+    if code != 0:
+        return code
+
+    from repro.analysis.reporting import render_benchmark_file
+    output = results / "RESULTS.md"
+    render_benchmark_file(json_path, output)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

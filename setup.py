@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package, where
+PEP 660 editable installs (`pip install -e .`) cannot build.  Metadata
+lives in pyproject.toml; use `python setup.py develop` offline."""
+
+from setuptools import setup
+
+setup()

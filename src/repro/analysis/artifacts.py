@@ -1,0 +1,100 @@
+"""Artifact analysis for sequentially consistent systems ([NeM91]).
+
+Section 5 of the paper rests on an analogy: on SC systems, a data race
+can be an *artifact* — it "occurs only because a previous data race
+left the program's data in an inconsistent state", so it is not a
+direct manifestation of a bug.  The accurate SC-system methods
+([NeM90], [NeM91]) therefore "also order partitions of data races to
+enable detection of the non-artifact races", with the same two
+limitations the paper's weak-system method has.
+
+Machinery-wise this *is* the partitioning of section 4.2 — the analogy
+is the point — but the interpretation differs: on SC hardware every
+race in the execution really happened; the partition order separates
+the races that cannot be blamed on an earlier race (non-artifact
+candidates) from those that might be downstream damage.  This module
+packages that SC-side reading, so the analogy in section 5 can be
+demonstrated rather than asserted: run the same buggy program on SC and
+on a weak model, and the first partitions coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.detector import PostMortemDetector
+from ..core.partitions import RacePartition
+from ..core.races import EventRace
+from ..core.report import RaceReport
+from ..machine.simulator import ExecutionResult
+from ..trace.build import Trace
+
+
+@dataclass
+class ArtifactReport:
+    """Races of an SC execution, split non-artifact-candidates vs
+    possible artifacts."""
+
+    report: RaceReport
+
+    @property
+    def trace(self) -> Trace:
+        return self.report.trace
+
+    @property
+    def non_artifact_partitions(self) -> List[RacePartition]:
+        """First partitions: each contains at least one race that is
+        not an artifact of any other race."""
+        return self.report.first_partitions
+
+    @property
+    def non_artifact_candidates(self) -> List[EventRace]:
+        return self.report.reported_races
+
+    @property
+    def possible_artifacts(self) -> List[EventRace]:
+        """Races affected by earlier races — possibly just downstream
+        damage from the real bug."""
+        return self.report.suppressed_races
+
+    def format(self) -> str:
+        lines = [
+            f"Artifact analysis (SC execution, "
+            f"{len(self.report.data_races)} data races)"
+        ]
+        if not self.report.data_races:
+            lines.append("  no data races: nothing to classify")
+            return "\n".join(lines)
+        lines.append(
+            f"  non-artifact candidates ({len(self.non_artifact_candidates)}):"
+        )
+        for race in self.non_artifact_candidates:
+            lines.append(f"    {race.describe(self.trace)}")
+        lines.append(
+            f"  possible artifacts ({len(self.possible_artifacts)}):"
+        )
+        for race in self.possible_artifacts:
+            lines.append(f"    {race.describe(self.trace)}")
+        return "\n".join(lines)
+
+
+def analyze_artifacts(execution_or_trace) -> ArtifactReport:
+    """Run the [NeM91]-style artifact partitioning on an SC execution.
+
+    Accepts an :class:`ExecutionResult` or a :class:`Trace`.  (Nothing
+    enforces that the input came from SC hardware — on a weak trace the
+    result is exactly the weak-system report, which is the section 5
+    analogy in code form.)
+    """
+    detector = PostMortemDetector()
+    if isinstance(execution_or_trace, ExecutionResult):
+        report = detector.analyze_execution(execution_or_trace)
+    elif isinstance(execution_or_trace, Trace):
+        report = detector.analyze(execution_or_trace)
+    else:
+        raise TypeError(
+            f"expected ExecutionResult or Trace, "
+            f"got {type(execution_or_trace).__name__}"
+        )
+    return ArtifactReport(report=report)

@@ -1,0 +1,143 @@
+"""Race hunting: searching executions for a racy one.
+
+A single clean dynamic run proves nothing about a program (section 1 of
+the paper: dynamic techniques "provide little information about other
+executions").  Between one run and the exhaustive explorer sits the
+practical middle ground every dynamic tool ships: run many schedules
+and propagation behaviours, keep the first racy execution found, and
+hand back its *recording* so the race replays deterministically in a
+debugger.
+
+The hunt sweeps seeds across a set of propagation-policy factories
+(stubborn and NUMA-ring shapes surface weak-memory reorderings that
+eager propagation hides) and reports per-policy statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.detector import PostMortemDetector
+from ..core.report import RaceReport
+from ..machine.models.base import MemoryModel
+from ..machine.program import Program
+from ..machine.propagation import (
+    HomeDirectoryPropagation,
+    PropagationPolicy,
+    RandomPropagation,
+    StubbornPropagation,
+)
+from ..machine.replay import ExecutionRecording, record_execution
+from ..machine.simulator import ExecutionResult
+
+PolicyFactory = Callable[[], PropagationPolicy]
+
+
+def default_policies(processor_count: int) -> List[Tuple[str, PolicyFactory]]:
+    """The hunt's standard propagation shapes."""
+    return [
+        ("stubborn", StubbornPropagation),
+        ("random-0.2", lambda: RandomPropagation(0.2)),
+        ("ring", lambda: HomeDirectoryPropagation.ring(
+            max(processor_count, 2)
+        )),
+    ]
+
+
+@dataclass
+class HuntResult:
+    """Outcome of a race hunt."""
+
+    program: Program
+    model_name: str
+    tries: int
+    racy_runs: int
+    clean_runs: int
+    first_racy: Optional[ExecutionResult] = None
+    first_report: Optional[RaceReport] = None
+    recording: Optional[ExecutionRecording] = None
+    seed: Optional[int] = None
+    policy: Optional[str] = None
+    per_policy: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return self.first_racy is not None
+
+    def summary(self) -> str:
+        lines = [
+            f"hunted {self.tries} executions on {self.model_name}: "
+            f"{self.racy_runs} racy, {self.clean_runs} clean"
+        ]
+        for policy, (racy, total) in sorted(self.per_policy.items()):
+            lines.append(f"  {policy}: {racy}/{total} racy")
+        if self.found:
+            lines.append(
+                f"first racy execution: seed={self.seed}, "
+                f"policy={self.policy}; recording captured for replay"
+            )
+        else:
+            lines.append(
+                "no racy execution found (not a proof of data-race-"
+                "freedom; see analysis.exhaustive for that)"
+            )
+        return "\n".join(lines)
+
+
+def hunt_races(
+    program: Program,
+    model_factory: Callable[[], MemoryModel],
+    tries: int = 24,
+    policies: Optional[Sequence[Tuple[str, PolicyFactory]]] = None,
+    stop_at_first: bool = False,
+    max_steps: int = 200_000,
+) -> HuntResult:
+    """Sweep seeds x propagation policies looking for racy executions.
+
+    Args:
+        program: the program under test.
+        model_factory: builds a fresh memory model per run (models are
+            stateless today, but a factory keeps that a non-assumption).
+        tries: total executions, divided round-robin over policies.
+        policies: ``(name, factory)`` pairs; defaults to
+            :func:`default_policies`.
+        stop_at_first: return as soon as one racy execution is found.
+    """
+    if tries < 1:
+        raise ValueError("tries must be positive")
+    detector = PostMortemDetector()
+    policy_list = list(
+        policies if policies is not None
+        else default_policies(program.processor_count)
+    )
+    model_name = model_factory().name
+    result = HuntResult(
+        program=program, model_name=model_name, tries=0,
+        racy_runs=0, clean_runs=0,
+    )
+    for attempt in range(tries):
+        name, factory = policy_list[attempt % len(policy_list)]
+        seed = attempt
+        execution, recording = record_execution(
+            program, model_factory(), seed=seed,
+            propagation=factory(), max_steps=max_steps,
+        )
+        report = detector.analyze_execution(execution)
+        result.tries += 1
+        racy, total = result.per_policy.get(name, (0, 0))
+        if report.race_free:
+            result.clean_runs += 1
+            result.per_policy[name] = (racy, total + 1)
+            continue
+        result.racy_runs += 1
+        result.per_policy[name] = (racy + 1, total + 1)
+        if result.first_racy is None:
+            result.first_racy = execution
+            result.first_report = report
+            result.recording = recording
+            result.seed = seed
+            result.policy = name
+            if stop_at_first:
+                break
+    return result

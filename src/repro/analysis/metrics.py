@@ -1,0 +1,152 @@
+"""Detection-quality and overhead metrics.
+
+Quantifies the paper's qualitative comparisons: how many of the races a
+weak execution exhibits are sequentially consistent (belong to the
+ground-truth SCP), what fraction of each detector's report is SC-valid
+(precision), and how much trace the instrumentation writes at event
+versus operation granularity (the section 4.1 overhead argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..core.ophb import OpHappensBefore, OpRace, find_op_races
+from ..core.report import RaceReport
+from ..core.scp import SCPrefix, extract_scp
+from ..machine.simulator import ExecutionResult
+from ..trace.build import Trace, event_of_op
+from ..trace.events import ComputationEvent, SyncEvent
+
+
+@dataclass
+class RaceAccuracy:
+    """How a detector's reported race set compares to ground truth."""
+
+    reported: int
+    reported_sc_valid: int
+    ground_truth_sc_races: int
+    total_races: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of reported races that are SC-valid."""
+        if self.reported == 0:
+            return 1.0
+        return self.reported_sc_valid / self.reported
+
+    @property
+    def recall(self) -> float:
+        """Fraction of SC-valid races that were reported."""
+        if self.ground_truth_sc_races == 0:
+            return 1.0
+        return self.reported_sc_valid / self.ground_truth_sc_races
+
+
+def op_races_in_scp(result: ExecutionResult) -> Tuple[List[OpRace], SCPrefix]:
+    """Ground truth: the operation-level data races whose operations
+    both lie in the execution's SCP (the SC-valid races)."""
+    hb = OpHappensBefore(result.operations)
+    races = [r for r in find_op_races(result.operations, hb) if r.is_data_race]
+    scp = extract_scp(result, hb)
+    return [r for r in races if scp.contains_race(r)], scp
+
+
+def _event_race_keys(trace: Trace, races) -> Set[frozenset]:
+    return {frozenset((race.a, race.b)) for race in races}
+
+
+def event_race_accuracy(
+    result: ExecutionResult,
+    trace: Trace,
+    reported_races,
+) -> RaceAccuracy:
+    """Score an event-level race report against the op-level ground
+    truth: an event race is SC-valid if at least one op-level SCP data
+    race maps into its event pair (section 4.1's lifting rule)."""
+    sc_races, _scp = op_races_in_scp(result)
+    sc_event_pairs: Set[frozenset] = set()
+    for race in sc_races:
+        ea = event_of_op(trace, race.a)
+        eb = event_of_op(trace, race.b)
+        if ea is not None and eb is not None:
+            sc_event_pairs.add(frozenset((ea, eb)))
+
+    hb = OpHappensBefore(result.operations)
+    all_data = [
+        r for r in find_op_races(result.operations, hb) if r.is_data_race
+    ]
+    reported_keys = _event_race_keys(trace, reported_races)
+    valid = sum(1 for key in reported_keys if key in sc_event_pairs)
+    return RaceAccuracy(
+        reported=len(reported_keys),
+        reported_sc_valid=valid,
+        ground_truth_sc_races=len(sc_event_pairs),
+        total_races=len(all_data),
+    )
+
+
+@dataclass
+class TraceOverhead:
+    """Size comparison of event-granularity vs per-operation tracing."""
+
+    operations: int
+    events: int
+    sync_events: int
+    computation_events: int
+    bitvector_bits: int
+
+    @property
+    def record_ratio(self) -> float:
+        """Event records per operation record — below 1.0 whenever
+        computation events batch more than one operation."""
+        if self.operations == 0:
+            return 1.0
+        return self.events / self.operations
+
+
+def trace_overhead(result: ExecutionResult, trace: Trace) -> TraceOverhead:
+    events = trace.all_events()
+    sync = sum(1 for e in events if isinstance(e, SyncEvent))
+    comp = len(events) - sync
+    bits = sum(
+        len(e.reads) + len(e.writes)
+        for e in events
+        if isinstance(e, ComputationEvent)
+    )
+    return TraceOverhead(
+        operations=len(result.operations),
+        events=len(events),
+        sync_events=sync,
+        computation_events=comp,
+        bitvector_bits=bits,
+    )
+
+
+@dataclass
+class DetectionSummary:
+    """One row of the accuracy benches: a detector's view of one run."""
+
+    detector: str
+    model: str
+    seed: Optional[int]
+    reported_races: int
+    first_partitions: int
+    suppressed_races: int
+    precision: float
+
+    @staticmethod
+    def from_report(
+        result: ExecutionResult, report: RaceReport, detector: str = "first-partition"
+    ) -> "DetectionSummary":
+        accuracy = event_race_accuracy(result, report.trace, report.reported_races)
+        return DetectionSummary(
+            detector=detector,
+            model=result.model_name,
+            seed=result.seed,
+            reported_races=len(report.reported_races),
+            first_partitions=len(report.first_partitions),
+            suppressed_races=len(report.suppressed_races),
+            precision=accuracy.precision,
+        )

@@ -1,0 +1,50 @@
+"""The naive baseline: report every race of the weak execution.
+
+Section 3.1: "naively using the dynamic techniques would report all of
+these data races" — including the non-sequentially-consistent ones that
+could never occur on SC hardware and only confuse the programmer.  This
+detector is the paper's strawman, implemented so the accuracy benches
+can quantify how much the first-partition method narrows the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.hb1 import HappensBefore1
+from ..core.races import EventRace, find_races
+from ..machine.simulator import ExecutionResult
+from ..trace.build import Trace, build_trace
+
+
+@dataclass
+class NaiveReport:
+    """Everything the naive detector says: all data races, unfiltered."""
+
+    trace: Trace
+    races: List[EventRace]
+
+    @property
+    def data_races(self) -> List[EventRace]:
+        return [race for race in self.races if race.is_data_race]
+
+    def format(self) -> str:
+        lines = [
+            f"Naive race report ({self.trace.model_name} execution): "
+            f"{len(self.data_races)} data race(s)"
+        ]
+        for race in self.data_races:
+            lines.append(f"  {race.describe(self.trace)}")
+        return "\n".join(lines)
+
+
+class NaiveDetector:
+    """Applies the SC-system dynamic technique to a weak trace verbatim."""
+
+    def analyze(self, trace: Trace) -> NaiveReport:
+        hb = HappensBefore1(trace)
+        return NaiveReport(trace=trace, races=find_races(trace, hb))
+
+    def analyze_execution(self, result: ExecutionResult) -> NaiveReport:
+        return self.analyze(build_trace(result))

@@ -1,0 +1,91 @@
+"""Rendering benchmark results into the experiment report.
+
+Every benchmark attaches the paper artifact it regenerates and the
+regenerated rows as ``extra_info`` (see ``benchmarks/conftest.py``).
+This module turns a pytest-benchmark JSON export into a single markdown
+document — the mechanically regenerated companion to EXPERIMENTS.md —
+so reproducing every number in the repo is one command::
+
+    python scripts/run_experiments.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+
+def _format_seconds(stats: Dict) -> str:
+    mean = stats.get("mean")
+    if mean is None:
+        return "n/a"
+    if mean < 1e-3:
+        return f"{mean * 1e6:.0f} us"
+    if mean < 1.0:
+        return f"{mean * 1e3:.1f} ms"
+    return f"{mean:.2f} s"
+
+
+def render_benchmark_results(data: Dict) -> str:
+    """Render a pytest-benchmark JSON payload as markdown.
+
+    Benchmarks without an ``artifact`` in extra_info are listed in a
+    trailing "unannotated" section so nothing silently disappears.
+    """
+    machine = data.get("machine_info", {})
+    lines = [
+        "# Regenerated experiment results",
+        "",
+        f"pytest-benchmark export; python "
+        f"{machine.get('python_version', '?')} on "
+        f"{machine.get('machine', '?')}.",
+        "",
+    ]
+
+    annotated: Dict[str, List[Dict]] = {}
+    unannotated: List[Dict] = []
+    for bench in data.get("benchmarks", []):
+        artifact = bench.get("extra_info", {}).get("artifact")
+        if artifact:
+            annotated.setdefault(artifact, []).append(bench)
+        else:
+            unannotated.append(bench)
+
+    for artifact in sorted(annotated):
+        lines.append(f"## {artifact}")
+        lines.append("")
+        for bench in annotated[artifact]:
+            lines.append(
+                f"*{bench['name']}* — mean "
+                f"{_format_seconds(bench.get('stats', {}))} per round"
+            )
+            lines.append("")
+            rows = bench.get("extra_info", {}).get("rows", [])
+            lines.append("```")
+            for row in rows:
+                lines.append(str(row))
+            lines.append("```")
+            lines.append("")
+
+    if unannotated:
+        lines.append("## Unannotated benchmarks")
+        lines.append("")
+        for bench in unannotated:
+            lines.append(
+                f"* {bench['name']} — mean "
+                f"{_format_seconds(bench.get('stats', {}))}"
+            )
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def render_benchmark_file(
+    json_path: Union[str, Path], output_path: Union[str, Path]
+) -> str:
+    """Load a benchmark JSON export and write the markdown report."""
+    data = json.loads(Path(json_path).read_text(encoding="utf-8"))
+    text = render_benchmark_results(data)
+    Path(output_path).write_text(text, encoding="utf-8")
+    return text

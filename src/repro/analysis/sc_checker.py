@@ -1,0 +1,158 @@
+"""Sequential-consistency witness search.
+
+Decides whether an execution's reads can be explained by *some* total
+order of its operations that respects each processor's program order,
+with every read returning the value of the most recent prior write to
+its location (initial memory otherwise).  This is the textbook VSC
+problem — NP-complete in general [Gibbons & Korach] — so the search is
+exponential in the worst case and intended for the small executions
+used in tests, where it independently validates the simulator's
+stale-read ledger ("no stale reads" should imply a witness exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.operations import MemoryOperation
+from ..machine.simulator import ExecutionResult
+
+
+@dataclass
+class SCWitness:
+    """A verifying total order, as a list of operation seqs."""
+
+    order: List[int]
+
+
+class ExecutionTooLarge(ValueError):
+    """Raised when the witness search would be intractable."""
+
+
+def find_sc_witness(
+    operations: List[MemoryOperation],
+    initial_memory: Optional[Dict[int, int]] = None,
+    max_operations: int = 40,
+    max_states: int = 2_000_000,
+) -> Optional[SCWitness]:
+    """Search for an SC witness order; None if provably none exists.
+
+    The search interleaves per-processor streams in program order,
+    scheduling a read only when current memory holds its value.  States
+    (per-processor positions + last-writer fingerprint) are memoized.
+    """
+    if len(operations) > max_operations:
+        raise ExecutionTooLarge(
+            f"{len(operations)} operations exceed the witness search "
+            f"bound of {max_operations}"
+        )
+    initial_memory = initial_memory or {}
+
+    streams: Dict[int, List[MemoryOperation]] = {}
+    for op in operations:
+        streams.setdefault(op.proc, []).append(op)
+    procs = sorted(streams)
+    for proc in procs:
+        streams[proc].sort(key=lambda op: op.local_index)
+
+    touched = sorted({op.addr for op in operations})
+    memory: Dict[int, int] = {
+        addr: initial_memory.get(addr, 0) for addr in touched
+    }
+
+    seen: set = set()
+    order: List[int] = []
+    states_visited = 0
+
+    def fingerprint(positions: Tuple[int, ...]) -> Tuple:
+        return (positions, tuple(memory[a] for a in touched))
+
+    def search(positions: Dict[int, int]) -> bool:
+        nonlocal states_visited
+        if all(positions[p] == len(streams[p]) for p in procs):
+            return True
+        key = fingerprint(tuple(positions[p] for p in procs))
+        if key in seen:
+            return False
+        seen.add(key)
+        states_visited += 1
+        if states_visited > max_states:
+            raise ExecutionTooLarge(
+                f"witness search exceeded {max_states} states"
+            )
+        for proc in procs:
+            pos = positions[proc]
+            if pos == len(streams[proc]):
+                continue
+            op = streams[proc][pos]
+            if op.is_read:
+                if memory[op.addr] != op.value:
+                    continue
+                positions[proc] += 1
+                order.append(op.seq)
+                if search(positions):
+                    return True
+                order.pop()
+                positions[proc] -= 1
+            else:
+                saved = memory[op.addr]
+                memory[op.addr] = op.value
+                positions[proc] += 1
+                order.append(op.seq)
+                if search(positions):
+                    return True
+                order.pop()
+                positions[proc] -= 1
+                memory[op.addr] = saved
+        return False
+
+    if search({p: 0 for p in procs}):
+        return SCWitness(order=list(order))
+    return None
+
+
+def is_sequentially_consistent(
+    result: ExecutionResult,
+    initial_memory: Optional[Dict[int, int]] = None,
+    max_operations: int = 40,
+) -> bool:
+    """True iff the execution's reads admit an SC witness order.
+
+    Pass the program's ``initial_memory`` when it has non-zero initial
+    values (e.g. a lock that starts held).
+    """
+    witness = find_sc_witness(
+        result.operations,
+        initial_memory=initial_memory,
+        max_operations=max_operations,
+    )
+    return witness is not None
+
+
+def verify_witness(
+    operations: List[MemoryOperation],
+    witness: SCWitness,
+    initial_memory: Optional[Dict[int, int]] = None,
+) -> bool:
+    """Independently check a claimed witness: program order respected,
+    every read sees the most recent prior write."""
+    initial_memory = initial_memory or {}
+    by_seq = {op.seq: op for op in operations}
+    if sorted(witness.order) != sorted(by_seq):
+        return False
+    last_local: Dict[int, int] = {}
+    memory: Dict[int, int] = {}
+    for seq in witness.order:
+        op = by_seq[seq]
+        expected = last_local.get(op.proc, -1)
+        if op.local_index != expected + 1:
+            return False
+        last_local[op.proc] = op.local_index
+        if op.is_read:
+            current = memory.get(op.addr, initial_memory.get(op.addr, 0))
+            if current != op.value:
+                return False
+        else:
+            memory[op.addr] = op.value
+    return True

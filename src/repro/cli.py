@@ -1,0 +1,353 @@
+"""Command-line interface.
+
+``weakraces run`` simulates a named workload on a chosen memory model
+and prints the post-mortem race report; ``weakraces trace`` writes the
+trace file instead; ``weakraces analyze`` runs the detector on a
+previously written trace file; ``weakraces check`` verifies Condition
+3.4 on an execution; ``weakraces models`` lists the memory models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .analysis.naive import NaiveDetector
+from .core.detector import PostMortemDetector
+from .core.scp import check_condition_34
+from .machine.models import ALL_MODEL_NAMES, make_model
+from .machine.program import Program
+from .machine.simulator import run_program
+from .programs import (
+    bounded_queue_program,
+    buggy_workqueue_program,
+    cas_counter_program,
+    fanin_barrier_program,
+    figure1a_program,
+    figure1b_program,
+    fixed_workqueue_program,
+    independent_work_program,
+    locked_counter_program,
+    producer_consumer_program,
+    racy_counter_program,
+    iriw_program,
+    run_figure2,
+    single_race_program,
+    store_buffering_program,
+)
+from .trace.build import build_trace
+from .trace.tracefile import read_trace, write_trace
+
+WORKLOADS: Dict[str, Callable[[], Program]] = {
+    "figure1a": figure1a_program,
+    "figure1b": figure1b_program,
+    "workqueue-buggy": buggy_workqueue_program,
+    "workqueue-fixed": fixed_workqueue_program,
+    "locked-counter": locked_counter_program,
+    "racy-counter": racy_counter_program,
+    "producer-consumer": producer_consumer_program,
+    "independent": independent_work_program,
+    "single-race": single_race_program,
+    "barrier": fanin_barrier_program,
+    "store-buffering": store_buffering_program,
+    "iriw": iriw_program,
+    "cas-counter": cas_counter_program,
+    "queue": bounded_queue_program,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="weakraces",
+        description=(
+            "Dynamic data race detection on simulated weak memory systems "
+            "(reproduction of Adve/Hill/Miller/Netzer, ISCA 1991)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate a workload and report races")
+    run_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
+    run_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--naive", action="store_true",
+        help="also print the naive (report-everything) baseline",
+    )
+    run_p.add_argument(
+        "--dot", metavar="FILE",
+        help="write the augmented happens-before-1 graph as DOT",
+    )
+    run_p.add_argument(
+        "--explain", action="store_true",
+        help="print the affects chain for every race (why suppressed "
+             "races were suppressed)",
+    )
+
+    trace_p = sub.add_parser("trace", help="simulate and write a trace file")
+    trace_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
+    trace_p.add_argument("output", help="trace file path")
+    trace_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    trace_p.add_argument("--seed", type=int, default=0)
+
+    an_p = sub.add_parser("analyze", help="analyze a trace file post-mortem")
+    an_p.add_argument("tracefile")
+    an_p.add_argument("--dot", metavar="FILE")
+
+    chk_p = sub.add_parser(
+        "check", help="verify Condition 3.4 on a simulated execution"
+    )
+    chk_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
+    chk_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    chk_p.add_argument("--seed", type=int, default=0)
+
+    st_p = sub.add_parser(
+        "static", help="compile-time (lockset) race analysis of a workload"
+    )
+    st_p.add_argument("workload", choices=sorted(WORKLOADS))
+
+    drf_p = sub.add_parser(
+        "drf-check",
+        help="decide Definition 2.4 exactly by exploring every SC execution",
+    )
+    drf_p.add_argument("workload", choices=sorted(WORKLOADS))
+    drf_p.add_argument("--max-states", type=int, default=200_000)
+
+    rf_p = sub.add_parser(
+        "run-file", help="assemble a .rasm file, simulate, and report races"
+    )
+    rf_p.add_argument("source", help="assembly source file")
+    rf_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    rf_p.add_argument("--seed", type=int, default=0)
+
+    dis_p = sub.add_parser(
+        "disasm", help="print a built-in workload as assembly text"
+    )
+    dis_p.add_argument("workload", choices=sorted(WORKLOADS))
+
+    rec_p = sub.add_parser(
+        "record",
+        help="simulate a workload while recording every nondeterministic "
+             "choice, for later bit-exact replay",
+    )
+    rec_p.add_argument("workload", choices=sorted(WORKLOADS))
+    rec_p.add_argument("output", help="recording file path")
+    rec_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    rec_p.add_argument("--seed", type=int, default=0)
+
+    rep_p = sub.add_parser(
+        "replay", help="replay a recorded execution and re-run the detector"
+    )
+    rep_p.add_argument("workload", choices=sorted(WORKLOADS))
+    rep_p.add_argument("recording", help="recording file path")
+
+    out_p = sub.add_parser(
+        "outcomes",
+        help="enumerate every final memory state a model admits for a "
+             "(litmus-sized) workload",
+    )
+    out_p.add_argument("workload", choices=sorted(WORKLOADS))
+    out_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    out_p.add_argument("--max-states", type=int, default=300_000)
+    out_p.add_argument(
+        "--vars", nargs="*", metavar="NAME",
+        help="project outcomes onto these locations",
+    )
+
+    tl_p = sub.add_parser(
+        "timeline",
+        help="draw an execution as per-processor columns (paper-figure "
+             "style), with stale reads and the SCP boundary marked",
+    )
+    tl_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
+    tl_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    tl_p.add_argument("--seed", type=int, default=0)
+    tl_p.add_argument("--rows", type=int, default=40)
+    tl_p.add_argument("--width", type=int, default=26)
+
+    sub.add_parser("models", help="list memory models")
+    return parser
+
+
+def _run_workload(name: str, model_name: str, seed: int):
+    model = make_model(model_name)
+    if name == "figure2":
+        return run_figure2(model)
+    program = WORKLOADS[name]()
+    return run_program(program, model, seed=seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "models":
+        for name in ALL_MODEL_NAMES:
+            print(name)
+        return 0
+
+    if args.command == "analyze":
+        from .trace.validate import InvalidTraceError, require_valid_trace
+        trace = read_trace(args.tracefile)
+        try:
+            require_valid_trace(trace)
+        except InvalidTraceError as exc:
+            print(f"{args.tracefile}: {exc}", file=sys.stderr)
+            return 2
+        report = PostMortemDetector().analyze(trace)
+        print(report.format())
+        if args.dot:
+            with open(args.dot, "w", encoding="utf-8") as fh:
+                fh.write(report.to_dot())
+            print(f"\nDOT graph written to {args.dot}")
+        return 0 if report.race_free else 1
+
+    if args.command == "disasm":
+        from .machine.assembler import format_program
+        print(format_program(WORKLOADS[args.workload]()), end="")
+        return 0
+
+    if args.command == "run-file":
+        from .machine.assembler import AssemblyError, parse_program
+        try:
+            with open(args.source, "r", encoding="utf-8") as fh:
+                program = parse_program(fh.read())
+        except AssemblyError as exc:
+            print(f"{args.source}: {exc}", file=sys.stderr)
+            return 2
+        result = run_program(program, make_model(args.model), seed=args.seed)
+        if not result.completed:
+            print("warning: execution hit the step bound", file=sys.stderr)
+        report = PostMortemDetector().analyze_execution(result)
+        print(report.format())
+        return 0 if report.race_free else 1
+
+    if args.command == "record":
+        from .machine.replay import record_execution
+        result, recording = record_execution(
+            WORKLOADS[args.workload](), make_model(args.model), seed=args.seed
+        )
+        recording.save(args.output)
+        report = PostMortemDetector().analyze_execution(result)
+        print(f"recorded {len(result.operations)} operations "
+              f"({args.model}, seed {args.seed}) to {args.output}")
+        print(report.format())
+        return 0 if report.race_free else 1
+
+    if args.command == "replay":
+        from .machine.replay import (
+            ExecutionRecording, ReplayError, replay_execution,
+        )
+        recording = ExecutionRecording.load(args.recording)
+        try:
+            result = replay_execution(
+                WORKLOADS[args.workload](),
+                make_model(recording.model_name),
+                recording,
+            )
+        except ReplayError as exc:
+            print(f"replay failed: {exc}", file=sys.stderr)
+            return 2
+        report = PostMortemDetector().analyze_execution(result)
+        print(f"replayed {len(result.operations)} operations "
+              f"({recording.model_name})")
+        print(report.format())
+        return 0 if report.race_free else 1
+
+    if args.command == "outcomes":
+        from .analysis.outcomes import OutcomeLimit, enumerate_outcomes
+        try:
+            out = enumerate_outcomes(
+                WORKLOADS[args.workload](), make_model(args.model),
+                max_states=args.max_states, interesting=args.vars or None,
+            )
+        except OutcomeLimit as exc:
+            print(f"enumeration incomplete: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.workload} on {args.model}: {len(out)} outcome(s), "
+              f"{out.states_visited} states explored")
+        if args.vars:
+            for values in sorted(out.values_of(*args.vars)):
+                rendered = ", ".join(
+                    f"{n}={v}" for n, v in zip(args.vars, values)
+                )
+                print(f"  {rendered}")
+        else:
+            symbols = WORKLOADS[args.workload]().symbols
+            for outcome in sorted(out.outcomes):
+                nonzero = [
+                    f"{symbols.name_of(a)}={v}" for a, v in outcome if v
+                ]
+                print("  " + (", ".join(nonzero) if nonzero else "(all zero)"))
+        return 0
+
+    if args.command == "static":
+        from .staticanalysis import find_static_races
+        report = find_static_races(WORKLOADS[args.workload]())
+        print(report.format())
+        return 1 if report.potentially_racy else 0
+
+    if args.command == "drf-check":
+        from .analysis.exhaustive import ExplorationLimit, explore_program
+        try:
+            result = explore_program(
+                WORKLOADS[args.workload](), max_states=args.max_states
+            )
+        except ExplorationLimit as exc:
+            print(f"exploration incomplete: {exc}", file=sys.stderr)
+            return 2
+        verdict = "data-race-free" if result.program_is_data_race_free \
+            else "NOT data-race-free"
+        print(f"{args.workload}: {verdict} "
+              f"({result.executions_explored} executions, "
+              f"{result.states_visited} states explored)")
+        if result.racing_schedule is not None:
+            print(f"  racing schedule witness: {result.racing_schedule}")
+        return 0 if result.program_is_data_race_free else 1
+
+    result = _run_workload(args.workload, args.model, args.seed)
+
+    if args.command == "timeline":
+        from .core.timeline import render_timeline
+        print(render_timeline(result, width=args.width, max_rows=args.rows))
+        return 0
+
+    if not result.completed:
+        print("warning: execution hit the step bound before completion",
+              file=sys.stderr)
+
+    if args.command == "trace":
+        trace = build_trace(result)
+        write_trace(trace, args.output)
+        print(
+            f"wrote {trace.event_count} events "
+            f"({len(result.operations)} operations) to {args.output}"
+        )
+        return 0
+
+    if args.command == "check":
+        report = check_condition_34(result)
+        print(report.summary())
+        print(f"  SCP cuts (per processor): {report.scp.cuts}")
+        print(f"  stale reads: {len(result.stale_reads)}")
+        return 0 if report.ok else 1
+
+    # command == "run"
+    report = PostMortemDetector().analyze_execution(result)
+    print(report.format())
+    if args.naive:
+        print()
+        print(NaiveDetector().analyze(report.trace).format())
+    if args.explain and not report.race_free:
+        from .core.explain import explain_report
+        print()
+        print(explain_report(report))
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(report.to_dot())
+        print(f"\nDOT graph written to {args.dot}")
+    return 0 if report.race_free else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

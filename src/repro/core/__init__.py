@@ -1,0 +1,67 @@
+"""The paper's contribution: happens-before-1 construction, race
+detection, the affects relation, augmented-graph race partitioning with
+first-partition reporting, SCP machinery with the Condition 3.4
+checker, and the on-the-fly baseline."""
+
+from .affects import (
+    AffectsIndex,
+    affected_events,
+    race_affects_event,
+    race_affects_race,
+)
+from .augmented import build_augmented_graph, race_edge_list
+from .detector import PostMortemDetector, detect
+from .explain import RaceExplanation, explain_race, explain_report
+from .hb1 import HappensBefore1
+from .hb1_vc import CyclicHB1Error, VectorClockHB1
+from .onthefly import OnTheFlyDetector, OnTheFlyRace, detect_on_the_fly
+from .onthefly_first import (
+    FirstRaceOnTheFlyDetector,
+    locate_first_races_on_the_fly,
+)
+from .ophb import OpHappensBefore, OpRace, build_op_augmented, find_op_races
+from .partitions import PartitionAnalysis, RacePartition, partition_races
+from .races import EventRace, data_races, find_races
+from .report import RaceReport
+from .scp import Condition34Report, SCPrefix, check_condition_34, extract_scp
+from .timeline import render_timeline
+from .vector_clock import VectorClock
+
+__all__ = [
+    "AffectsIndex",
+    "affected_events",
+    "race_affects_event",
+    "race_affects_race",
+    "build_augmented_graph",
+    "race_edge_list",
+    "PostMortemDetector",
+    "detect",
+    "RaceExplanation",
+    "explain_race",
+    "explain_report",
+    "HappensBefore1",
+    "CyclicHB1Error",
+    "VectorClockHB1",
+    "OnTheFlyDetector",
+    "OnTheFlyRace",
+    "detect_on_the_fly",
+    "FirstRaceOnTheFlyDetector",
+    "locate_first_races_on_the_fly",
+    "OpHappensBefore",
+    "OpRace",
+    "build_op_augmented",
+    "find_op_races",
+    "PartitionAnalysis",
+    "RacePartition",
+    "partition_races",
+    "EventRace",
+    "data_races",
+    "find_races",
+    "RaceReport",
+    "Condition34Report",
+    "SCPrefix",
+    "check_condition_34",
+    "extract_scp",
+    "render_timeline",
+    "VectorClock",
+]

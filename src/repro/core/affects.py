@@ -1,0 +1,92 @@
+"""The affects relation (Definition 3.3), computed on G'.
+
+A race <x,y> affects an operation/event z iff z is x or y, or x (or y)
+happens-before z, or the effect chains through another race.  The paper
+proves that adding a doubly directed edge per race to the hb1 graph
+makes this exactly reachability: a path exists in G' from A (or B) to C
+iff <A,B> affects C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from ..graph import DiGraph, TransitiveClosure, reachable_from_any
+from ..trace.events import EventId
+from .races import EventRace
+
+
+def affected_events(gprime: DiGraph, race: EventRace) -> Set[EventId]:
+    """Every event affected by *race*: its own endpoints plus all
+    G'-reachable events."""
+    return reachable_from_any(gprime, [race.a, race.b])
+
+
+def race_affects_event(gprime: DiGraph, race: EventRace, event: EventId) -> bool:
+    """<race.a, race.b> A event (Definition 3.3)."""
+    return event in affected_events(gprime, race)
+
+
+def race_affects_race(
+    gprime: DiGraph, race: EventRace, other: EventRace
+) -> bool:
+    """<x,y> A <x',y'> iff the first race affects x' or y'."""
+    affected = affected_events(gprime, race)
+    return other.a in affected or other.b in affected
+
+
+class AffectsIndex:
+    """Batch affects queries over one G' via a shared transitive closure.
+
+    ``unaffected_races`` identifies the races affected by no *other*
+    race — intuitively the execution's first data races, the set
+    Condition 3.4(2) guarantees to lie in a sequentially consistent
+    prefix.
+    """
+
+    def __init__(self, gprime: DiGraph, races: Iterable[EventRace]) -> None:
+        self.gprime = gprime
+        self.races = list(races)
+        self._closure = TransitiveClosure(gprime)
+
+    def affects(self, race: EventRace, other: EventRace) -> bool:
+        """True iff *race* affects *other* (self-affection excluded by
+        identity: a race trivially affects itself via clause (1), so
+        callers asking about "other" races should pass distinct ones)."""
+        for src in (race.a, race.b):
+            for dst in (other.a, other.b):
+                if src == dst or self._closure.ordered(src, dst):
+                    return True
+        return False
+
+    def affects_event(self, race: EventRace, event: EventId) -> bool:
+        return (
+            event == race.a
+            or event == race.b
+            or self._closure.ordered(race.a, event)
+            or self._closure.ordered(race.b, event)
+        )
+
+    def unaffected_races(self) -> list:
+        """Races not affected by any *other* race.
+
+        Two races in the same G' cycle mutually affect each other and so
+        are never "unaffected"; the partition machinery (section 4.2)
+        exists precisely to handle that, reporting whole first
+        partitions instead.
+        """
+        out = []
+        for race in self.races:
+            if not any(
+                other is not race and self.affects(other, race)
+                for other in self.races
+            ):
+                out.append(race)
+        return out
+
+    def affected_event_map(self) -> Dict[FrozenSet[EventId], Set[EventId]]:
+        """race endpoints -> all affected events, for every race."""
+        return {
+            frozenset((race.a, race.b)): affected_events(self.gprime, race)
+            for race in self.races
+        }

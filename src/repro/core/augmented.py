@@ -1,0 +1,41 @@
+"""The augmented happens-before-1 graph G' (section 4.2).
+
+G' is the hb1 graph plus, for each race, a doubly directed edge between
+the two events involved.  By construction, for races <A,B> and <C,D>, a
+path exists in G' from A (or B) to C (or D) iff <A,B> affects <C,D>
+(Definition 3.3) — G' reachability *is* the affects relation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..graph import DiGraph
+from .hb1 import HappensBefore1
+from .races import EventRace
+
+
+def build_augmented_graph(
+    hb: HappensBefore1, races: Iterable[EventRace]
+) -> DiGraph:
+    """hb1 plus a doubly directed edge per race.
+
+    All races participate — including sync-sync races — because the
+    affects relation (Definition 3.3(3)) chains through races generally,
+    not only data races.
+    """
+    gprime = hb.graph.copy()
+    for race in races:
+        gprime.add_edge(race.a, race.b)
+        gprime.add_edge(race.b, race.a)
+    return gprime
+
+
+def race_edge_list(races: Iterable[EventRace]) -> List[tuple]:
+    """The doubly-directed edge pairs contributed by *races* (used when
+    rendering figures: race edges are drawn dashed/bidirectional)."""
+    edges = []
+    for race in races:
+        edges.append((race.a, race.b))
+        edges.append((race.b, race.a))
+    return edges

@@ -1,0 +1,96 @@
+"""The happens-before-1 relation over events (Definitions 2.1–2.3).
+
+hb1 is the irreflexive transitive closure of program order (po) and
+synchronization-order-1 (so1).  po is immediate from each processor's
+event sequence.  so1 must be *reconstructed* from the trace: the trace
+records only the relative order of synchronization events per location
+(section 4.1), so a release write is paired with a subsequent acquire
+read of the same location when the acquire is the next sync read and
+returns the release's value (Definition 2.1(3): "s2 returns the value
+written by s1").
+
+On a weak execution the synchronization operations themselves need not
+be sequentially consistent, so hb1 may contain cycles (section 3.1);
+everything downstream (race detection, partitioning) tolerates that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..graph import DiGraph, TransitiveClosure, is_acyclic
+from ..machine.operations import SyncRole
+from ..trace.build import Trace
+from ..trace.events import EventId, SyncEvent
+
+
+class HappensBefore1:
+    """The hb1 graph of a trace, with cached reachability.
+
+    Nodes are :class:`EventId`; edges are po (consecutive events of one
+    processor) and so1 (paired release -> acquire).  ``ordered(a, b)``
+    answers "a hb1 b" via a bitset transitive closure.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.graph = DiGraph()
+        self.po_edges: List[Tuple[EventId, EventId]] = []
+        self.so1_edges: List[Tuple[EventId, EventId]] = []
+        self._closure: Optional[TransitiveClosure] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for proc_events in self.trace.events:
+            previous: Optional[EventId] = None
+            for event in proc_events:
+                self.graph.add_node(event.eid)
+                if previous is not None:
+                    self.graph.add_edge(previous, event.eid)
+                    self.po_edges.append((previous, event.eid))
+                previous = event.eid
+        for addr, order in self.trace.sync_order.items():
+            self._pair_location(addr, order)
+
+    def _pair_location(self, addr: int, order: List[EventId]) -> None:
+        last_sync_write: Optional[SyncEvent] = None
+        for eid in order:
+            event = self.trace.event(eid)
+            assert isinstance(event, SyncEvent)
+            if event.writes_addr:
+                last_sync_write = event
+                continue
+            # A sync read: pairs iff it is an acquire, the most recent
+            # sync write to the location is a release, and the values
+            # match (Definition 2.1).
+            if (
+                event.role is SyncRole.ACQUIRE
+                and last_sync_write is not None
+                and last_sync_write.role is SyncRole.RELEASE
+                and last_sync_write.value == event.value
+                and last_sync_write.eid.proc != event.eid.proc
+            ):
+                self.graph.add_edge(last_sync_write.eid, event.eid)
+                self.so1_edges.append((last_sync_write.eid, event.eid))
+
+    # ------------------------------------------------------------------
+    @property
+    def closure(self) -> TransitiveClosure:
+        if self._closure is None:
+            self._closure = TransitiveClosure(self.graph)
+        return self._closure
+
+    def ordered(self, a: EventId, b: EventId) -> bool:
+        """True iff ``a hb1 b``."""
+        return self.closure.ordered(a, b)
+
+    def unordered(self, a: EventId, b: EventId) -> bool:
+        """True iff neither ``a hb1 b`` nor ``b hb1 a`` — the condition
+        under which conflicting events race (Definition 2.4)."""
+        return not self.closure.comparable(a, b)
+
+    def is_partial_order(self) -> bool:
+        """True when hb1 is acyclic — guaranteed for SC executions,
+        possibly false for weak ones (section 3.1)."""
+        return is_acyclic(self.graph)

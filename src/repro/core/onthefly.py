@@ -1,0 +1,181 @@
+"""On-the-fly race detection baseline (section 5).
+
+Post-mortem analysis writes full trace files; on-the-fly methods
+"buffer partial trace information in memory and detect data races as
+they occur", trading secondary storage for accuracy: with bounded
+per-location access histories, some races — including first races — can
+go undetected.  This module implements the classic access-history
+algorithm (in the style of [DiS90]/[HKM90]) over the simulator's
+operation stream: a single forward pass, one vector clock per
+processor, and a bounded reader/writer history per location.
+
+The accuracy loss is parameterized by ``reader_history``/
+``writer_history``; the benchmark ``bench_onthefly`` sweeps it to
+reproduce the paper's qualitative claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..machine.operations import MemoryOperation, SyncRole
+from .vector_clock import VectorClock
+
+
+@dataclass(frozen=True)
+class OnTheFlyRace:
+    """A race flagged during execution, as an operation seq pair."""
+
+    a: int
+    b: int
+    addr: int
+
+    def key(self) -> Tuple[int, int]:
+        return (min(self.a, self.b), max(self.a, self.b))
+
+
+@dataclass
+class _Access:
+    """One remembered access: who, at what clock tick, which op."""
+
+    proc: int
+    tick: int
+    seq: int
+    clock: VectorClock
+
+
+@dataclass
+class _History:
+    """Bounded access history for one location."""
+
+    writers: List[_Access] = field(default_factory=list)
+    readers: List[_Access] = field(default_factory=list)
+
+
+class OnTheFlyDetector:
+    """Single-pass, bounded-memory detector over an operation stream.
+
+    Feed operations in execution order via :meth:`process`; collected
+    races are in :attr:`races`.  ``reader_history`` / ``writer_history``
+    bound how many concurrent accesses per location are remembered —
+    smaller bounds use less memory and miss more races, exactly the
+    trade-off section 5 describes.
+    """
+
+    def __init__(
+        self,
+        processor_count: int,
+        reader_history: int = 4,
+        writer_history: int = 1,
+    ) -> None:
+        if processor_count <= 0:
+            raise ValueError("processor_count must be positive")
+        if reader_history < 1 or writer_history < 1:
+            raise ValueError("history bounds must be at least 1")
+        self.processor_count = processor_count
+        self.reader_history = reader_history
+        self.writer_history = writer_history
+        self.clocks = [VectorClock(processor_count) for _ in range(processor_count)]
+        for proc, clock in enumerate(self.clocks):
+            clock.tick(proc)
+        self._histories: Dict[int, _History] = {}
+        # last release write per sync location: (value, clock snapshot)
+        self._released: Dict[int, Tuple[int, VectorClock]] = {}
+        self.races: List[OnTheFlyRace] = []
+        self._seen: Set[Tuple[int, int]] = set()
+        self.evicted_accesses = 0
+
+    # ------------------------------------------------------------------
+    def process(self, op: MemoryOperation) -> None:
+        """Consume the next operation of the execution."""
+        if op.is_sync:
+            self._process_sync(op)
+        else:
+            self._process_data(op)
+
+    def process_all(self, operations: List[MemoryOperation]) -> None:
+        for op in operations:
+            self.process(op)
+
+    # ------------------------------------------------------------------
+    def _process_sync(self, op: MemoryOperation) -> None:
+        clock = self.clocks[op.proc]
+        if op.role is SyncRole.ACQUIRE:
+            released = self._released.get(op.addr)
+            if released is not None and released[0] == op.value:
+                clock.join(released[1])
+        elif op.role is SyncRole.RELEASE:
+            clock.tick(op.proc)
+            self._released[op.addr] = (op.value, clock.copy())
+        elif op.role is SyncRole.SYNC_ONLY and op.is_write:
+            # The write half of a Test&Set publishes nothing, but it
+            # does overwrite the sync location's value, invalidating
+            # pairing with the previous release (the lock is now held).
+            released = self._released.get(op.addr)
+            if released is not None and released[0] != op.value:
+                self._released[op.addr] = (op.value, released[1])
+        clock.tick(op.proc)
+
+    def _process_data(self, op: MemoryOperation) -> None:
+        clock = self.clocks[op.proc]
+        history = self._histories.setdefault(op.addr, _History())
+        if op.is_read:
+            self._check_against(op, history.writers)
+            self._remember(history.readers, op, clock, self.reader_history)
+        else:
+            self._check_against(op, history.writers)
+            self._check_against(op, history.readers)
+            self._remember(history.writers, op, clock, self.writer_history)
+
+    def _check_against(self, op: MemoryOperation, accesses: List[_Access]) -> None:
+        clock = self.clocks[op.proc]
+        for access in accesses:
+            if access.proc == op.proc:
+                continue
+            if not clock.dominates_entry(access.proc, access.tick):
+                key = (min(access.seq, op.seq), max(access.seq, op.seq))
+                if key not in self._seen:
+                    self._seen.add(key)
+                    race = OnTheFlyRace(a=key[0], b=key[1], addr=op.addr)
+                    self.races.append(race)
+                    self._on_race(race, access, op)
+
+    def _on_race(self, race: OnTheFlyRace, access: _Access,
+                 op: MemoryOperation) -> None:
+        """Hook for subclasses (e.g. first-race classification)."""
+
+    def _remember(
+        self,
+        accesses: List[_Access],
+        op: MemoryOperation,
+        clock: VectorClock,
+        bound: int,
+    ) -> None:
+        accesses.append(
+            _Access(proc=op.proc, tick=clock[op.proc], seq=op.seq, clock=clock.copy())
+        )
+        while len(accesses) > bound:
+            accesses.pop(0)
+            self.evicted_accesses += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_footprint(self) -> int:
+        """Remembered accesses right now — the bounded buffer occupancy
+        that on-the-fly methods keep in place of trace files."""
+        return sum(
+            len(h.writers) + len(h.readers) for h in self._histories.values()
+        )
+
+
+def detect_on_the_fly(
+    operations: List[MemoryOperation],
+    processor_count: int,
+    reader_history: int = 4,
+    writer_history: int = 1,
+) -> List[OnTheFlyRace]:
+    """Run the on-the-fly detector over a full operation stream."""
+    detector = OnTheFlyDetector(processor_count, reader_history, writer_history)
+    detector.process_all(operations)
+    return detector.races

@@ -1,0 +1,122 @@
+"""Operation-level hb1 and races — the ground-truth layer.
+
+The detector proper works on events (section 4.1); this module applies
+Definitions 2.2–2.4 directly to individual memory operations of a
+simulated execution.  It may use simulator ground truth (each read
+records which write it observed), because its role is *verifying* the
+paper's claims — Condition 3.4, Theorems 4.1/4.2 — not detecting races
+from realistic traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph import DiGraph, TransitiveClosure
+from ..machine.operations import MemoryOperation, SyncRole
+
+
+@dataclass(frozen=True)
+class OpRace:
+    """A race between two operations, identified by global seq."""
+
+    a: int
+    b: int
+    addr: int
+    is_data_race: bool
+
+    def involves(self, seq: int) -> bool:
+        return seq == self.a or seq == self.b
+
+
+class OpHappensBefore:
+    """hb1 over individual operations, built from ground truth.
+
+    po: consecutive operations of one processor.  so1: a release write
+    to an acquire read that *observed* it (the simulator records the
+    observed write, so pairing is exact here).
+    """
+
+    def __init__(self, operations: List[MemoryOperation]) -> None:
+        self.operations = operations
+        self.graph = DiGraph()
+        self.so1_edges: List[Tuple[int, int]] = []
+        self._by_seq: Dict[int, MemoryOperation] = {}
+        self._closure: Optional[TransitiveClosure] = None
+        self._build()
+
+    def _build(self) -> None:
+        last_of_proc: Dict[int, int] = {}
+        for op in self.operations:
+            self.graph.add_node(op.seq)
+            self._by_seq[op.seq] = op
+            previous = last_of_proc.get(op.proc)
+            if previous is not None:
+                self.graph.add_edge(previous, op.seq)
+            last_of_proc[op.proc] = op.seq
+        for op in self.operations:
+            if op.role is not SyncRole.ACQUIRE or op.observed_write is None:
+                continue
+            release = self._by_seq.get(op.observed_write)
+            if (
+                release is not None
+                and release.role is SyncRole.RELEASE
+                and release.proc != op.proc
+            ):
+                self.graph.add_edge(release.seq, op.seq)
+                self.so1_edges.append((release.seq, op.seq))
+
+    @property
+    def closure(self) -> TransitiveClosure:
+        if self._closure is None:
+            self._closure = TransitiveClosure(self.graph)
+        return self._closure
+
+    def ordered(self, a: int, b: int) -> bool:
+        return self.closure.ordered(a, b)
+
+    def unordered(self, a: int, b: int) -> bool:
+        return not self.closure.comparable(a, b)
+
+    def op(self, seq: int) -> MemoryOperation:
+        return self._by_seq[seq]
+
+
+def find_op_races(
+    operations: List[MemoryOperation], hb: Optional[OpHappensBefore] = None
+) -> List[OpRace]:
+    """All operation-level races (Definition 2.4)."""
+    hb = hb or OpHappensBefore(operations)
+    by_addr: Dict[int, List[MemoryOperation]] = {}
+    for op in operations:
+        by_addr.setdefault(op.addr, []).append(op)
+
+    races: List[OpRace] = []
+    for addr, ops in by_addr.items():
+        for i, x in enumerate(ops):
+            for y in ops[i + 1:]:
+                if x.proc == y.proc:
+                    continue
+                if not (x.is_write or y.is_write):
+                    continue
+                if hb.unordered(x.seq, y.seq):
+                    races.append(
+                        OpRace(
+                            a=min(x.seq, y.seq),
+                            b=max(x.seq, y.seq),
+                            addr=addr,
+                            is_data_race=(x.is_data or y.is_data),
+                        )
+                    )
+    races.sort(key=lambda race: (race.a, race.b))
+    return races
+
+
+def build_op_augmented(hb: OpHappensBefore, races: List[OpRace]) -> DiGraph:
+    """G' at operation level: hb1 plus doubly directed race edges."""
+    gprime = hb.graph.copy()
+    for race in races:
+        gprime.add_edge(race.a, race.b)
+        gprime.add_edge(race.b, race.a)
+    return gprime

@@ -1,0 +1,132 @@
+"""Race partitioning and first-partition identification (section 4.2).
+
+Because G' may contain cycles, individual "first races" are not well
+defined; the paper instead partitions races by the strongly connected
+components of G' and orders partitions by G'-reachability (Definition
+4.1).  A partition is *first* if no other partition containing at least
+one data race is ordered before it.  Theorem 4.1: there are no first
+partitions containing data races iff the execution exhibited no data
+races.  Theorem 4.2: each first partition containing data races holds
+at least one race belonging to a sequentially consistent prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..graph import Condensation, DiGraph, TransitiveClosure, condensation
+from ..trace.build import Trace
+from ..trace.events import EventId
+from .augmented import build_augmented_graph
+from .hb1 import HappensBefore1
+from .races import EventRace
+
+
+@dataclass
+class RacePartition:
+    """The races whose events fall in one SCC of G'."""
+
+    component_index: int
+    races: List[EventRace]
+    events: Set[EventId] = field(default_factory=set)
+    is_first: bool = False
+
+    @property
+    def has_data_race(self) -> bool:
+        return any(race.is_data_race for race in self.races)
+
+    @property
+    def data_races(self) -> List[EventRace]:
+        return [race for race in self.races if race.is_data_race]
+
+    def describe(self, trace: Optional[Trace] = None) -> str:
+        tag = "first" if self.is_first else "non-first"
+        lines = [f"Partition #{self.component_index} ({tag}):"]
+        for race in self.races:
+            lines.append(f"  {race.describe(trace)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PartitionAnalysis:
+    """Everything section 4.2 computes for one execution's races."""
+
+    gprime: DiGraph
+    cond: Condensation
+    partitions: List[RacePartition]
+
+    @property
+    def first_partitions(self) -> List[RacePartition]:
+        return [p for p in self.partitions if p.is_first]
+
+    @property
+    def first_races(self) -> List[EventRace]:
+        return [race for p in self.first_partitions for race in p.races]
+
+    @property
+    def non_first_partitions(self) -> List[RacePartition]:
+        return [p for p in self.partitions if not p.is_first]
+
+    def partition_of(self, race: EventRace) -> RacePartition:
+        for partition in self.partitions:
+            if race in partition.races:
+                return partition
+        raise KeyError(f"race {race} not in any partition")
+
+    def precedes(self, p1: RacePartition, p2: RacePartition) -> bool:
+        """Definition 4.1: Part1 P Part2 iff a G' path leads from an
+        event of Part1 to an event of Part2."""
+        if p1.component_index == p2.component_index:
+            return False
+        return self._dag_closure().ordered(p1.component_index, p2.component_index)
+
+    _closure_cache: Optional[TransitiveClosure] = None
+
+    def _dag_closure(self) -> TransitiveClosure:
+        if self._closure_cache is None:
+            self._closure_cache = TransitiveClosure(self.cond.dag)
+        return self._closure_cache
+
+
+def partition_races(
+    trace: Trace,
+    hb: HappensBefore1,
+    races: List[EventRace],
+    gprime: Optional[DiGraph] = None,
+) -> PartitionAnalysis:
+    """Partition *races* by SCC of G' and mark the first partitions.
+
+    The doubly directed race edge makes both endpoints of a race
+    mutually reachable, so each race lies in exactly one SCC.
+    """
+    gprime = gprime or build_augmented_graph(hb, races)
+    cond = condensation(gprime)
+
+    by_component: Dict[int, RacePartition] = {}
+    for race in races:
+        ci = cond.index_of[race.a]
+        assert ci == cond.index_of[race.b], "race endpoints must share an SCC"
+        partition = by_component.get(ci)
+        if partition is None:
+            partition = RacePartition(
+                component_index=ci,
+                races=[],
+                events=set(cond.components[ci]),
+            )
+            by_component[ci] = partition
+        partition.races.append(race)
+
+    partitions = sorted(by_component.values(), key=lambda p: p.component_index)
+    analysis = PartitionAnalysis(gprime=gprime, cond=cond, partitions=partitions)
+
+    # A partition is first iff no *other* partition containing at least
+    # one data race precedes it (Definition 4.1 and the paragraph after).
+    data_partitions = [p for p in partitions if p.has_data_race]
+    for partition in partitions:
+        preceded = any(
+            other is not partition and analysis.precedes(other, partition)
+            for other in data_partitions
+        )
+        partition.is_first = not preceded
+    return analysis

@@ -1,0 +1,143 @@
+"""Event-level race detection (Definition 2.4 lifted to events, §4.1).
+
+A race is a pair of events that conflict on some location and are not
+ordered by hb1.  It is a *data* race when at least one side is a
+computation (data) event; a race between two synchronization events is
+detected but flagged, since Definition 2.4 excludes it from data races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..trace.build import Trace
+from ..trace.events import ComputationEvent, EventId, SyncEvent
+from .hb1 import HappensBefore1
+
+
+@dataclass(frozen=True)
+class EventRace:
+    """An unordered conflicting event pair ``<a, b>`` (a < b canonically).
+
+    ``locations`` lists every location the pair conflicts on; a single
+    event-level race may stand for many lower-level operation races
+    (section 4.1 of the paper).
+    """
+
+    a: EventId
+    b: EventId
+    locations: Tuple[int, ...]
+    is_data_race: bool
+
+    @property
+    def events(self) -> Tuple[EventId, EventId]:
+        return (self.a, self.b)
+
+    def involves(self, eid: EventId) -> bool:
+        return eid == self.a or eid == self.b
+
+    def describe(self, trace: Optional[Trace] = None, max_names: int = 6) -> str:
+        if trace is None:
+            names = [str(addr) for addr in self.locations]
+        else:
+            names = [trace.addr_name(addr) for addr in self.locations]
+        if len(names) > max_names:
+            extra = len(names) - max_names
+            names = names[:max_names] + [f"+{extra} more"]
+        locs = ",".join(names)
+        kind = "data race" if self.is_data_race else "sync race"
+        return f"<{self.a}, {self.b}> on {{{locs}}} ({kind})"
+
+
+def _accesses_by_location(
+    trace: Trace,
+) -> Tuple[Dict[int, List[EventId]], Dict[int, List[EventId]]]:
+    """Index events by the locations they read and write."""
+    readers: Dict[int, List[EventId]] = {}
+    writers: Dict[int, List[EventId]] = {}
+    for event in trace.all_events():
+        if isinstance(event, SyncEvent):
+            target = writers if event.writes_addr else readers
+            target.setdefault(event.addr, []).append(event.eid)
+        else:
+            assert isinstance(event, ComputationEvent)
+            for addr in event.reads:
+                readers.setdefault(addr, []).append(event.eid)
+            for addr in event.writes:
+                writers.setdefault(addr, []).append(event.eid)
+    return readers, writers
+
+
+def find_races(trace: Trace, hb: Optional[HappensBefore1] = None) -> List[EventRace]:
+    """All races of *trace*: conflicting, hb1-unordered event pairs.
+
+    Returns races sorted by (a, b) for determinism.  Pass a prebuilt
+    :class:`HappensBefore1` to avoid rebuilding the relation.
+    """
+    hb = hb or HappensBefore1(trace)
+    readers, writers = _accesses_by_location(trace)
+
+    # Hot path: for each location, every writer x (writer or reader)
+    # pair is a conflict; a pair is a race iff hb1-unordered.  Ordered
+    # pairs are remembered so multi-location conflicts don't re-query.
+    closure = hb.closure
+    index_of = closure.index_of
+    ordered_index = closure.ordered_index
+    dense: Dict[EventId, int] = {}
+
+    def didx(eid: EventId) -> int:
+        i = dense.get(eid)
+        if i is None:
+            i = index_of(eid)
+            dense[eid] = i
+        return i
+
+    racing: Dict[Tuple[EventId, EventId], List[int]] = {}
+    settled_ordered: Set[Tuple[EventId, EventId]] = set()
+
+    def note(x: EventId, y: EventId, addr: int) -> None:
+        key = (x, y) if x < y else (y, x)
+        bucket = racing.get(key)
+        if bucket is not None:
+            bucket.append(addr)
+            return
+        if key in settled_ordered:
+            return
+        i, j = didx(key[0]), didx(key[1])
+        if ordered_index(i, j) or ordered_index(j, i):
+            settled_ordered.add(key)
+        else:
+            racing[key] = [addr]
+
+    for addr, writer_list in writers.items():
+        reader_list = readers.get(addr, [])
+        for i, w in enumerate(writer_list):
+            # same-processor events are always po-ordered: skip them
+            for other in writer_list[i + 1:]:
+                if other.proc != w.proc:
+                    note(w, other, addr)
+            for r in reader_list:
+                if r.proc != w.proc:
+                    note(w, r, addr)
+
+    races: List[EventRace] = []
+    for (a, b), locations in racing.items():
+        event_a, event_b = trace.event(a), trace.event(b)
+        races.append(
+            EventRace(
+                a=a,
+                b=b,
+                locations=tuple(sorted(set(locations))),
+                is_data_race=(
+                    event_a.is_computation or event_b.is_computation
+                ),
+            )
+        )
+    races.sort(key=lambda race: (race.a, race.b))
+    return races
+
+
+def data_races(races: List[EventRace]) -> List[EventRace]:
+    """Filter to data races (Definition 2.4)."""
+    return [race for race in races if race.is_data_race]

@@ -1,0 +1,164 @@
+"""Race reports: what the detector hands the programmer.
+
+On a system obeying Condition 3.4, the detector either (a) reports no
+data races — and the programmer may then assume the whole execution was
+sequentially consistent (Condition 3.4(1)) — or (b) reports the *first
+partitions* of data races, each guaranteed to contain at least one race
+that also occurs in some sequentially consistent execution of the
+program (Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..graph import to_dot
+from ..trace.build import Trace
+from ..trace.events import ComputationEvent, EventId, SyncEvent
+from .hb1 import HappensBefore1
+from .partitions import PartitionAnalysis, RacePartition
+from .races import EventRace
+
+
+@dataclass
+class RaceReport:
+    """The full outcome of post-mortem analysis of one trace."""
+
+    trace: Trace
+    hb: HappensBefore1
+    races: List[EventRace]
+    analysis: PartitionAnalysis
+
+    # ------------------------------------------------------------------
+    @property
+    def data_races(self) -> List[EventRace]:
+        return [race for race in self.races if race.is_data_race]
+
+    @property
+    def sync_races(self) -> List[EventRace]:
+        return [race for race in self.races if not race.is_data_race]
+
+    @property
+    def race_free(self) -> bool:
+        """No data races detected."""
+        return not self.data_races
+
+    @property
+    def execution_was_sequentially_consistent(self) -> bool:
+        """On Condition-3.4 hardware, no data races implies the whole
+        execution was sequentially consistent (clause 1)."""
+        return self.race_free
+
+    @property
+    def first_partitions(self) -> List[RacePartition]:
+        """The partitions to report to the programmer (section 4.2) —
+        only those containing data races are actionable."""
+        return [p for p in self.analysis.first_partitions if p.has_data_race]
+
+    @property
+    def reported_races(self) -> List[EventRace]:
+        """The data races inside first partitions."""
+        return [
+            race for p in self.first_partitions for race in p.data_races
+        ]
+
+    @property
+    def suppressed_races(self) -> List[EventRace]:
+        """Data races *not* reported: they lie in non-first partitions
+        and may never occur in any sequentially consistent execution —
+        reporting them would mislead the programmer (section 3.1)."""
+        reported = set()
+        for race in self.reported_races:
+            reported.add((race.a, race.b))
+        return [
+            race
+            for race in self.data_races
+            if (race.a, race.b) not in reported
+        ]
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Post-mortem data race report ({self.trace.model_name} execution, "
+            f"{self.trace.event_count} events)",
+            "=" * 70,
+        ]
+        if self.race_free:
+            lines.append("No data races detected.")
+            lines.append(
+                "By Condition 3.4(1) the execution was sequentially consistent."
+            )
+            return "\n".join(lines)
+        lines.append(
+            f"{len(self.data_races)} data race(s) in "
+            f"{len([p for p in self.analysis.partitions if p.has_data_race])} "
+            f"partition(s); reporting {len(self.first_partitions)} first "
+            f"partition(s)."
+        )
+        for partition in self.first_partitions:
+            lines.append("")
+            lines.append(
+                f"First partition #{partition.component_index} "
+                f"(>=1 race here occurs in a sequentially consistent execution):"
+            )
+            for race in partition.data_races:
+                lines.append(f"  {race.describe(self.trace)}")
+                lines.append(f"    {self.trace.label(race.a)}")
+                lines.append(f"    {self.trace.label(race.b)}")
+        suppressed = self.suppressed_races
+        if suppressed:
+            lines.append("")
+            lines.append(
+                f"{len(suppressed)} further data race(s) suppressed "
+                f"(non-first partitions; possibly artifacts of the races above):"
+            )
+            for race in suppressed:
+                lines.append(f"  {race.describe(self.trace)}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dot(self, include_partitions: bool = True) -> str:
+        """Render the augmented happens-before-1 graph G' as DOT, in the
+        style of the paper's Figure 3: po/so1 edges solid, race edges
+        dashed and bidirectional, partitions boxed."""
+        trace = self.trace
+        race_pairs = set()
+        for race in self.races:
+            race_pairs.add((race.a, race.b))
+            race_pairs.add((race.b, race.a))
+
+        def label_of(eid: EventId) -> str:
+            event = trace.event(eid)
+            if isinstance(event, SyncEvent):
+                return f"{eid}\\n{event.label(trace.addr_name(event.addr))}"
+            assert isinstance(event, ComputationEvent)
+            return f"{eid}\\n{event.label(trace.addr_name)}"
+
+        def edge_attrs(src: EventId, dst: EventId) -> Dict[str, str]:
+            if (src, dst) in race_pairs:
+                return {"style": "dashed", "dir": "both", "color": "red"}
+            return {}
+
+        clusters: Optional[Dict[str, List[EventId]]] = None
+        if include_partitions:
+            clusters = {}
+            for partition in self.analysis.partitions:
+                tag = "first" if partition.is_first else "non-first"
+                clusters[
+                    f"partition {partition.component_index} ({tag})"
+                ] = sorted(partition.events)
+
+        # Draw each race edge only once (dir=both renders the pair).
+        drawn = self.hb.graph.copy()
+        for race in self.races:
+            drawn.add_edge(race.a, race.b)
+
+        return to_dot(
+            drawn,
+            name="Gprime",
+            label_of=label_of,
+            edge_attrs=edge_attrs,
+            clusters=clusters,
+        )

@@ -1,0 +1,95 @@
+"""ASCII execution timelines, in the layout of the paper's figures.
+
+The paper draws executions as one column per processor with operations
+in program order and annotations between them (Figures 1, 2b, 3).  This
+module renders a simulated execution or a trace the same way in plain
+text — column per processor, global time flowing downward, with
+optional markers for stale reads, the SCP boundary, and so1 pairings:
+
+    P0                     P1                     P2
+    write(Q,100)           .                      write(region[0],0)
+    write(QEmpty,0)        .                      .
+    .                      read(QEmpty,0)         .
+    .                      read(Q,37) *stale*     .
+    ...
+
+Useful in examples, bug reports, and interactive debugging; rendered by
+``weakraces timeline``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..machine.simulator import ExecutionResult
+from .ophb import OpHappensBefore
+from .scp import SCPrefix, extract_scp
+
+
+def render_timeline(
+    result: ExecutionResult,
+    width: int = 26,
+    max_rows: Optional[int] = 60,
+    mark_scp: bool = True,
+    mark_pairs: bool = True,
+) -> str:
+    """Render *result* as per-processor columns in global issue order.
+
+    Args:
+        result: the execution to draw.
+        width: column width per processor.
+        max_rows: truncate long executions (None = everything).
+        mark_scp: draw ``==== end of SCP ====`` across a processor's
+            column at its SCP cut (section 3.2).
+        mark_pairs: annotate acquire reads with the id of the release
+            they paired with (so1, Definition 2.2).
+    """
+    nproc = result.processor_count
+    scp: Optional[SCPrefix] = None
+    if mark_scp:
+        scp = extract_scp(result)
+    pair_of = {}
+    if mark_pairs:
+        hb = OpHappensBefore(result.operations)
+        for release_seq, acquire_seq in hb.so1_edges:
+            pair_of[acquire_seq] = release_seq
+
+    def cell(text: str) -> str:
+        return text[:width - 1].ljust(width)
+
+    header = "".join(cell(f"P{p}") for p in range(nproc))
+    lines = [header, "".join(cell("-" * (width - 2)) for _ in range(nproc))]
+
+    cut_drawn = [False] * nproc
+    rows = 0
+    truncated = 0
+    for op in result.operations:
+        if max_rows is not None and rows >= max_rows:
+            truncated += 1
+            continue
+        if (
+            scp is not None
+            and not cut_drawn[op.proc]
+            and scp.cuts[op.proc] is not None
+            and op.local_index == scp.cuts[op.proc]
+        ):
+            cut_drawn[op.proc] = True
+            marker = ["." for _ in range(nproc)]
+            marker[op.proc] = "=== end of SCP ==="
+            lines.append("".join(cell(m) for m in marker))
+            rows += 1
+        text = op.describe(result.addr_name(op.addr))
+        # strip the leading "Pn " (the column already says it)
+        text = text.split(" ", 1)[1]
+        if op.stale:
+            text += " *stale*"
+        if op.seq in pair_of:
+            text += f" <-rel@{pair_of[op.seq]}"
+        row = ["." for _ in range(nproc)]
+        row[op.proc] = text
+        lines.append("".join(cell(r) for r in row))
+        rows += 1
+
+    if truncated:
+        lines.append(f"... ({truncated} more operations)")
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,77 @@
+"""Vector clocks.
+
+The on-the-fly baseline (section 5 of the paper discusses on-the-fly
+detection as the alternative to post-mortem analysis) tracks the
+happens-before-1 relation incrementally with one vector clock per
+processor, joined at paired release/acquire synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class VectorClock:
+    """A fixed-width vector clock over processor ids."""
+
+    __slots__ = ("_ticks",)
+
+    def __init__(self, width: int, ticks: Tuple[int, ...] = ()) -> None:
+        if ticks:
+            if len(ticks) != width:
+                raise ValueError("ticks length must equal width")
+            self._ticks: List[int] = list(ticks)
+        else:
+            self._ticks = [0] * width
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return len(self._ticks)
+
+    def __getitem__(self, proc: int) -> int:
+        return self._ticks[proc]
+
+    def tick(self, proc: int) -> None:
+        """Advance *proc*'s component (a local step)."""
+        self._ticks[proc] += 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place (acquire side of a sync pair)."""
+        if other.width != self.width:
+            raise ValueError("clock widths differ")
+        for i in range(self.width):
+            if other._ticks[i] > self._ticks[i]:
+                self._ticks[i] = other._ticks[i]
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.width, tuple(self._ticks))
+
+    # ------------------------------------------------------------------
+    def happens_before(self, other: "VectorClock") -> bool:
+        """self <= other pointwise and self != other."""
+        le = all(a <= b for a, b in zip(self._ticks, other._ticks))
+        return le and self._ticks != other._ticks
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.happens_before(other) and not other.happens_before(self)
+
+    def dominates_entry(self, proc: int, tick: int) -> bool:
+        """True iff this clock has seen *proc*'s step *tick* — the O(1)
+        epoch comparison used by the access-history checks."""
+        return self._ticks[proc] >= tick
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorClock):
+            return self._ticks == other._ticks
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ticks))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ticks)
+
+    def __repr__(self) -> str:
+        return f"VC{tuple(self._ticks)}"

@@ -1,0 +1,42 @@
+"""Directed-graph substrate.
+
+Everything the race detector needs from graph theory, implemented from
+scratch: a digraph container, Tarjan SCCs, condensation, reachability /
+transitive closure, topological sorting, and DOT export for regenerating
+the paper's figures.
+"""
+
+from .condensation import Condensation, condensation
+from .digraph import DiGraph
+from .dot import to_dot
+from .reachability import (
+    TransitiveClosure,
+    ancestors,
+    is_reachable,
+    reachable_from,
+    reachable_from_any,
+    shortest_path,
+    transitive_closure_sets,
+)
+from .scc import component_map, strongly_connected_components
+from .topo import CycleError, find_cycle, is_acyclic, topological_sort
+
+__all__ = [
+    "Condensation",
+    "condensation",
+    "DiGraph",
+    "to_dot",
+    "TransitiveClosure",
+    "ancestors",
+    "is_reachable",
+    "reachable_from",
+    "reachable_from_any",
+    "shortest_path",
+    "transitive_closure_sets",
+    "component_map",
+    "strongly_connected_components",
+    "CycleError",
+    "find_cycle",
+    "is_acyclic",
+    "topological_sort",
+]

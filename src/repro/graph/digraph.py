@@ -1,0 +1,149 @@
+"""A minimal directed-graph container.
+
+The happens-before-1 relation of a *weak* execution may contain cycles
+(section 3.1 of the paper: synchronization operations of a weak system are
+not constrained to execute in a sequentially consistent manner), so nothing
+in this package assumes acyclicity.  Nodes may be any hashable objects;
+edges are stored as adjacency sets, and a reversed adjacency is maintained
+so predecessor queries are O(out-degree of the predecessor set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+
+class DiGraph:
+    """A directed graph over hashable nodes with O(1) edge tests.
+
+    Parallel edges are collapsed (the edge set is a relation); self-loops
+    are allowed and are significant for strongly-connected-component
+    queries made by the race partitioner.
+    """
+
+    def __init__(self) -> None:
+        self._succ: Dict[Hashable, Set[Hashable]] = {}
+        self._pred: Dict[Hashable, Set[Hashable]] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        """Add *node* if not already present."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes(self, nodes: Iterable[Hashable]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, src: Hashable, dst: Hashable) -> None:
+        """Add the edge ``src -> dst``, creating missing endpoints."""
+        self.add_node(src)
+        self.add_node(dst)
+        if dst not in self._succ[src]:
+            self._succ[src].add(dst)
+            self._pred[dst].add(src)
+            self._edge_count += 1
+
+    def add_edges(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    def remove_edge(self, src: Hashable, dst: Hashable) -> None:
+        """Remove the edge ``src -> dst``; raises KeyError if absent."""
+        if not self.has_edge(src, dst):
+            raise KeyError(f"edge {src!r} -> {dst!r} not in graph")
+        self._succ[src].discard(dst)
+        self._pred[dst].discard(src)
+        self._edge_count -= 1
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove *node* and every incident edge."""
+        if node not in self._succ:
+            raise KeyError(f"node {node!r} not in graph")
+        for dst in list(self._succ[node]):
+            self.remove_edge(node, dst)
+        for src in list(self._pred[node]):
+            self.remove_edge(src, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def has_edge(self, src: Hashable, dst: Hashable) -> bool:
+        succ = self._succ.get(src)
+        return succ is not None and dst in succ
+
+    def successors(self, node: Hashable) -> Set[Hashable]:
+        """The set of nodes with an edge from *node* (do not mutate)."""
+        return self._succ[node]
+
+    def predecessors(self, node: Hashable) -> Set[Hashable]:
+        """The set of nodes with an edge to *node* (do not mutate)."""
+        return self._pred[node]
+
+    def out_degree(self, node: Hashable) -> int:
+        return len(self._succ[node])
+
+    def in_degree(self, node: Hashable) -> int:
+        return len(self._pred[node])
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        g = DiGraph()
+        g.add_nodes(self.nodes())
+        g.add_edges(self.edges())
+        return g
+
+    def reversed(self) -> "DiGraph":
+        """A new graph with every edge direction flipped."""
+        g = DiGraph()
+        g.add_nodes(self.nodes())
+        for src, dst in self.edges():
+            g.add_edge(dst, src)
+        return g
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "DiGraph":
+        """The induced subgraph on *nodes* (missing nodes are ignored)."""
+        keep = {n for n in nodes if n in self}
+        g = DiGraph()
+        g.add_nodes(keep)
+        for src in keep:
+            for dst in self._succ[src]:
+                if dst in keep:
+                    g.add_edge(src, dst)
+        return g
+
+    def __repr__(self) -> str:
+        return f"DiGraph(nodes={self.node_count}, edges={self.edge_count})"

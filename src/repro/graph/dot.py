@@ -1,0 +1,82 @@
+"""Graphviz DOT rendering.
+
+The paper's Figures 2b and 3 are happens-before-1 graphs annotated with
+race edges, SCP boundaries, and partition boxes.  This module emits the
+equivalent DOT text so the figures can be regenerated from any execution
+(`dot -Tpng` renders them; the text itself is also asserted in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional
+
+from .digraph import DiGraph
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def to_dot(
+    graph: DiGraph,
+    name: str = "G",
+    label_of: Optional[Callable[[Hashable], str]] = None,
+    node_attrs: Optional[Callable[[Hashable], Dict[str, str]]] = None,
+    edge_attrs: Optional[Callable[[Hashable, Hashable], Dict[str, str]]] = None,
+    clusters: Optional[Dict[str, Iterable[Hashable]]] = None,
+) -> str:
+    """Render *graph* as DOT text.
+
+    Args:
+        graph: the graph to render.
+        name: DOT graph name.
+        label_of: node -> display label (defaults to ``str``).
+        node_attrs: node -> extra DOT attributes.
+        edge_attrs: (src, dst) -> extra DOT attributes (e.g. race edges
+            get ``style=dashed dir=both`` to match the paper's figures).
+        clusters: cluster label -> member nodes; members are drawn inside
+            a labelled subgraph box (used for race partitions, Figure 3).
+    """
+    label_of = label_of or str
+    ids: Dict[Hashable, str] = {
+        node: f"n{i}" for i, node in enumerate(graph.nodes())
+    }
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box];"]
+
+    clustered = set()
+    if clusters:
+        for ci, (cluster_label, members) in enumerate(clusters.items()):
+            lines.append(f"  subgraph cluster_{ci} {{")
+            lines.append(f"    label={_quote(cluster_label)};")
+            for node in members:
+                if node not in ids:
+                    continue
+                clustered.add(node)
+                lines.append(f"    {ids[node]} {_node_attr_text(node, label_of, node_attrs)};")
+            lines.append("  }")
+
+    for node in graph.nodes():
+        if node in clustered:
+            continue
+        lines.append(f"  {ids[node]} {_node_attr_text(node, label_of, node_attrs)};")
+
+    for src, dst in graph.edges():
+        attrs = edge_attrs(src, dst) if edge_attrs else {}
+        attr_text = ", ".join(f"{k}={_quote(v)}" for k, v in attrs.items())
+        suffix = f" [{attr_text}]" if attr_text else ""
+        lines.append(f"  {ids[src]} -> {ids[dst]}{suffix};")
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _node_attr_text(
+    node: Hashable,
+    label_of: Callable[[Hashable], str],
+    node_attrs: Optional[Callable[[Hashable], Dict[str, str]]],
+) -> str:
+    attrs: Dict[str, str] = {"label": label_of(node)}
+    if node_attrs:
+        attrs.update(node_attrs(node))
+    body = ", ".join(f"{k}={_quote(v)}" for k, v in attrs.items())
+    return f"[{body}]"

@@ -1,0 +1,80 @@
+"""The simulated weak-memory multiprocessor substrate.
+
+The paper assumes real WO/RCsc/DRF0/DRF1 hardware; this package is the
+reproduction's substitute (see DESIGN.md): a deterministic register-
+machine multiprocessor whose memory system models weakness as delayed
+per-reader write visibility, flushed at synchronization per each
+model's rules.
+"""
+
+from .assembler import AssemblyError, format_program, parse_program
+from .isa import Addr, IllegalInstruction, Imm, Instruction, Opcode, Reg
+from .memory import MemorySystem, PendingWrite, ReadResult
+from .models import (
+    ALL_MODEL_NAMES,
+    WEAK_MODEL_NAMES,
+    CostModel,
+    DataRaceFree0,
+    DataRaceFree1,
+    MemoryModel,
+    ReleaseConsistencySC,
+    SequentialConsistency,
+    WeakOrdering,
+    make_model,
+)
+from .operations import MemoryOperation, OperationKind, SyncRole
+from .processor import Processor
+from .program import (
+    ArrayRef,
+    Program,
+    ProgramBuilder,
+    SymbolError,
+    SymbolTable,
+    ThreadBuilder,
+    ThreadProgram,
+)
+from .replay import (
+    ExecutionRecording,
+    ReplayError,
+    executions_equal,
+    record_execution,
+    replay_execution,
+)
+from .propagation import (
+    EagerPropagation,
+    HoldbackPropagation,
+    HomeDirectoryPropagation,
+    PropagationPolicy,
+    RandomPropagation,
+    StubbornPropagation,
+)
+from .scheduler import (
+    BurstScheduler,
+    RandomScheduler,
+    RoundRobin,
+    Scheduler,
+    ScriptedScheduler,
+)
+from .simulator import ExecutionResult, ProcessorStats, Simulator, run_program
+
+__all__ = [
+    "AssemblyError", "format_program", "parse_program",
+    "Addr", "IllegalInstruction", "Imm", "Instruction", "Opcode", "Reg",
+    "MemorySystem", "PendingWrite", "ReadResult",
+    "ALL_MODEL_NAMES", "WEAK_MODEL_NAMES", "CostModel",
+    "DataRaceFree0", "DataRaceFree1", "MemoryModel",
+    "ReleaseConsistencySC", "SequentialConsistency", "WeakOrdering",
+    "make_model",
+    "MemoryOperation", "OperationKind", "SyncRole",
+    "Processor",
+    "ArrayRef", "Program", "ProgramBuilder", "SymbolError", "SymbolTable",
+    "ThreadBuilder", "ThreadProgram",
+    "ExecutionRecording", "ReplayError", "executions_equal",
+    "record_execution", "replay_execution",
+    "EagerPropagation", "HoldbackPropagation", "HomeDirectoryPropagation",
+    "PropagationPolicy",
+    "RandomPropagation", "StubbornPropagation",
+    "BurstScheduler", "RandomScheduler", "RoundRobin", "Scheduler",
+    "ScriptedScheduler",
+    "ExecutionResult", "ProcessorStats", "Simulator", "run_program",
+]

@@ -1,0 +1,380 @@
+"""A textual assembly format for the simulated machine.
+
+Lets workloads live in plain files instead of Python builders — the
+"program text" of the paper in the most literal sense.  Grammar::
+
+    ; comments run to end of line
+    .var NAME [= INT]            ; scalar shared location
+    .array NAME[SIZE] [= INT...] ; contiguous shared array
+    .thread                      ; begins the next processor's code
+
+    LABEL:                       ; jump target
+        read   %r, LOC           ; data read
+        write  LOC, SRC          ; data write
+        testset %r, LOC          ; atomic Test&Set (acquire read + write 1)
+        cas    %r, LOC, EXP, NEW ; atomic compare-and-swap (%r = 1 on success)
+        unset  LOC               ; release write of 0
+        acqread %r, LOC          ; bare acquire read
+        relwrite LOC, SRC        ; bare release write
+        fence
+        mov    %r, SRC
+        add    %r, SRC, SRC      ; likewise sub, mul, cmpeq, cmplt
+        jmp    LABEL
+        bz     %r, LABEL         ; branch if zero
+        bnz    %r, LABEL
+        halt
+        nop
+
+Operands: ``%name`` registers, ``#N`` immediates.  ``LOC`` is a scalar
+name, ``name[INT]`` / ``name[%reg]`` array elements, or ``@N`` raw
+addresses.  :func:`parse_program` returns a normal
+:class:`~repro.machine.program.Program`; :func:`format_program` renders
+one back to text (modulo comments).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .isa import Addr, Imm, Instruction, Opcode, Operand, Reg
+from .program import Program, SymbolTable, ThreadProgram
+
+
+class AssemblyError(ValueError):
+    """Raised with a line number on any syntax or semantic error."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_VAR_RE = re.compile(r"^\.var\s+(\w+)(?:\s*=\s*(-?\d+))?$")
+_ARRAY_RE = re.compile(
+    r"^\.array\s+(\w+)\[(\d+)\](?:\s*=\s*((?:-?\d+\s*)+))?$"
+)
+_LABEL_RE = re.compile(r"^(\w+):$")
+_LOC_ARRAY_RE = re.compile(r"^(\w+)\[(%\w+|\d+)\]$")
+
+#: mnemonic -> (opcode, operand shape)
+#: shapes: "dst_loc" = %r, LOC ; "loc_src" = LOC, SRC ; "loc" = LOC ;
+#: "dst_src" = %r, SRC ; "dst_src_src" ; "label" ; "reg_label" ; "none"
+_MNEMONICS: Dict[str, Tuple[Opcode, str]] = {
+    "read": (Opcode.READ, "dst_loc"),
+    "write": (Opcode.WRITE, "loc_src"),
+    "testset": (Opcode.TEST_AND_SET, "dst_loc"),
+    "cas": (Opcode.CAS, "dst_loc_src_src"),
+    "unset": (Opcode.UNSET, "loc"),
+    "acqread": (Opcode.ACQ_READ, "dst_loc"),
+    "relwrite": (Opcode.REL_WRITE, "loc_src"),
+    "fence": (Opcode.FENCE, "none"),
+    "mov": (Opcode.MOV, "dst_src"),
+    "add": (Opcode.ADD, "dst_src_src"),
+    "sub": (Opcode.SUB, "dst_src_src"),
+    "mul": (Opcode.MUL, "dst_src_src"),
+    "cmpeq": (Opcode.CMP_EQ, "dst_src_src"),
+    "cmplt": (Opcode.CMP_LT, "dst_src_src"),
+    "jmp": (Opcode.JMP, "label"),
+    "bz": (Opcode.BZ, "reg_label"),
+    "bnz": (Opcode.BNZ, "reg_label"),
+    "halt": (Opcode.HALT, "none"),
+    "nop": (Opcode.NOP, "none"),
+}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.symbols = SymbolTable()
+        self.initial: Dict[int, int] = {}
+        self.threads: List[ThreadProgram] = []
+        self._instrs: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._in_thread = False
+        self._line_no = 0
+
+    # -- operand parsing -------------------------------------------------
+    def _reg(self, token: str) -> Reg:
+        if not token.startswith("%") or len(token) < 2:
+            raise AssemblyError(self._line_no, f"expected register, got {token!r}")
+        return Reg(token[1:])
+
+    def _src(self, token: str) -> Operand:
+        if token.startswith("%"):
+            return self._reg(token)
+        if token.startswith("#"):
+            try:
+                return Imm(int(token[1:]))
+            except ValueError:
+                raise AssemblyError(
+                    self._line_no, f"bad immediate {token!r}"
+                ) from None
+        raise AssemblyError(
+            self._line_no, f"expected %reg or #imm, got {token!r}"
+        )
+
+    def _loc(self, token: str) -> Addr:
+        if token.startswith("@"):
+            try:
+                return Addr(int(token[1:]))
+            except ValueError:
+                raise AssemblyError(
+                    self._line_no, f"bad raw address {token!r}"
+                ) from None
+        match = _LOC_ARRAY_RE.match(token)
+        if match:
+            name, index = match.group(1), match.group(2)
+            try:
+                base = self.symbols.addr_of(name)
+            except KeyError:
+                raise AssemblyError(
+                    self._line_no, f"unknown array {name!r}"
+                ) from None
+            if index.startswith("%"):
+                return Addr(base, index=self._reg(index))
+            return Addr(base + int(index))
+        try:
+            return Addr(self.symbols.addr_of(token))
+        except KeyError:
+            raise AssemblyError(
+                self._line_no, f"unknown location {token!r}"
+            ) from None
+
+    # -- line handling -----------------------------------------------------
+    def parse(self) -> Program:
+        for line_no, raw in enumerate(self.text.splitlines(), start=1):
+            self._line_no = line_no
+            line = raw.split(";", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line)
+            elif _LABEL_RE.match(line):
+                self._label(_LABEL_RE.match(line).group(1))
+            else:
+                self._instruction(line)
+        self._finish_thread()
+        if not self.threads:
+            raise AssemblyError(self._line_no, "program has no .thread")
+        return Program(
+            threads=tuple(self.threads),
+            symbols=self.symbols,
+            initial_memory=self.initial,
+        )
+
+    def _directive(self, line: str) -> None:
+        if line == ".thread":
+            self._finish_thread()
+            self._in_thread = True
+            return
+        match = _VAR_RE.match(line)
+        if match:
+            if self._in_thread or self.threads:
+                raise AssemblyError(
+                    self._line_no, "declarations must precede .thread"
+                )
+            name, init = match.group(1), match.group(2)
+            try:
+                addr = self.symbols.scalar(name)
+            except KeyError as exc:
+                raise AssemblyError(self._line_no, str(exc)) from None
+            if init is not None and int(init) != 0:
+                self.initial[addr] = int(init)
+            return
+        match = _ARRAY_RE.match(line)
+        if match:
+            if self._in_thread or self.threads:
+                raise AssemblyError(
+                    self._line_no, "declarations must precede .thread"
+                )
+            name, size = match.group(1), int(match.group(2))
+            try:
+                base = self.symbols.array(name, size)
+            except (KeyError, ValueError) as exc:
+                raise AssemblyError(self._line_no, str(exc)) from None
+            if match.group(3):
+                values = [int(v) for v in match.group(3).split()]
+                if len(values) > size:
+                    raise AssemblyError(
+                        self._line_no, "initializer longer than array"
+                    )
+                for offset, value in enumerate(values):
+                    if value != 0:
+                        self.initial[base + offset] = value
+            return
+        raise AssemblyError(self._line_no, f"unknown directive {line!r}")
+
+    def _label(self, name: str) -> None:
+        if not self._in_thread:
+            raise AssemblyError(self._line_no, "label outside .thread")
+        if name in self._labels:
+            raise AssemblyError(self._line_no, f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+
+    def _instruction(self, line: str) -> None:
+        if not self._in_thread:
+            raise AssemblyError(self._line_no, "instruction outside .thread")
+        parts = line.replace(",", " ").split()
+        mnemonic, args = parts[0].lower(), parts[1:]
+        if mnemonic not in _MNEMONICS:
+            raise AssemblyError(self._line_no, f"unknown mnemonic {mnemonic!r}")
+        opcode, shape = _MNEMONICS[mnemonic]
+
+        def need(n: int) -> None:
+            if len(args) != n:
+                raise AssemblyError(
+                    self._line_no,
+                    f"{mnemonic} takes {n} operand(s), got {len(args)}",
+                )
+
+        try:
+            if shape == "dst_loc":
+                need(2)
+                instr = Instruction(opcode, dst=self._reg(args[0]),
+                                    addr=self._loc(args[1]))
+            elif shape == "loc_src":
+                need(2)
+                instr = Instruction(opcode, src=(self._src(args[1]),),
+                                    addr=self._loc(args[0]))
+            elif shape == "loc":
+                need(1)
+                instr = Instruction(opcode, addr=self._loc(args[0]))
+            elif shape == "dst_src":
+                need(2)
+                instr = Instruction(opcode, dst=self._reg(args[0]),
+                                    src=(self._src(args[1]),))
+            elif shape == "dst_src_src":
+                need(3)
+                instr = Instruction(
+                    opcode, dst=self._reg(args[0]),
+                    src=(self._src(args[1]), self._src(args[2])),
+                )
+            elif shape == "dst_loc_src_src":
+                need(4)
+                instr = Instruction(
+                    opcode, dst=self._reg(args[0]),
+                    src=(self._src(args[2]), self._src(args[3])),
+                    addr=self._loc(args[1]),
+                )
+            elif shape == "label":
+                need(1)
+                instr = Instruction(opcode, label=args[0])
+            elif shape == "reg_label":
+                need(2)
+                instr = Instruction(opcode, src=(self._reg(args[0]),),
+                                    label=args[1])
+            else:  # "none"
+                need(0)
+                instr = Instruction(opcode)
+        except AssemblyError:
+            raise
+        except ValueError as exc:
+            raise AssemblyError(self._line_no, str(exc)) from None
+        self._instrs.append(instr)
+
+    def _finish_thread(self) -> None:
+        if not self._in_thread:
+            return
+        instrs = list(self._instrs)
+        if not instrs or instrs[-1].opcode is not Opcode.HALT:
+            instrs.append(Instruction(Opcode.HALT))
+        thread = ThreadProgram(tuple(instrs), dict(self._labels))
+        for instr in instrs:
+            if instr.label is not None and instr.label not in self._labels:
+                raise AssemblyError(
+                    self._line_no, f"undefined label {instr.label!r}"
+                )
+        self.threads.append(thread)
+        self._instrs = []
+        self._labels = {}
+        self._in_thread = False
+
+
+def parse_program(text: str) -> Program:
+    """Assemble *text* into a :class:`Program`."""
+    return _Parser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# disassembly
+# ----------------------------------------------------------------------
+
+_OPCODE_TO_MNEMONIC = {op: name for name, (op, _) in _MNEMONICS.items()}
+
+
+def _format_loc(symbols: SymbolTable, addr: Addr) -> str:
+    if addr.index is not None:
+        # find the array containing base
+        for name, (lo, size) in symbols._arrays.items():
+            if lo == addr.base:
+                return f"{name}[%{addr.index.name}]"
+        return f"@{addr.base}[%{addr.index.name}]"  # pragma: no cover
+    name = symbols.name_of(addr.base)
+    if name.startswith("@"):
+        return name
+    return name
+
+
+def _format_src(operand: Operand) -> str:
+    if isinstance(operand, Reg):
+        return f"%{operand.name}"
+    return f"#{operand.value}"
+
+
+def format_program(program: Program) -> str:
+    """Render *program* back to assembly text."""
+    lines: List[str] = []
+    symbols = program.symbols
+    for name in symbols.names():
+        if name in symbols._arrays:
+            base, size = symbols._arrays[name]
+            values = [program.initial_value(base + i) for i in range(size)]
+            if any(values):
+                init = " = " + " ".join(str(v) for v in values)
+            else:
+                init = ""
+            lines.append(f".array {name}[{size}]{init}")
+        else:
+            addr = symbols.addr_of(name)
+            init = program.initial_value(addr)
+            suffix = f" = {init}" if init else ""
+            lines.append(f".var {name}{suffix}")
+
+    for thread in program.threads:
+        lines.append("")
+        lines.append(".thread")
+        label_at: Dict[int, List[str]] = {}
+        for label, target in thread.labels.items():
+            label_at.setdefault(target, []).append(label)
+        for i, instr in enumerate(thread.instructions):
+            for label in sorted(label_at.get(i, [])):
+                lines.append(f"{label}:")
+            lines.append("    " + _format_instruction(symbols, instr))
+        for label in sorted(label_at.get(len(thread.instructions), [])):
+            lines.append(f"{label}:")  # pragma: no cover - trailing label
+    return "\n".join(lines) + "\n"
+
+
+def _format_instruction(symbols: SymbolTable, instr: Instruction) -> str:
+    mnemonic = _OPCODE_TO_MNEMONIC[instr.opcode]
+    parts: List[str] = []
+    if instr.opcode in (Opcode.READ, Opcode.TEST_AND_SET, Opcode.ACQ_READ):
+        parts = [f"%{instr.dst.name}", _format_loc(symbols, instr.addr)]
+    elif instr.opcode is Opcode.CAS:
+        parts = [f"%{instr.dst.name}", _format_loc(symbols, instr.addr),
+                 _format_src(instr.src[0]), _format_src(instr.src[1])]
+    elif instr.opcode in (Opcode.WRITE, Opcode.REL_WRITE):
+        parts = [_format_loc(symbols, instr.addr), _format_src(instr.src[0])]
+    elif instr.opcode is Opcode.UNSET:
+        parts = [_format_loc(symbols, instr.addr)]
+    elif instr.opcode is Opcode.MOV:
+        parts = [f"%{instr.dst.name}", _format_src(instr.src[0])]
+    elif instr.opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL,
+                          Opcode.CMP_EQ, Opcode.CMP_LT):
+        parts = [f"%{instr.dst.name}",
+                 _format_src(instr.src[0]), _format_src(instr.src[1])]
+    elif instr.opcode is Opcode.JMP:
+        parts = [instr.label]
+    elif instr.opcode in (Opcode.BZ, Opcode.BNZ):
+        parts = [_format_src(instr.src[0]), instr.label]
+    return mnemonic + (" " + ", ".join(parts) if parts else "")

@@ -1,0 +1,52 @@
+"""Memory-model implementations: SC plus the four weak models the paper
+covers (WO, RCsc, DRF0, DRF1)."""
+
+from typing import Dict, Type
+
+from .base import CostModel, MemoryModel
+from .drf0 import DataRaceFree0
+from .drf1 import DataRaceFree1
+from .rcsc import ReleaseConsistencySC
+from .sc import SequentialConsistency
+from .wo import WeakOrdering
+
+MODEL_REGISTRY: Dict[str, Type[MemoryModel]] = {
+    cls.name: cls
+    for cls in (
+        SequentialConsistency,
+        WeakOrdering,
+        ReleaseConsistencySC,
+        DataRaceFree0,
+        DataRaceFree1,
+    )
+}
+
+WEAK_MODEL_NAMES = ("WO", "RCsc", "DRF0", "DRF1")
+ALL_MODEL_NAMES = ("SC",) + WEAK_MODEL_NAMES
+
+
+def make_model(name: str, costs: CostModel = CostModel()) -> MemoryModel:
+    """Instantiate a model by its paper name (``SC``, ``WO``, ``RCsc``,
+    ``DRF0``, ``DRF1``)."""
+    try:
+        cls = MODEL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown memory model {name!r}; choose from {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return cls(costs)
+
+
+__all__ = [
+    "CostModel",
+    "MemoryModel",
+    "SequentialConsistency",
+    "WeakOrdering",
+    "ReleaseConsistencySC",
+    "DataRaceFree0",
+    "DataRaceFree1",
+    "MODEL_REGISTRY",
+    "WEAK_MODEL_NAMES",
+    "ALL_MODEL_NAMES",
+    "make_model",
+]

@@ -1,0 +1,91 @@
+"""Memory-model interface.
+
+A memory model decides (a) whether data writes become globally visible
+at issue or may be buffered, (b) at which synchronization operations a
+processor's buffered writes must be flushed, and (c) how many stall
+cycles each operation costs — the source of the performance advantage
+that motivates weak models (section 2.2 of the paper).
+
+All models here keep synchronization accesses themselves sequentially
+consistent and flush at (at least) release boundaries; that is exactly
+the construction by which "all weak implementations" obey Condition 3.4
+(Theorem 3.5): sequential consistency is preserved until a data race
+actually occurs, and violations only infect operations affected by the
+race.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..operations import SyncRole
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency parameters shared by all models.
+
+    Attributes:
+        write_latency: cycles for a write to complete globally.
+        read_latency: cycles for a read (assumed near-cache).
+        drain_per_write: extra cycles per buffered write drained at a
+            flush (drains overlap, hence cheaper than a full latency).
+    """
+
+    write_latency: int = 10
+    read_latency: int = 1
+    drain_per_write: int = 2
+
+
+class MemoryModel(abc.ABC):
+    """Abstract memory model; see concrete subclasses."""
+
+    name: str = "abstract"
+
+    def __init__(self, costs: CostModel = CostModel()) -> None:
+        self.costs = costs
+
+    @abc.abstractmethod
+    def buffers_data_writes(self) -> bool:
+        """True if data writes may be delayed past issue."""
+
+    @abc.abstractmethod
+    def flushes_at(self, role: SyncRole) -> bool:
+        """True if issuing a sync op with *role* flushes buffered writes."""
+
+    # ------------------------------------------------------------------
+    # stall accounting
+    # ------------------------------------------------------------------
+    def data_write_stall(self) -> int:
+        """Stall cycles charged for one data write."""
+        if self.buffers_data_writes():
+            return 0
+        return self.costs.write_latency
+
+    def data_read_stall(self) -> int:
+        return self.costs.read_latency
+
+    def _flush_penalty(self, flushed_writes: int) -> int:
+        # Waiting for outstanding writes to complete costs at least one
+        # full write round-trip, plus an overlapped drain per write.
+        # This is where the acquire/release distinction pays off: RCsc
+        # and DRF1 never flush at acquires, so a WO/DRF0 machine stalls
+        # here on acquire operations that RCsc/DRF1 sail through.
+        if flushed_writes == 0:
+            return 0
+        return (
+            self.costs.write_latency
+            + self.costs.drain_per_write * flushed_writes
+        )
+
+    def sync_write_stall(self, role: SyncRole, flushed_writes: int) -> int:
+        """Stall cycles for a sync write that flushed *flushed_writes*."""
+        return self.costs.write_latency + self._flush_penalty(flushed_writes)
+
+    def sync_read_stall(self, role: SyncRole, flushed_writes: int) -> int:
+        """Stall cycles for a sync read that flushed *flushed_writes*."""
+        return self.costs.read_latency + self._flush_penalty(flushed_writes)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

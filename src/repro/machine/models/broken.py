@@ -1,0 +1,39 @@
+"""A deliberately non-compliant weak model, for ablation.
+
+Section 3.1's "first problem": "on arbitrary weak hardware, it is
+theoretically possible for an execution to not exhibit data races and
+yet not be sequentially consistent."  Every real implementation the
+paper surveys avoids this by completing buffered writes at
+synchronization; this model does **not** — synchronization operations
+neither flush the issuing processor's buffered data writes nor wait for
+them, so a correctly locked program can still read stale data.
+
+It exists to demonstrate that Condition 3.4 is a real constraint, not a
+tautology: the ablation benchmark runs data-race-free programs on this
+model and shows clause (1) of Condition 3.4 failing — the detector's
+"no races, therefore sequentially consistent" conclusion would be wrong
+on such hardware, which is exactly why the paper states the condition
+explicitly for designers to check.
+"""
+
+from __future__ import annotations
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class BrokenWeakOrdering(MemoryModel):
+    """Buffers data writes but never flushes them at synchronization.
+
+    Violates Condition 3.4(1): data-race-free executions are not
+    guaranteed sequential consistency.  Not registered in
+    ``MODEL_REGISTRY`` — it is an ablation device, not a usable model.
+    """
+
+    name = "BrokenWO"
+
+    def buffers_data_writes(self) -> bool:
+        return True
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        return False

@@ -1,0 +1,27 @@
+"""Data-race-free-0 [AdH90].
+
+DRF0 is defined as the class of all hardware that guarantees sequential
+consistency to data-race-free programs, *without* distinguishing acquire
+from release synchronization.  This module implements the canonical
+proposed implementation: the same flush-at-every-sync discipline as
+weak ordering.  (DRF0 the *definition* admits other implementations;
+the paper's Theorem 3.5 is about "all proposed implementations", which
+behave like this one.)
+"""
+
+from __future__ import annotations
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class DataRaceFree0(MemoryModel):
+    """DRF0 reference implementation: flush at every synchronization op."""
+
+    name = "DRF0"
+
+    def buffers_data_writes(self) -> bool:
+        return True
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        return role.is_sync

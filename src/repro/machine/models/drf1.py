@@ -1,0 +1,25 @@
+"""Data-race-free-1 [AdH91].
+
+DRF1 refines DRF0 with the release/acquire distinction (pairable
+synchronization, Definition 2.1 of the paper).  The canonical proposed
+implementation buffers data writes and drains them only at releases —
+operationally the discipline of RCsc — while keeping synchronization
+operations sequentially consistent.
+"""
+
+from __future__ import annotations
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class DataRaceFree1(MemoryModel):
+    """DRF1 reference implementation: flush at release operations."""
+
+    name = "DRF1"
+
+    def buffers_data_writes(self) -> bool:
+        return True
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        return role is SyncRole.RELEASE

@@ -1,0 +1,24 @@
+"""Release consistency with SC synchronization operations [GLL90].
+
+RCsc exploits the acquire/release distinction that WO ignores: buffered
+data writes need only complete before a *release* issues; acquires do
+not wait for the issuer's buffered writes.  Synchronization operations
+themselves remain sequentially consistent (the "sc" in RCsc).
+"""
+
+from __future__ import annotations
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class ReleaseConsistencySC(MemoryModel):
+    """RCsc: buffer data writes, flush only at release operations."""
+
+    name = "RCsc"
+
+    def buffers_data_writes(self) -> bool:
+        return True
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        return role is SyncRole.RELEASE

@@ -1,0 +1,28 @@
+"""Sequential consistency [Lam79].
+
+The baseline model: every memory operation appears in a single global
+order consistent with each processor's program order.  The simulator
+achieves this by propagating every write to every processor at issue;
+the cost is a full write latency stall on every write — the conventional
+stall-until-complete implementation the paper describes in section 2.2.
+"""
+
+from __future__ import annotations
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class SequentialConsistency(MemoryModel):
+    """Strict SC: no buffering, every write stalls to completion."""
+
+    name = "SC"
+
+    def buffers_data_writes(self) -> bool:
+        return False
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        # Nothing to flush — writes never buffer — but declaring True
+        # keeps the invariant "a release makes prior writes visible"
+        # vacuously uniform across models.
+        return True

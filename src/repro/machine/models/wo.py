@@ -1,0 +1,25 @@
+"""Weak ordering [DSB86].
+
+Data writes are buffered; before *any* synchronization operation issues,
+all of the processor's previous data writes must complete (flush), and
+no later operation issues until the sync completes.  WO does not
+distinguish acquires from releases — every sync is a full two-way
+barrier for the issuing processor.
+"""
+
+from __future__ import annotations
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class WeakOrdering(MemoryModel):
+    """WO: buffer data writes, flush at every synchronization op."""
+
+    name = "WO"
+
+    def buffers_data_writes(self) -> bool:
+        return True
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        return role.is_sync

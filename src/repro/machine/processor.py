@@ -1,0 +1,319 @@
+"""The simulated processor: executes one instruction per scheduler step.
+
+Besides ordinary interpretation, the processor maintains the simulator's
+ground-truth *taint* state used to extract the sequentially consistent
+prefix (section 3.2 of the paper):
+
+* a register becomes tainted when it receives a value from a stale read
+  (or from a memory cell whose value was produced from tainted inputs);
+* control flow becomes tainted when a branch tests a tainted register;
+* the identity of a memory operation (location + program point, the
+  paper's definition in section 2.1) is tainted when the processor's
+  control flow is tainted or its effective address uses a tainted
+  register.
+
+The first identity-tainted operation of a processor marks the raw cut
+point after which the processor's operations can no longer be operations
+of any sequentially consistent execution: its existence or address
+depends on a value no SC execution could have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from .isa import Addr, Instruction, Opcode, Operand, Reg
+from .memory import MemorySystem
+from .operations import MemoryOperation, OperationKind, SyncRole
+from .program import ThreadProgram
+
+
+class Recorder(Protocol):
+    """Supplies global sequence numbers and collects operation records."""
+
+    def next_seq(self) -> int: ...
+
+    def append(self, op: MemoryOperation) -> None: ...
+
+
+class Processor:
+    """One CPU: registers, program counter, taint state, stall counter."""
+
+    def __init__(self, pid: int, thread: ThreadProgram) -> None:
+        self.pid = pid
+        self.thread = thread
+        self.regs: Dict[str, int] = {}
+        self.reg_taint: Dict[str, bool] = {}
+        self.pc = 0
+        self.halted = len(thread) == 0
+        self.control_taint = False
+        self.local_index = 0  # memory operations issued so far
+        self.raw_scp_cut: Optional[int] = None
+        self.stall_cycles = 0
+        self.cycles = 0
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    def step(self, memory: MemorySystem, recorder: Recorder) -> None:
+        """Execute the instruction at ``pc`` (a no-op when halted)."""
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.thread):
+            self.halted = True
+            return
+        instr = self.thread.instructions[self.pc]
+        self.instructions_executed += 1
+        self.cycles += 1  # base issue cycle; stalls are added separately
+        handler = _DISPATCH[instr.opcode]
+        handler(self, instr, memory, recorder)
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+    def _value(self, operand: Operand) -> int:
+        if isinstance(operand, Reg):
+            return self.regs.get(operand.name, 0)
+        return operand.value
+
+    def _taint_of(self, operand: Operand) -> bool:
+        if isinstance(operand, Reg):
+            return self.reg_taint.get(operand.name, False)
+        return False
+
+    def _set_reg(self, reg: Reg, value: int, taint: bool) -> None:
+        self.regs[reg.name] = value
+        self.reg_taint[reg.name] = taint or self.control_taint
+
+    def _effective_addr(self, addr: Addr) -> int:
+        if addr.index is None:
+            return addr.base
+        return addr.base + self.regs.get(addr.index.name, 0)
+
+    def _addr_taint(self, addr: Addr) -> bool:
+        if addr.index is None:
+            return False
+        return self.reg_taint.get(addr.index.name, False)
+
+    def _note_identity(self, addr: Addr) -> None:
+        """Record the SCP cut at the first identity-tainted operation."""
+        if self.raw_scp_cut is None and (
+            self.control_taint or self._addr_taint(addr)
+        ):
+            self.raw_scp_cut = self.local_index
+
+    def _record(
+        self,
+        recorder: Recorder,
+        seq: int,
+        kind: OperationKind,
+        role: SyncRole,
+        ea: int,
+        value: int,
+        observed: Optional[int],
+        stale: bool,
+    ) -> None:
+        recorder.append(
+            MemoryOperation(
+                seq=seq,
+                proc=self.pid,
+                local_index=self.local_index,
+                kind=kind,
+                role=role,
+                addr=ea,
+                value=value,
+                observed_write=observed,
+                stale=stale,
+                instr_index=self.pc,
+            )
+        )
+        self.local_index += 1
+
+    def _stall(self, cycles: int) -> None:
+        self.stall_cycles += cycles
+        self.cycles += cycles
+
+
+# ----------------------------------------------------------------------
+# instruction handlers
+# ----------------------------------------------------------------------
+
+def _do_read(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    ea = p._effective_addr(i.addr)
+    p._note_identity(i.addr)
+    res = m.read_data(p.pid, ea)
+    seq = r.next_seq()
+    p._record(r, seq, OperationKind.READ, SyncRole.NONE, ea, res.value,
+              res.observed_write, res.stale)
+    p._set_reg(i.dst, res.value, res.taint)
+    p._stall(m.model.data_read_stall())
+    p.pc += 1
+
+
+def _do_write(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    ea = p._effective_addr(i.addr)
+    p._note_identity(i.addr)
+    value = p._value(i.src[0])
+    taint = p._taint_of(i.src[0]) or p.control_taint
+    seq = r.next_seq()
+    m.write_data(p.pid, ea, value, seq, taint)
+    p._record(r, seq, OperationKind.WRITE, SyncRole.NONE, ea, value, None, False)
+    p._stall(m.model.data_write_stall())
+    p.pc += 1
+
+
+def _do_test_and_set(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    ea = p._effective_addr(i.addr)
+    p._note_identity(i.addr)
+    flushed = m.pre_sync_read_flush(p.pid, SyncRole.ACQUIRE)
+    res = m.read_sync(p.pid, ea)
+    seq = r.next_seq()
+    p._record(r, seq, OperationKind.READ, SyncRole.ACQUIRE, ea, res.value,
+              res.observed_write, res.stale)
+    # The write half of a Test&Set is synchronization but NOT a release
+    # (section 2.1 of the paper): it communicates nothing about prior
+    # operations of this processor.
+    wseq = r.next_seq()
+    extra = m.write_sync(p.pid, ea, 1, wseq, p.control_taint, SyncRole.SYNC_ONLY)
+    p._record(r, wseq, OperationKind.WRITE, SyncRole.SYNC_ONLY, ea, 1, None, False)
+    p._set_reg(i.dst, res.value, res.taint)
+    p._stall(m.model.sync_read_stall(SyncRole.ACQUIRE, flushed)
+             + m.model.sync_write_stall(SyncRole.SYNC_ONLY, extra))
+    p.pc += 1
+
+
+def _do_cas(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    """Compare-and-swap: atomically read; if the value equals the
+    expected operand, write the new value and set dst to 1, else leave
+    memory untouched and set dst to 0.  Like Test&Set, the read half is
+    an acquire and the (conditional) write half communicates nothing
+    about prior operations — it is synchronization, not a release."""
+    ea = p._effective_addr(i.addr)
+    p._note_identity(i.addr)
+    expected = p._value(i.src[0])
+    new = p._value(i.src[1])
+    flushed = m.pre_sync_read_flush(p.pid, SyncRole.ACQUIRE)
+    res = m.read_sync(p.pid, ea)
+    seq = r.next_seq()
+    p._record(r, seq, OperationKind.READ, SyncRole.ACQUIRE, ea, res.value,
+              res.observed_write, res.stale)
+    stall = m.model.sync_read_stall(SyncRole.ACQUIRE, flushed)
+    success = res.value == expected
+    if success:
+        taint = p._taint_of(i.src[1]) or p.control_taint
+        wseq = r.next_seq()
+        extra = m.write_sync(p.pid, ea, new, wseq, taint, SyncRole.SYNC_ONLY)
+        p._record(r, wseq, OperationKind.WRITE, SyncRole.SYNC_ONLY, ea, new,
+                  None, False)
+        stall += m.model.sync_write_stall(SyncRole.SYNC_ONLY, extra)
+    taint = res.taint or p._taint_of(i.src[0])
+    p._set_reg(i.dst, 1 if success else 0, taint)
+    p._stall(stall)
+    p.pc += 1
+
+
+def _do_unset(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    ea = p._effective_addr(i.addr)
+    p._note_identity(i.addr)
+    seq = r.next_seq()
+    flushed = m.write_sync(p.pid, ea, 0, seq, p.control_taint, SyncRole.RELEASE)
+    p._record(r, seq, OperationKind.WRITE, SyncRole.RELEASE, ea, 0, None, False)
+    p._stall(m.model.sync_write_stall(SyncRole.RELEASE, flushed))
+    p.pc += 1
+
+
+def _do_acq_read(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    ea = p._effective_addr(i.addr)
+    p._note_identity(i.addr)
+    flushed = m.pre_sync_read_flush(p.pid, SyncRole.ACQUIRE)
+    res = m.read_sync(p.pid, ea)
+    seq = r.next_seq()
+    p._record(r, seq, OperationKind.READ, SyncRole.ACQUIRE, ea, res.value,
+              res.observed_write, res.stale)
+    p._set_reg(i.dst, res.value, res.taint)
+    p._stall(m.model.sync_read_stall(SyncRole.ACQUIRE, flushed))
+    p.pc += 1
+
+
+def _do_rel_write(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    ea = p._effective_addr(i.addr)
+    p._note_identity(i.addr)
+    value = p._value(i.src[0])
+    taint = p._taint_of(i.src[0]) or p.control_taint
+    seq = r.next_seq()
+    flushed = m.write_sync(p.pid, ea, value, seq, taint, SyncRole.RELEASE)
+    p._record(r, seq, OperationKind.WRITE, SyncRole.RELEASE, ea, value, None, False)
+    p._stall(m.model.sync_write_stall(SyncRole.RELEASE, flushed))
+    p.pc += 1
+
+
+def _do_fence(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    flushed = m.flush(p.pid)
+    p._stall(m.model.costs.drain_per_write * flushed)
+    p.pc += 1
+
+
+def _do_mov(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    p._set_reg(i.dst, p._value(i.src[0]), p._taint_of(i.src[0]))
+    p.pc += 1
+
+
+def _binop(fn):
+    def handler(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+        a, b = p._value(i.src[0]), p._value(i.src[1])
+        taint = p._taint_of(i.src[0]) or p._taint_of(i.src[1])
+        p._set_reg(i.dst, fn(a, b), taint)
+        p.pc += 1
+    return handler
+
+
+def _do_jmp(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    p.pc = p.thread.target_of(i.label)
+
+
+def _do_bz(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    if p._taint_of(i.src[0]):
+        p.control_taint = True
+    if p._value(i.src[0]) == 0:
+        p.pc = p.thread.target_of(i.label)
+    else:
+        p.pc += 1
+
+
+def _do_bnz(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    if p._taint_of(i.src[0]):
+        p.control_taint = True
+    if p._value(i.src[0]) != 0:
+        p.pc = p.thread.target_of(i.label)
+    else:
+        p.pc += 1
+
+
+def _do_halt(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    p.halted = True
+
+
+def _do_nop(p: Processor, i: Instruction, m: MemorySystem, r: Recorder) -> None:
+    p.pc += 1
+
+
+_DISPATCH = {
+    Opcode.READ: _do_read,
+    Opcode.WRITE: _do_write,
+    Opcode.TEST_AND_SET: _do_test_and_set,
+    Opcode.CAS: _do_cas,
+    Opcode.UNSET: _do_unset,
+    Opcode.ACQ_READ: _do_acq_read,
+    Opcode.REL_WRITE: _do_rel_write,
+    Opcode.FENCE: _do_fence,
+    Opcode.MOV: _do_mov,
+    Opcode.ADD: _binop(lambda a, b: a + b),
+    Opcode.SUB: _binop(lambda a, b: a - b),
+    Opcode.MUL: _binop(lambda a, b: a * b),
+    Opcode.CMP_EQ: _binop(lambda a, b: 1 if a == b else 0),
+    Opcode.CMP_LT: _binop(lambda a, b: 1 if a < b else 0),
+    Opcode.JMP: _do_jmp,
+    Opcode.BZ: _do_bz,
+    Opcode.BNZ: _do_bnz,
+    Opcode.HALT: _do_halt,
+    Opcode.NOP: _do_nop,
+}

@@ -1,0 +1,219 @@
+"""Deterministic execution record and replay.
+
+The paper argues (sections 1 and 5) that once races are detected, the
+sequentially consistent prefix lets ordinary debugging tools be applied
+to the part of the execution containing the first bugs.  The tool every
+race debugger leans on is *replay*: re-running the exact execution that
+exhibited the race.  This module captures the two sources of
+nondeterminism in the simulator — scheduler picks and voluntary write
+propagation — and replays them, reproducing the operation stream
+bit-for-bit (same schedule + same deliveries + deterministic processors
+=> same execution).
+
+Recordings serialize to JSON so an execution captured in production can
+be replayed in a later debugging session, alongside its trace file.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .memory import MemorySystem
+from .models.base import MemoryModel
+from .program import Program
+from .propagation import PropagationPolicy, RandomPropagation
+from .scheduler import RandomScheduler, Scheduler
+from .simulator import ExecutionResult, Simulator
+
+
+class ReplayError(RuntimeError):
+    """The recording does not match the program/model being replayed."""
+
+
+@dataclass
+class ExecutionRecording:
+    """Everything needed to reproduce one simulated execution."""
+
+    model_name: str
+    schedule: List[int] = field(default_factory=list)
+    deliveries: List[List[Tuple[int, int]]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "format": 1,
+            "model": self.model_name,
+            "schedule": self.schedule,
+            "deliveries": [
+                [[seq, reader] for seq, reader in step]
+                for step in self.deliveries
+            ],
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExecutionRecording":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != 1:
+            raise ReplayError(f"unsupported recording format {payload.get('format')!r}")
+        return cls(
+            model_name=payload["model"],
+            schedule=list(payload["schedule"]),
+            deliveries=[
+                [(seq, reader) for seq, reader in step]
+                for step in payload["deliveries"]
+            ],
+        )
+
+
+class _RecordingScheduler(Scheduler):
+    def __init__(self, inner: Scheduler, recording: ExecutionRecording) -> None:
+        self.inner = inner
+        self.recording = recording
+
+    def pick(self, runnable: Sequence[int], rng: random.Random) -> int:
+        pid = self.inner.pick(runnable, rng)
+        self.recording.schedule.append(pid)
+        return pid
+
+
+class _RecordingPropagation(PropagationPolicy):
+    """Wraps a policy; infers this step's deliveries by diffing the
+    pending-write remaining-reader sets around the inner step.  Flushes
+    happen inside processor steps, never here, so the diff is exactly
+    the voluntary deliveries."""
+
+    def __init__(
+        self, inner: PropagationPolicy, recording: ExecutionRecording
+    ) -> None:
+        self.inner = inner
+        self.recording = recording
+
+    def step(self, memory: MemorySystem, rng: random.Random) -> None:
+        before = {
+            pw.seq: set(pw.remaining) for pw in memory.pending_writes()
+        }
+        self.inner.step(memory, rng)
+        after = {
+            pw.seq: set(pw.remaining) for pw in memory.pending_writes()
+        }
+        delivered: List[Tuple[int, int]] = []
+        for seq, readers in before.items():
+            now = after.get(seq, set())
+            for reader in sorted(readers - now):
+                delivered.append((seq, reader))
+        self.recording.deliveries.append(delivered)
+
+
+class _ReplayScheduler(Scheduler):
+    def __init__(self, schedule: List[int]) -> None:
+        self.schedule = schedule
+        self._pos = 0
+
+    def pick(self, runnable: Sequence[int], rng: random.Random) -> int:
+        if self._pos >= len(self.schedule):
+            raise ReplayError(
+                f"recording exhausted after {self._pos} steps but the "
+                f"execution is still running (program/model mismatch?)"
+            )
+        pid = self.schedule[self._pos]
+        self._pos += 1
+        if pid not in runnable:
+            raise ReplayError(
+                f"step {self._pos - 1}: recorded pick P{pid} is not "
+                f"runnable (program/model mismatch?)"
+            )
+        return pid
+
+
+class _ReplayPropagation(PropagationPolicy):
+    def __init__(self, deliveries: List[List[Tuple[int, int]]]) -> None:
+        self.deliveries = deliveries
+        self._pos = 0
+
+    def step(self, memory: MemorySystem, rng: random.Random) -> None:
+        if self._pos >= len(self.deliveries):
+            raise ReplayError("recording exhausted mid-replay")
+        step = self.deliveries[self._pos]
+        self._pos += 1
+        if not step:
+            return
+        by_seq = {pw.seq: pw for pw in memory.pending_writes()}
+        for seq, reader in step:
+            pw = by_seq.get(seq)
+            if pw is None or reader not in pw.remaining:
+                raise ReplayError(
+                    f"recorded delivery (write seq {seq} -> P{reader}) "
+                    f"is not pending (program/model mismatch?)"
+                )
+            memory.propagate(pw, reader)
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+def record_execution(
+    program: Program,
+    model: MemoryModel,
+    scheduler: Optional[Scheduler] = None,
+    propagation: Optional[PropagationPolicy] = None,
+    seed: Optional[int] = 0,
+    max_steps: int = 200_000,
+) -> Tuple[ExecutionResult, ExecutionRecording]:
+    """Run *program* while capturing every nondeterministic choice."""
+    recording = ExecutionRecording(model_name=model.name)
+    sim = Simulator(
+        program,
+        model,
+        scheduler=_RecordingScheduler(scheduler or RandomScheduler(), recording),
+        propagation=_RecordingPropagation(
+            propagation or RandomPropagation(), recording
+        ),
+        seed=seed,
+    )
+    result = sim.run(max_steps=max_steps)
+    return result, recording
+
+
+def replay_execution(
+    program: Program,
+    model: MemoryModel,
+    recording: ExecutionRecording,
+    max_steps: int = 200_000,
+) -> ExecutionResult:
+    """Reproduce a recorded execution exactly.
+
+    Raises :class:`ReplayError` when the recording does not fit the
+    supplied program/model (e.g. the source was edited).
+    """
+    if model.name != recording.model_name:
+        raise ReplayError(
+            f"recording was made on {recording.model_name!r}, "
+            f"replaying on {model.name!r}"
+        )
+    sim = Simulator(
+        program,
+        model,
+        scheduler=_ReplayScheduler(recording.schedule),
+        propagation=_ReplayPropagation(recording.deliveries),
+        seed=0,
+    )
+    return sim.run(max_steps=min(max_steps, len(recording.schedule)))
+
+
+def executions_equal(a: ExecutionResult, b: ExecutionResult) -> bool:
+    """Structural equality of two executions' operation streams."""
+    if len(a.operations) != len(b.operations):
+        return False
+    for x, y in zip(a.operations, b.operations):
+        if (x.seq, x.proc, x.kind, x.role, x.addr, x.value,
+                x.observed_write, x.stale) != \
+           (y.seq, y.proc, y.kind, y.role, y.addr, y.value,
+                y.observed_write, y.stale):
+            return False
+    return a.final_memory == b.final_memory

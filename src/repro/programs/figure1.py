@@ -1,0 +1,49 @@
+"""The executions of Figure 1 of the paper, as programs.
+
+Figure 1a: two processors access x and y with no synchronization — the
+conflicting data operations are unordered by hb1, so every execution
+has data races on x and y.
+
+Figure 1b: P1 writes x and y and then Unsets s; P2 Test&Sets s (here:
+spins until the lock is observed free) and then reads y and x.  All
+conflicting data operations are ordered through the paired Unset ->
+Test&Set, so the program is data-race-free.  The lock starts *set* so
+that P2 can only proceed after P1's release — making every execution,
+not just the figure's, race-free.
+"""
+
+from __future__ import annotations
+
+from ..machine.program import Program, ProgramBuilder
+
+
+def figure1a_program() -> Program:
+    """Figure 1a: unsynchronized conflicting accesses (data races)."""
+    b = ProgramBuilder()
+    x = b.var("x")
+    y = b.var("y")
+    with b.thread() as t:  # P1
+        t.write(x, 1)
+        t.write(y, 1)
+    with b.thread() as t:  # P2
+        t.read(y)
+        t.read(x)
+    return b.build()
+
+
+def figure1b_program() -> Program:
+    """Figure 1b: the same accesses ordered by Unset/Test&Set pairing
+    (data-race-free)."""
+    b = ProgramBuilder()
+    x = b.var("x")
+    y = b.var("y")
+    s = b.var("s", initial=1)  # lock starts held by P1
+    with b.thread() as t:  # P1
+        t.write(x, 1)
+        t.write(y, 1)
+        t.unset(s)
+    with b.thread() as t:  # P2
+        t.lock(s)  # spins Test&Set until it observes P1's Unset
+        t.read(y)
+        t.read(x)
+    return b.build()

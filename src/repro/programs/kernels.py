@@ -1,0 +1,220 @@
+"""Workload kernels.
+
+Data-race-free kernels exercise the performance motivation of section
+2.2 (weak models outrun SC on programs whose data writes can buffer
+between synchronizations) and the "no races => report nothing, conclude
+SC" path; racy kernels exercise detection.
+"""
+
+from __future__ import annotations
+
+from ..machine.program import Program, ProgramBuilder
+
+
+def locked_counter_program(processors: int = 3, increments: int = 4) -> Program:
+    """Each processor increments a shared counter under a Test&Set lock
+    *increments* times.  Data-race-free."""
+    if processors < 1 or increments < 1:
+        raise ValueError("need at least one processor and one increment")
+    b = ProgramBuilder()
+    counter = b.var("counter")
+    lock = b.var("lock")
+    for _ in range(processors):
+        with b.thread() as t:
+            i = t.mov(0)
+            t.label("loop")
+            t.lock(lock)
+            value = t.read(counter)
+            t.add(value, 1, dst=value)
+            t.write(counter, value)
+            t.unlock(lock)
+            t.add(i, 1, dst=i)
+            more = t.cmp_lt(i, increments)
+            t.jump_if_nonzero(more, "loop")
+    return b.build()
+
+
+def racy_counter_program(processors: int = 3, increments: int = 4) -> Program:
+    """The same counter with the lock omitted — every pair of increment
+    sequences races (lost updates on SC, stale reads on weak models)."""
+    if processors < 1 or increments < 1:
+        raise ValueError("need at least one processor and one increment")
+    b = ProgramBuilder()
+    counter = b.var("counter")
+    for _ in range(processors):
+        with b.thread() as t:
+            i = t.mov(0)
+            t.label("loop")
+            value = t.read(counter)
+            t.add(value, 1, dst=value)
+            t.write(counter, value)
+            t.add(i, 1, dst=i)
+            more = t.cmp_lt(i, increments)
+            t.jump_if_nonzero(more, "loop")
+    return b.build()
+
+
+def producer_consumer_program(items: int = 8) -> Program:
+    """P0 fills a buffer slot then release-writes a flag; P1
+    acquire-spins on the flag then reads the slot.  Data-race-free via
+    release/acquire flag pairing (the DRF1/RCsc-friendly idiom)."""
+    if items < 1:
+        raise ValueError("need at least one item")
+    b = ProgramBuilder()
+    buffer = b.array("buffer", items)
+    flag = b.var("flag")  # number of items published
+    consumed = b.var("consumed")  # consumer's checksum of what it read
+    with b.thread() as t:  # producer
+        for i in range(items):
+            t.write(b.at(buffer, i), 10 + i)
+            t.release_write(flag, i + 1)
+    with b.thread() as t:  # consumer
+        total = t.mov(0)
+        for i in range(items):
+            t.spin_until_ge(flag, i + 1)
+            value = t.read(b.at(buffer, i))
+            t.add(total, value, dst=total)
+        t.write(consumed, total)
+    return b.build()
+
+
+def independent_work_program(processors: int = 4, cells: int = 8) -> Program:
+    """Each processor reads and writes its own disjoint region; no
+    conflicts at all, hence trivially data-race-free."""
+    if processors < 1 or cells < 1:
+        raise ValueError("need at least one processor and one cell")
+    b = ProgramBuilder()
+    region = b.array("region", processors * cells)
+    for p in range(processors):
+        with b.thread() as t:
+            for i in range(cells):
+                addr = b.at(region, p * cells + i)
+                value = t.read(addr)
+                t.add(value, p + 1, dst=value)
+                t.write(addr, value)
+    return b.build()
+
+
+def single_race_program() -> Program:
+    """The minimal data race: one write, one conflicting read, no
+    synchronization anywhere."""
+    b = ProgramBuilder()
+    x = b.var("x")
+    with b.thread() as t:
+        t.write(x, 1)
+    with b.thread() as t:
+        t.read(x)
+    return b.build()
+
+
+def cas_counter_program(processors: int = 3, increments: int = 3) -> Program:
+    """Lock-free shared counter: acquire-read, compute, CAS-retry.
+
+    Every access to the counter is a synchronization operation (the
+    acquire read and the CAS), so the program has no data operations on
+    shared state at all — trivially data-race-free — yet needs no lock
+    and never loses an update (the CAS fails and retries instead)."""
+    if processors < 1 or increments < 1:
+        raise ValueError("need at least one processor and one increment")
+    b = ProgramBuilder()
+    counter = b.var("counter")
+    for _ in range(processors):
+        with b.thread() as t:
+            i = t.mov(0)
+            t.label("next")
+            t.label("retry")
+            seen = t.acquire_read(counter)
+            bumped = t.add(seen, 1)
+            ok = t.cas(counter, seen, bumped)
+            t.jump_if_zero(ok, "retry")
+            t.add(i, 1, dst=i)
+            more = t.cmp_lt(i, increments)
+            t.jump_if_nonzero(more, "next")
+    return b.build()
+
+
+def cas_slot_allocator_program(processors: int = 3) -> Program:
+    """Lock-free slot allocation then private data work.
+
+    Each processor CAS-claims a unique slot index from ``next`` and
+    data-writes its payload into the claimed slot.  The claims are
+    synchronization; the payload writes land on disjoint slots, so the
+    program is data-race-free without any lock or release/acquire
+    pairing on the data."""
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    b = ProgramBuilder()
+    nxt = b.var("next")
+    slots = b.array("slots", processors)
+    for p in range(processors):
+        with b.thread() as t:
+            t.label("claim")
+            seen = t.acquire_read(nxt)
+            bumped = t.add(seen, 1)
+            ok = t.cas(nxt, seen, bumped)
+            t.jump_if_zero(ok, "claim")
+            t.write(b.at(slots, seen), 100 + p)  # my unique slot
+    return b.build()
+
+
+def region_then_lock_program(
+    processors: int = 3, cells: int = 8, rounds: int = 3
+) -> Program:
+    """Each round, a processor writes its private region (buffered data
+    writes) and then acquires a shared lock to bump a summary counter.
+
+    This is the access pattern where RCsc/DRF1 beat WO/DRF0: at the
+    lock acquire the region writes are still outstanding, and WO's
+    flush-at-every-sync rule stalls the acquire on them while
+    RCsc defers the drain to the release.  Data-race-free (regions are
+    disjoint; the summary is locked)."""
+    if processors < 1 or cells < 1 or rounds < 1:
+        raise ValueError("processors, cells and rounds must be positive")
+    b = ProgramBuilder()
+    region = b.array("region", processors * cells)
+    summary = b.var("summary")
+    lock = b.var("lock")
+    for p in range(processors):
+        with b.thread() as t:
+            for r in range(rounds):
+                for i in range(cells):
+                    t.write(b.at(region, p * cells + i), r * 100 + i)
+                t.lock(lock)
+                value = t.read(summary)
+                t.add(value, 1, dst=value)
+                t.write(summary, value)
+                t.unlock(lock)
+    return b.build()
+
+
+def fanin_barrier_program(workers: int = 3, cells: int = 4) -> Program:
+    """Fork-join via flags: each worker writes its slice and
+    release-writes a done flag; the master acquire-spins on all flags,
+    combines results, then release-writes ``go``; workers acquire-spin
+    ``go`` and read the combined result.  Data-race-free."""
+    if workers < 1 or cells < 1:
+        raise ValueError("need at least one worker and one cell")
+    b = ProgramBuilder()
+    data = b.array("data", workers * cells)
+    done = b.array("done", workers)
+    result = b.var("result")
+    go = b.var("go")
+
+    with b.thread() as t:  # master
+        total = t.mov(0)
+        for w in range(workers):
+            t.spin_until_eq(b.at(done, w), 1)
+            for i in range(cells):
+                value = t.read(b.at(data, w * cells + i))
+                t.add(total, value, dst=total)
+        t.write(result, total)
+        t.release_write(go, 1)
+
+    for w in range(workers):
+        with b.thread() as t:
+            for i in range(cells):
+                t.write(b.at(data, w * cells + i), w + 1)
+            t.release_write(b.at(done, w), 1)
+            t.spin_until_eq(go, 1)
+            t.read(result)
+    return b.build()

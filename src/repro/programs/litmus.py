@@ -1,0 +1,238 @@
+"""Litmus tests: small programs that separate memory models.
+
+The classic *store buffering* shape (the core of Dekker's mutual
+exclusion attempt) is the cleanest demonstration of why data races and
+weak models don't mix: each processor raises its own flag with a data
+write and then reads the other's flag.  Under sequential consistency at
+most one processor can observe the other's flag still down; on a weak
+machine both data writes can sit in store buffers while both reads
+return the stale 0, and both processors enter the "critical" region.
+
+The flags are deliberately *data* operations — the program is not
+data-race-free, so the weak models owe it nothing (section 2.2).  The
+synchronized variant replaces the discipline with a Test&Set lock and
+is immune on every model.
+"""
+
+from __future__ import annotations
+
+from ..machine.models.base import MemoryModel
+from ..machine.program import Program, ProgramBuilder
+from ..machine.propagation import (
+    HomeDirectoryPropagation,
+    StubbornPropagation,
+)
+from ..machine.scheduler import ScriptedScheduler
+from ..machine.simulator import ExecutionResult, Simulator
+
+
+def store_buffering_program() -> Program:
+    """Dekker's entry protocol with data-operation flags (racy).
+
+    Each processor that observes the other's flag at 0 increments the
+    shared ``critical`` counter; ``critical == 2`` afterwards means
+    mutual exclusion was violated (impossible under SC).
+    """
+    b = ProgramBuilder()
+    flag0 = b.var("flag0")
+    flag1 = b.var("flag1")
+    critical = b.array("critical", 2)
+
+    def contender(t, mine, theirs, slot):
+        # No flag reset afterwards: with a reset, both-enter would be
+        # sequentially reachable (one contender finishes completely
+        # before the other starts).  Without it, both-enter is exactly
+        # the SC-forbidden "both reads returned 0" outcome.
+        t.write(mine, 1)
+        other = t.read(theirs)
+        t.jump_if_nonzero(other, "out")
+        t.write(b.at(critical, slot), 1)  # inside the critical section
+        t.label("out")
+
+    with b.thread() as t:
+        contender(t, flag0, flag1, 0)
+    with b.thread() as t:
+        contender(t, flag1, flag0, 1)
+    return b.build()
+
+
+def locked_mutual_exclusion_program() -> Program:
+    """The same critical sections guarded by a Test&Set lock
+    (data-race-free; exclusive on every model)."""
+    b = ProgramBuilder()
+    lock = b.var("lock")
+    inside = b.var("inside")
+    overlap = b.var("overlap")
+    for _ in range(2):
+        with b.thread() as t:
+            t.lock(lock)
+            seen = t.read(inside)
+            t.write(inside, 1)
+            bad = t.cmp_eq(seen, 1)
+            t.jump_if_zero(bad, "fine")
+            t.write(overlap, 1)     # someone else was inside: violation
+            t.label("fine")
+            t.write(inside, 0)
+            t.unlock(lock)
+    return b.build()
+
+
+def both_entered(result: ExecutionResult) -> bool:
+    """Did both contenders enter the critical region?"""
+    base = result.symbols.addr_of("critical")
+    return (
+        result.final_memory[base] == 1 and result.final_memory[base + 1] == 1
+    )
+
+
+def run_store_buffering_witness(model: MemoryModel) -> ExecutionResult:
+    """Drive the store-buffering program into the both-enter outcome
+    (when the model permits it): both flag writes buffer, both reads
+    run before any propagation."""
+    program = store_buffering_program()
+    # P0 write flag0; P1 write flag1; P0 read flag1; P1 read flag0; rest.
+    return Simulator(
+        program,
+        model,
+        scheduler=ScriptedScheduler([0, 1, 0, 1]),
+        propagation=StubbornPropagation(),
+        seed=0,
+    ).run()
+
+
+def peterson_program() -> Program:
+    """Peterson's mutual-exclusion algorithm with *data* operations.
+
+    The textbook two-thread lock: raise my flag, yield the turn, spin
+    while the other's flag is up and it's their turn.  Its correctness
+    proof assumes sequential consistency; the flags and turn are plain
+    data here (no Test&Set, no release/acquire), so the program is not
+    data-race-free and the weak models owe it nothing.  ``overlap``
+    becomes 1 if both threads are ever inside the critical section —
+    impossible under SC (exhaustively checkable), reachable on every
+    weak model.
+    """
+    b = ProgramBuilder()
+    flags = b.array("flag", 2)
+    turn = b.var("turn")
+    busy = b.var("busy")       # the monitor, not part of the protocol
+    overlap = b.var("overlap")
+
+    for me in range(2):
+        other = 1 - me
+        with b.thread() as t:
+            t.write(b.at(flags, me), 1)   # flag[me] = 1
+            t.write(turn, other)          # turn = other
+            t.label("spin")
+            their_flag = t.read(b.at(flags, other))
+            t.jump_if_zero(their_flag, "enter")
+            whose_turn = t.read(turn)
+            is_theirs = t.cmp_eq(whose_turn, other)
+            t.jump_if_nonzero(is_theirs, "spin")
+            t.label("enter")
+            # Critical section, instrumented with a CAS-based occupancy
+            # monitor: CAS is synchronization, hence reliable even when
+            # the protocol's own data reads were stale.  (A CAS write,
+            # like a Test&Set's, is not a release — the monitor adds no
+            # happens-before ordering to the protocol under test.)
+            got = t.cas(busy, 0, 1)
+            t.jump_if_nonzero(got, "sole")
+            t.write(overlap, 1)           # somebody else is inside!
+            t.label("sole")
+            t.cas(busy, 1, 0)             # leave
+            t.write(b.at(flags, me), 0)   # flag[me] = 0
+    return b.build()
+
+
+def run_peterson_witness(model: MemoryModel) -> ExecutionResult:
+    """Drive Peterson into a mutual-exclusion violation (when the model
+    permits): both flag writes buffer, both threads read the other's
+    flag as 0 and walk straight into the critical section together."""
+    program = peterson_program()
+    # Both threads raise flags (buffered) and pass the spin check on
+    # stale reads BEFORE either reaches the (flushing) monitor CAS;
+    # entry is decided at the branch, so the violation is already
+    # locked in when the monitor observes it.
+    script = [0, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1]
+    return Simulator(
+        program, model,
+        scheduler=ScriptedScheduler(script),
+        propagation=StubbornPropagation(),
+        seed=0,
+    ).run()
+
+
+def iriw_program() -> Program:
+    """Independent Reads of Independent Writes.
+
+    W0 writes x; W1 writes y; reader R0 reads x then y, reader R1 reads
+    y then x.  The forbidden-under-SC outcome is the two readers seeing
+    the two writes in *opposite* orders (R0: x=1,y=0 while R1: y=1,x=0)
+    — it requires the writes to be observed in different orders by
+    different processors, which per-reader visibility permits but any
+    single total order cannot.  Racy by construction (no sync at all).
+    """
+    b = ProgramBuilder()
+    x = b.var("x")
+    y = b.var("y")
+    obs = b.array("obs", 4)  # r0x, r0y, r1y, r1x
+    with b.thread() as t:  # W0
+        t.write(x, 1)
+    with b.thread() as t:  # W1
+        t.write(y, 1)
+    with b.thread() as t:  # R0: x then y
+        vx = t.read(x)
+        vy = t.read(y)
+        t.write(b.at(obs, 0), vx)
+        t.write(b.at(obs, 1), vy)
+    with b.thread() as t:  # R1: y then x
+        vy = t.read(y)
+        vx = t.read(x)
+        t.write(b.at(obs, 2), vy)
+        t.write(b.at(obs, 3), vx)
+    return b.build()
+
+
+def iriw_forbidden_outcome(result: ExecutionResult) -> bool:
+    """True iff the readers observed the writes in opposite orders."""
+    base = result.symbols.addr_of("obs")
+    r0x, r0y, r1y, r1x = (result.final_memory[base + i] for i in range(4))
+    return r0x == 1 and r0y == 0 and r1y == 1 and r1x == 0
+
+
+def run_iriw_witness(model: MemoryModel) -> ExecutionResult:
+    """Drive IRIW into the forbidden outcome when the model allows it:
+    each write propagates to its 'near' reader before the far one."""
+    program = iriw_program()
+    x = program.symbols.addr_of("x")
+    y = program.symbols.addr_of("y")
+    # Homes: x near R0 (node 2), y near R1 (node 3); writers far.
+    homes = {x: 2, y: 3}
+    dist = [
+        [0, 9, 1, 9],
+        [9, 0, 9, 1],
+        [1, 9, 0, 9],
+        [9, 1, 9, 0],
+    ]
+    policy = HomeDirectoryPropagation(lambda a: homes.get(a, 0), dist)
+    # W0, W1 write; near deliveries land; readers read; far ones later.
+    script = [0, 1, 2, 2, 3, 3, 2, 2, 2, 2, 3, 3, 3, 3]
+    return Simulator(
+        program, model,
+        scheduler=ScriptedScheduler(script),
+        propagation=policy, seed=0,
+    ).run()
+
+
+def count_sb_violations(model: MemoryModel, seeds: int = 50) -> int:
+    """How many random schedules drive both contenders into the
+    critical region under *model* (0 under SC, by the SB argument)."""
+    violations = 0
+    program = store_buffering_program()
+    for seed in range(seeds):
+        result = Simulator(
+            program, model, propagation=StubbornPropagation(), seed=seed
+        ).run()
+        if both_entered(result):
+            violations += 1
+    return violations

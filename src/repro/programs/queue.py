@@ -1,0 +1,123 @@
+"""A real bounded work queue — the Figure 2 idea at production scale.
+
+The paper's Figure 2 uses a one-slot queue; this kernel is the full
+version: a lock-protected circular buffer with head/tail indices,
+multiple producers enqueuing work-region descriptors and multiple
+consumers dequeuing and processing them.  Used to exercise the
+detection stack on a nontrivial, loopy, pointer-chasing program:
+
+* the locked variant is data-race-free under every model and its FIFO
+  accounting must balance exactly;
+* the buggy variant omits the Test&Set around the queue manipulation,
+  reproducing the Figure 2 failure mode at scale (lost or duplicated
+  descriptors, region overlap, race cascades).
+"""
+
+from __future__ import annotations
+
+from ..machine.program import Program, ProgramBuilder, ThreadBuilder
+
+
+def _emit_enqueue(t: ThreadBuilder, b: ProgramBuilder, ctx, value, locked: bool):
+    """enqueue(value): buf[tail % cap] = value; tail += 1; count += 1."""
+    buf, head, tail, count, lock, cap = ctx
+    if locked:
+        t.lock(lock)
+    tl = t.read(tail)
+    # slot = tail - (tail >= cap ? cap : 0): avoid needing MOD by
+    # bounding total enqueues below 2*cap in the generated programs.
+    wrapped = t.cmp_lt(tl, cap)
+    t.jump_if_nonzero(wrapped, f"enq_ok_{id(value) & 0xffff}_{len(t._instructions)}")
+    t.sub(tl, cap, dst=tl)
+    t.label(f"enq_ok_{id(value) & 0xffff}_{len(t._instructions) - 2}")
+    t.write(b.at(buf, tl), value)
+    tl2 = t.read(tail)
+    t.add(tl2, 1, dst=tl2)
+    t.write(tail, tl2)
+    c = t.read(count)
+    t.add(c, 1, dst=c)
+    t.write(count, c)
+    if locked:
+        t.unlock(lock)
+
+
+def bounded_queue_program(
+    producers: int = 2,
+    consumers: int = 2,
+    items_per_producer: int = 3,
+    capacity: int = 16,
+    locked: bool = True,
+) -> Program:
+    """Build the multi-producer/multi-consumer bounded queue program.
+
+    Each producer enqueues ``items_per_producer`` distinct descriptors;
+    each consumer repeatedly dequeues until it has consumed its share
+    (total items are divided evenly; ``producers * items_per_producer``
+    must be divisible by ``consumers``).  Every consumer accumulates a
+    checksum of the descriptors it dequeued into ``sum[c]``.
+    """
+    total = producers * items_per_producer
+    if total % consumers:
+        raise ValueError("total items must divide evenly among consumers")
+    if total > capacity:
+        raise ValueError("capacity must hold all items (no blocking enqueue)")
+    share = total // consumers
+
+    b = ProgramBuilder()
+    buf = b.array("buf", capacity)
+    head = b.var("head")
+    tail = b.var("tail")
+    count = b.var("count")
+    lock = b.var("qlock")
+    sums = b.array("sum", consumers)
+    ctx = (buf, head, tail, count, lock, capacity)
+
+    for p in range(producers):
+        with b.thread() as t:
+            for i in range(items_per_producer):
+                descriptor = 100 * (p + 1) + i
+                _emit_enqueue(t, b, ctx, descriptor, locked)
+
+    for c in range(consumers):
+        with b.thread() as t:
+            taken = t.mov(0)
+            checksum = t.mov(0)
+            t.label("again")
+            if locked:
+                t.lock(lock)
+            n = t.read(count)
+            t.jump_if_zero(n, "empty")
+            hd = t.read(head)
+            wrapped = t.cmp_lt(hd, capacity)
+            t.jump_if_nonzero(wrapped, "deq_ok")
+            t.sub(hd, capacity, dst=hd)
+            t.label("deq_ok")
+            item = t.read(b.at(buf, hd))
+            hd2 = t.read(head)
+            t.add(hd2, 1, dst=hd2)
+            t.write(head, hd2)
+            t.sub(n, 1, dst=n)
+            t.write(count, n)
+            if locked:
+                t.unlock(lock)
+            t.add(checksum, item, dst=checksum)
+            t.add(taken, 1, dst=taken)
+            t.jump("check")
+            t.label("empty")
+            if locked:
+                t.unlock(lock)
+            t.label("check")
+            done = t.cmp_lt(taken, share)
+            t.jump_if_nonzero(done, "again")
+            t.write(b.at(sums, c), checksum)
+
+    return b.build()
+
+
+def expected_checksum_total(producers: int, items_per_producer: int) -> int:
+    """Sum of all descriptors ever enqueued."""
+    return sum(
+        100 * (p + 1) + i
+        for p in range(producers)
+        for i in range(items_per_producer)
+    )

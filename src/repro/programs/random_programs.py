@@ -1,0 +1,161 @@
+"""Seeded random program generation for property-based testing.
+
+Two families:
+
+* :func:`random_drf_program` — every shared location is protected by an
+  assigned Test&Set lock and every access happens inside that lock's
+  critical section, so the program is data-race-free by construction
+  (the discipline the weak models are designed for).
+* :func:`random_racy_program` — the same generator, but each access
+  skips its lock with probability ``race_prob``, seeding data races at
+  random places.
+
+Programs are loop-free apart from lock spins, so they always terminate
+under any fair scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..machine.program import Program, ProgramBuilder
+
+
+def _generate(
+    seed: int,
+    processors: int,
+    ops_per_thread: int,
+    shared_vars: int,
+    race_prob: float,
+    private_prob: float = 0.3,
+    cas_prob: float = 0.15,
+) -> Program:
+    rng = random.Random(seed)
+    b = ProgramBuilder()
+    shared = [b.var(f"v{i}") for i in range(shared_vars)]
+    locks = [b.var(f"lock{i}") for i in range(shared_vars)]
+    counters = [b.var(f"c{i}") for i in range(shared_vars)]
+    privates = [b.var(f"priv{p}") for p in range(processors)]
+
+    for p in range(processors):
+        with b.thread() as t:
+            for op_index in range(ops_per_thread):
+                roll = rng.random()
+                if roll < private_prob:
+                    # Thread-private accesses never race.
+                    if rng.random() < 0.5:
+                        t.read(privates[p])
+                    else:
+                        t.write(privates[p], rng.randrange(100))
+                    continue
+                if roll < private_prob + cas_prob:
+                    # Lock-free CAS-retry increment of a dedicated
+                    # counter: every access is synchronization, so this
+                    # never introduces a data race.
+                    idx = rng.randrange(shared_vars)
+                    label = f"cas_{p}_{op_index}"
+                    t.label(label)
+                    seen = t.acquire_read(counters[idx])
+                    bumped = t.add(seen, 1)
+                    ok = t.cas(counters[idx], seen, bumped)
+                    t.jump_if_zero(ok, label)
+                    continue
+                idx = rng.randrange(shared_vars)
+                locked = rng.random() >= race_prob
+                if locked:
+                    t.lock(locks[idx])
+                if rng.random() < 0.5:
+                    value = t.read(shared[idx])
+                    t.add(value, 1, dst=value)
+                    t.write(shared[idx], value)
+                else:
+                    t.write(shared[idx], rng.randrange(100))
+                if locked:
+                    t.unlock(locks[idx])
+    return b.build()
+
+
+def random_drf_program(
+    seed: int,
+    processors: int = 3,
+    ops_per_thread: int = 6,
+    shared_vars: int = 3,
+) -> Program:
+    """A random data-race-free program (all shared access locked)."""
+    return _generate(
+        seed,
+        processors=processors,
+        ops_per_thread=ops_per_thread,
+        shared_vars=shared_vars,
+        race_prob=0.0,
+    )
+
+
+def random_racy_program(
+    seed: int,
+    processors: int = 3,
+    ops_per_thread: int = 6,
+    shared_vars: int = 3,
+    race_prob: float = 0.4,
+) -> Program:
+    """A random program in which each shared access skips its lock with
+    probability *race_prob* (so races are likely but not certain)."""
+    if not 0.0 < race_prob <= 1.0:
+        raise ValueError("race_prob must be in (0, 1]")
+    return _generate(
+        seed,
+        processors=processors,
+        ops_per_thread=ops_per_thread,
+        shared_vars=shared_vars,
+        race_prob=race_prob,
+    )
+
+
+def random_flagsync_program(
+    seed: int,
+    stages: int = 3,
+    writes_per_stage: int = 3,
+) -> Program:
+    """A random *flag-synchronized* DRF program (no locks at all).
+
+    A pipeline of processors: stage *i* writes a random subset of its
+    private output cells, then release-writes ``flag[i] = 1``; stage
+    *i+1* acquire-spins on ``flag[i]`` before reading its predecessor's
+    cells.  Data-race-free purely through release/acquire pairing — the
+    discipline that distinguishes RCsc/DRF1 from WO/DRF0 — with no
+    Test&Set anywhere.
+    """
+    if stages < 2 or writes_per_stage < 1:
+        raise ValueError("need at least two stages and one write per stage")
+    rng = random.Random(seed)
+    b = ProgramBuilder()
+    cells = b.array("cells", stages * writes_per_stage)
+    flags = b.array("flags", stages)
+
+    for stage in range(stages):
+        with b.thread() as t:
+            if stage > 0:
+                t.spin_until_eq(b.at(flags, stage - 1), 1)
+                total = t.mov(0)
+                for i in range(writes_per_stage):
+                    if rng.random() < 0.8:
+                        value = t.read(
+                            b.at(cells, (stage - 1) * writes_per_stage + i)
+                        )
+                        t.add(total, value, dst=total)
+            for i in range(writes_per_stage):
+                t.write(
+                    b.at(cells, stage * writes_per_stage + i),
+                    rng.randrange(100),
+                )
+            t.release_write(b.at(flags, stage), 1)
+    return b.build()
+
+
+def random_program_suite(
+    base_seed: int, count: int, racy: bool, **kwargs
+) -> List[Program]:
+    """A deterministic batch of generated programs."""
+    make = random_racy_program if racy else random_drf_program
+    return [make(base_seed + i, **kwargs) for i in range(count)]

@@ -1,0 +1,177 @@
+"""The Figure 2 work-queue program, buggy and fixed.
+
+The paper's motivating example (Figure 2a): P1 enqueues the starting
+address of a region for P2 and resets the ``QEmpty`` flag; P2 dequeues
+and works on its region; P3 independently works on region 0..p3_len-1.
+The queue operations were *meant* to be inside Test&Set/Unset critical
+sections, but "due to an oversight, the Test&Set instructions were
+omitted" — the buggy variant.  On a weak system the new value of
+``QEmpty`` can reach P2 before the new value of ``Q``; P2 then dequeues
+the stale address 37 and its region overlaps P3's, producing the
+figure's cascade of non-sequentially-consistent data races.
+
+:func:`figure2_weak_setup` packages the exact scheduler script and
+propagation holdback that deterministically reproduce Figure 2b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.models.base import MemoryModel
+from ..machine.program import Program, ProgramBuilder, ThreadBuilder
+from ..machine.propagation import HoldbackPropagation, HomeDirectoryPropagation
+from ..machine.scheduler import ScriptedScheduler
+from ..machine.simulator import ExecutionResult, Simulator
+
+
+@dataclass(frozen=True)
+class WorkQueueParams:
+    """Geometry of the work-queue example.
+
+    Defaults mirror the paper: the stale queue value is 37, P1 enqueues
+    100, and both worker regions are 100 locations long, so the stale
+    dequeue overlaps P3's region on locations 37..99.
+    """
+
+    stale_addr: int = 37
+    enqueued_addr: int = 100
+    p3_start: int = 0
+    region_len: int = 100
+    work_len: int = 100
+
+    @property
+    def region_size(self) -> int:
+        return max(
+            self.enqueued_addr + self.work_len,
+            self.stale_addr + self.work_len,
+            self.p3_start + self.region_len,
+        )
+
+
+def _emit_region_work(
+    t: ThreadBuilder, b: ProgramBuilder, region: int, start, count: int, tag: int
+) -> None:
+    """read-modify-write each of *count* consecutive region cells."""
+    base = t.mov(start) if isinstance(start, int) else start
+    i = t.mov(0)
+    loop = f"work_{tag}"
+    t.label(loop)
+    cur = t.add(base, i)
+    old = t.read(b.at(region, cur))
+    new = t.add(old, 1)
+    t.write(b.at(region, cur), new)
+    t.add(i, 1, dst=i)
+    more = t.cmp_lt(i, count)
+    t.jump_if_nonzero(more, loop)
+
+
+def _build(params: WorkQueueParams, with_locks: bool) -> Program:
+    b = ProgramBuilder()
+    q = b.var("Q", initial=params.stale_addr)  # old queue contents: 37
+    qempty = b.var("QEmpty", initial=1)
+    s = b.var("S")  # the critical-section lock (free)
+    region = b.array("region", params.region_size)
+
+    with b.thread() as t:  # P1: enqueue work for P2
+        if with_locks:
+            t.lock(s)
+        t.write(q, params.enqueued_addr)  # Enqueue(addr)
+        t.write(qempty, 0)                # QEmpty := False
+        t.unset(s)                        # Unset(S)
+
+    with b.thread() as t:  # P2: dequeue and work
+        if with_locks:
+            t.lock(s)
+        qe = t.read(qempty)               # if (QEmpty = False) then
+        t.jump_if_nonzero(qe, "no_work")
+        addr = t.read(q)                  # addr := Dequeue()
+        t.unset(s)                        # Unset(S)
+        _emit_region_work(t, b, region, addr, params.work_len, tag=2)
+        t.jump("done")
+        t.label("no_work")
+        t.unset(s)
+        t.label("done")
+
+    with b.thread() as t:  # P3: independent region work
+        _emit_region_work(
+            t, b, region, params.p3_start, params.region_len, tag=3
+        )
+
+    return b.build()
+
+
+def buggy_workqueue_program(params: WorkQueueParams = WorkQueueParams()) -> Program:
+    """Figure 2a with the Test&Set instructions omitted (not DRF)."""
+    return _build(params, with_locks=False)
+
+
+def fixed_workqueue_program(params: WorkQueueParams = WorkQueueParams()) -> Program:
+    """The corrected program: queue accesses inside Test&Set/Unset
+    critical sections (data-race-free up to the disjoint regions)."""
+    return _build(params, with_locks=True)
+
+
+def figure2_weak_setup(
+    model: MemoryModel, params: WorkQueueParams = WorkQueueParams()
+) -> Simulator:
+    """A simulator configured to reproduce Figure 2b deterministically.
+
+    The scheduler script runs P1 through its two data writes, lets P2
+    read ``QEmpty`` and dequeue before P1's Unset, and only then lets
+    P1 release; the propagation policy delivers every buffered write
+    eagerly *except* writes to ``Q``, which wait for the flush — so P2
+    observes the new ``QEmpty`` but the stale ``Q``.
+    """
+    program = buggy_workqueue_program(params)
+    q_addr = program.symbols.addr_of("Q")
+    # P1: write Q, write QEmpty (2 instructions); P2: read QEmpty,
+    # branch, read Q (3 instructions); P1: Unset (1); then round-robin.
+    script = [0, 0, 1, 1, 1, 0]
+    return Simulator(
+        program,
+        model,
+        scheduler=ScriptedScheduler(script),
+        propagation=HoldbackPropagation([q_addr]),
+        seed=0,
+    )
+
+
+def run_figure2(model: MemoryModel, params: WorkQueueParams = WorkQueueParams()) -> ExecutionResult:
+    """Run the deterministic Figure 2b reproduction to completion."""
+    return figure2_weak_setup(model, params).run()
+
+
+def figure2_numa_setup(
+    model: MemoryModel, params: WorkQueueParams = WorkQueueParams()
+) -> Simulator:
+    """Figure 2b from physics instead of fiat.
+
+    Where :func:`figure2_weak_setup` withholds ``Q``'s write by policy,
+    this variant derives the same reordering from a NUMA topology: a
+    directory protocol routes each write through its location's home
+    node, and ``QEmpty`` is homed next to P2 while ``Q`` is homed on a
+    distant node — so the new ``QEmpty`` overtakes the new ``Q``
+    entirely deterministically.  P3 runs a few steps while the
+    ``QEmpty`` update is in flight.
+    """
+    program = buggy_workqueue_program(params)
+    q_addr = program.symbols.addr_of("Q")
+    qe_addr = program.symbols.addr_of("QEmpty")
+
+    def home_of(addr: int) -> int:
+        if addr == q_addr:
+            return 2   # Q's home: far from P2
+        if addr == qe_addr:
+            return 1   # QEmpty's home: P2's own node
+        return 0
+
+    dist = [[0, 1, 8], [1, 0, 8], [8, 8, 0]]
+    script = [0, 0, 2, 2, 2, 2, 1, 1, 1, 0]
+    return Simulator(
+        program,
+        model,
+        scheduler=ScriptedScheduler(script),
+        propagation=HomeDirectoryPropagation(home_of, dist),
+        seed=0,
+    )

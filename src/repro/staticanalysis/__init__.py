@@ -1,0 +1,29 @@
+"""Compile-time race detection substrate (section 1 of the paper:
+static techniques "can be applied to programs for weak systems
+unchanged"): per-thread CFGs, must-hold lockset dataflow, and
+conservative static data race reporting."""
+
+from .cfg import ControlFlowGraph, basic_blocks, build_cfg
+from .lockset import LockState, compute_locksets
+from .races import (
+    AddressRegion,
+    StaticAccess,
+    StaticRace,
+    StaticReport,
+    collect_accesses,
+    find_static_races,
+)
+
+__all__ = [
+    "ControlFlowGraph",
+    "basic_blocks",
+    "build_cfg",
+    "LockState",
+    "compute_locksets",
+    "AddressRegion",
+    "StaticAccess",
+    "StaticRace",
+    "StaticReport",
+    "collect_accesses",
+    "find_static_races",
+]

@@ -1,0 +1,103 @@
+"""Control-flow graphs over thread programs.
+
+The static race detection of section 1 of the paper ([BaK89], [Tay83a])
+analyzes program *text*; the first step is a CFG per thread.  Nodes are
+instruction indices; edges follow fall-through, jumps, and both branch
+outcomes.  Basic blocks are derived for the dataflow pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..machine.isa import Opcode
+from ..machine.program import ThreadProgram
+
+#: opcodes that never fall through
+_NO_FALLTHROUGH = {Opcode.JMP, Opcode.HALT}
+#: opcodes with a label target
+_HAS_TARGET = {Opcode.JMP, Opcode.BZ, Opcode.BNZ}
+
+
+@dataclass
+class ControlFlowGraph:
+    """Per-instruction CFG of one thread.
+
+    ``successors[i]`` lists the instruction indices reachable from
+    instruction ``i`` in one step; ``len(thread)`` is used as the
+    virtual exit node.
+    """
+
+    thread: ThreadProgram
+    successors: Dict[int, List[int]] = field(default_factory=dict)
+    predecessors: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def exit_node(self) -> int:
+        return len(self.thread)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.thread) + 1  # + exit
+
+    def reachable_instructions(self) -> Set[int]:
+        """Instruction indices reachable from entry (index 0)."""
+        seen: Set[int] = set()
+        frontier = [0] if len(self.thread) else []
+        while frontier:
+            node = frontier.pop()
+            if node in seen or node == self.exit_node:
+                continue
+            seen.add(node)
+            frontier.extend(self.successors.get(node, []))
+        return seen
+
+
+def build_cfg(thread: ThreadProgram) -> ControlFlowGraph:
+    """Construct the CFG of *thread*."""
+    cfg = ControlFlowGraph(thread=thread)
+    n = len(thread)
+    for i in range(n + 1):
+        cfg.successors[i] = []
+        cfg.predecessors[i] = []
+
+    def link(src: int, dst: int) -> None:
+        cfg.successors[src].append(dst)
+        cfg.predecessors[dst].append(src)
+
+    for i, instr in enumerate(thread.instructions):
+        if instr.opcode in _HAS_TARGET:
+            link(i, thread.target_of(instr.label))
+        if instr.opcode not in _NO_FALLTHROUGH:
+            link(i, i + 1 if i + 1 < n else cfg.exit_node)
+        elif instr.opcode is Opcode.HALT:
+            link(i, cfg.exit_node)
+    return cfg
+
+
+def basic_blocks(cfg: ControlFlowGraph) -> List[Tuple[int, int]]:
+    """Partition reachable instructions into basic blocks.
+
+    Returns ``(start, end)`` half-open index ranges in ascending order.
+    A leader is the entry, any branch target, or any instruction after
+    a branch/jump.
+    """
+    reachable = cfg.reachable_instructions()
+    if not reachable:
+        return []
+    leaders = {0}
+    for i in sorted(reachable):
+        succs = cfg.successors[i]
+        if len(succs) > 1 or any(s != i + 1 for s in succs):
+            for s in succs:
+                if s != cfg.exit_node:
+                    leaders.add(s)
+            if i + 1 in reachable:
+                leaders.add(i + 1)
+    ordered = sorted(l for l in leaders if l in reachable)
+    blocks: List[Tuple[int, int]] = []
+    for idx, start in enumerate(ordered):
+        end = ordered[idx + 1] if idx + 1 < len(ordered) else max(reachable) + 1
+        blocks.append((start, end))
+    return blocks

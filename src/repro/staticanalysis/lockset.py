@@ -1,0 +1,138 @@
+"""Must-hold lockset dataflow over a thread CFG.
+
+Compile-time race detection (section 1 of the paper, in the tradition of
+[BaK89]/[Tay83a]) needs, for every program point, the set of locks the
+thread *definitely* holds there.  This is a forward must-dataflow:
+
+* lattice element: a set of lock addresses (plus register->lock
+  bindings for branch refinement); meet is intersection;
+* ``Unset``/release-write of L kills L;
+* a ``Test&Set r, L`` binds r to L without acquiring; the *branch* that
+  tests r refines per edge: the r==0 edge acquires L (the Test&Set
+  returned free), the r!=0 edge does not — exactly the spin-lock idiom
+  the builder's ``lock()`` emits.
+
+Being a must-analysis, imprecision only ever *shrinks* locksets, which
+makes the downstream race detection conservative (it may report races
+that cannot happen, never the reverse) — the defining property of
+static techniques the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..machine.isa import Opcode, Reg
+from ..machine.program import ThreadProgram
+from .cfg import ControlFlowGraph, build_cfg
+
+
+@dataclass(frozen=True)
+class LockState:
+    """Locks definitely held + live Test&Set result bindings."""
+
+    held: FrozenSet[int]
+    bindings: FrozenSet[Tuple[str, int]]  # (register name, lock addr)
+
+    @staticmethod
+    def entry() -> "LockState":
+        return LockState(frozenset(), frozenset())
+
+    def meet(self, other: "LockState") -> "LockState":
+        return LockState(
+            self.held & other.held, self.bindings & other.bindings
+        )
+
+    def bound_lock(self, reg_name: str) -> Optional[int]:
+        for name, addr in self.bindings:
+            if name == reg_name:
+                return addr
+        return None
+
+    def clobber(self, reg_name: str) -> "LockState":
+        return LockState(
+            self.held,
+            frozenset((n, a) for n, a in self.bindings if n != reg_name),
+        )
+
+    def acquire(self, addr: int) -> "LockState":
+        return LockState(self.held | {addr}, self.bindings)
+
+    def release(self, addr: int) -> "LockState":
+        return LockState(self.held - {addr}, self.bindings)
+
+    def bind(self, reg_name: str, addr: int) -> "LockState":
+        cleared = self.clobber(reg_name)
+        return LockState(cleared.held, cleared.bindings | {(reg_name, addr)})
+
+
+_RELEASING = {Opcode.UNSET, Opcode.REL_WRITE}
+
+
+def _edge_transfer(
+    thread: ThreadProgram, index: int, state: LockState, dst: int
+) -> LockState:
+    """State after instruction *index* along the edge to *dst*."""
+    instr = thread.instructions[index]
+    op = instr.opcode
+
+    if op in _RELEASING and instr.addr is not None and instr.addr.index is None:
+        return state.release(instr.addr.base)
+
+    if op is Opcode.TEST_AND_SET and instr.addr is not None:
+        if instr.addr.index is None:
+            return state.bind(instr.dst.name, instr.addr.base)
+        return state.clobber(instr.dst.name)
+
+    if op in (Opcode.BZ, Opcode.BNZ):
+        reg = instr.src[0]
+        assert isinstance(reg, Reg)
+        lock = state.bound_lock(reg.name)
+        if lock is None:
+            return state
+        taken = dst == thread.target_of(instr.label)
+        # r == 0 means the Test&Set observed the lock free: acquired.
+        zero_edge = (op is Opcode.BZ and taken) or (
+            op is Opcode.BNZ and not taken
+        )
+        refined = state.acquire(lock) if zero_edge else state.release(lock)
+        return refined.clobber(reg.name)
+
+    # Anything that writes a register clobbers its binding.
+    if instr.dst is not None:
+        return state.clobber(instr.dst.name)
+    return state
+
+
+def compute_locksets(
+    thread: ThreadProgram, cfg: Optional[ControlFlowGraph] = None
+) -> Dict[int, LockState]:
+    """Fixpoint lockset state *before* each reachable instruction."""
+    cfg = cfg or build_cfg(thread)
+    reachable = cfg.reachable_instructions()
+    state_in: Dict[int, Optional[LockState]] = {i: None for i in reachable}
+    if 0 in state_in:
+        state_in[0] = LockState.entry()
+
+    changed = True
+    while changed:
+        changed = False
+        for i in sorted(reachable):
+            current = state_in[i]
+            if current is None:
+                continue
+            for dst in cfg.successors[i]:
+                if dst == cfg.exit_node or dst not in reachable:
+                    continue
+                out = _edge_transfer(thread, i, current, dst)
+                existing = state_in[dst]
+                merged = out if existing is None else existing.meet(out)
+                if merged != existing:
+                    state_in[dst] = merged
+                    changed = True
+
+    return {
+        i: (state if state is not None else LockState.entry())
+        for i, state in state_in.items()
+    }

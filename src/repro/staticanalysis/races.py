@@ -1,0 +1,198 @@
+"""Compile-time (static) data race detection.
+
+Section 1 of the paper: "Static techniques perform a compile-time
+analysis of the program text to detect a superset of all possible data
+races that could potentially occur in all possible sequentially
+consistent executions" — and they "can be applied to programs for weak
+systems unchanged".  This module implements the lockset flavour of that
+analysis over the simulator's ISA:
+
+1. per thread, compute must-hold locksets (:mod:`.lockset`);
+2. collect every reachable shared-memory access with its address
+   region (exact address, or the whole enclosing array for indexed
+   accesses) and its lockset;
+3. report every cross-thread pair that may touch a common location,
+   where at least one side writes, at least one side is a data access,
+   and the locksets share no lock.
+
+The result is conservative: flag-based release/acquire ordering is
+deliberately ignored (a static analyzer cannot in general prove it), so
+correctly flag-synchronized programs may be flagged.  Dynamic detection
+(:mod:`repro.core`) then refines individual executions — the
+complementary pairing the paper advocates (citing [EmP88]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..machine.isa import Opcode
+from ..machine.program import Program
+from .cfg import build_cfg
+from .lockset import compute_locksets
+
+_DATA_READS = {Opcode.READ}
+_DATA_WRITES = {Opcode.WRITE}
+_SYNC_READS = {Opcode.ACQ_READ}
+_SYNC_WRITES = {Opcode.UNSET, Opcode.REL_WRITE}
+# The two halves of TEST_AND_SET are handled explicitly.
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A half-open address range ``[lo, hi)`` an access may touch."""
+
+    lo: int
+    hi: int
+
+    def overlaps(self, other: "AddressRegion") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    @staticmethod
+    def exact(addr: int) -> "AddressRegion":
+        return AddressRegion(addr, addr + 1)
+
+    def describe(self, program: Optional[Program] = None) -> str:
+        if program is None:
+            names = f"[{self.lo},{self.hi})"
+        elif self.hi == self.lo + 1:
+            names = program.symbols.name_of(self.lo)
+        else:
+            names = (
+                f"{program.symbols.name_of(self.lo)}.."
+                f"{program.symbols.name_of(self.hi - 1)}"
+            )
+        return names
+
+
+@dataclass(frozen=True)
+class StaticAccess:
+    """One shared-memory access site in the program text."""
+
+    thread: int
+    instr_index: int
+    is_write: bool
+    is_sync: bool
+    region: AddressRegion
+    locks: Tuple[int, ...]  # locks definitely held, sorted
+
+    def describe(self, program: Optional[Program] = None) -> str:
+        verb = ("sync-" if self.is_sync else "") + (
+            "write" if self.is_write else "read"
+        )
+        locks = (
+            "{" + ",".join(
+                program.symbols.name_of(l) if program else str(l)
+                for l in self.locks
+            ) + "}"
+        )
+        return (
+            f"T{self.thread}@{self.instr_index} {verb} "
+            f"{self.region.describe(program)} locks={locks}"
+        )
+
+
+@dataclass(frozen=True)
+class StaticRace:
+    """A potential data race between two access sites."""
+
+    a: StaticAccess
+    b: StaticAccess
+
+    def describe(self, program: Optional[Program] = None) -> str:
+        return f"{self.a.describe(program)}  <->  {self.b.describe(program)}"
+
+
+@dataclass
+class StaticReport:
+    """Everything the static analyzer found."""
+
+    program: Program
+    accesses: List[StaticAccess]
+    races: List[StaticRace]
+
+    @property
+    def potentially_racy(self) -> bool:
+        return bool(self.races)
+
+    def format(self) -> str:
+        lines = [
+            f"Static analysis: {len(self.accesses)} shared access sites, "
+            f"{len(self.races)} potential data race pair(s)"
+        ]
+        for race in self.races:
+            lines.append(f"  {race.describe(self.program)}")
+        if not self.races:
+            lines.append(
+                "  program is statically data-race-free "
+                "(all executions on all models are sequentially consistent)"
+            )
+        return "\n".join(lines)
+
+
+def _region_of(program: Program, base: int, indexed: bool) -> AddressRegion:
+    if not indexed:
+        return AddressRegion.exact(base)
+    # Indexed access: widen to the enclosing array if one is known,
+    # else to the whole address space (maximal conservatism).
+    for name, (lo, size) in program.symbols._arrays.items():
+        if lo <= base < lo + size:
+            return AddressRegion(lo, lo + size)
+    return AddressRegion(0, max(program.memory_size, base + 1))
+
+
+def collect_accesses(program: Program) -> List[StaticAccess]:
+    """All reachable shared-memory access sites with locksets."""
+    out: List[StaticAccess] = []
+    for tid, thread in enumerate(program.threads):
+        cfg = build_cfg(thread)
+        locksets = compute_locksets(thread, cfg)
+        for i in sorted(cfg.reachable_instructions()):
+            instr = thread.instructions[i]
+            op = instr.opcode
+            if instr.addr is None:
+                continue
+            region = _region_of(
+                program, instr.addr.base, instr.addr.index is not None
+            )
+            locks = tuple(sorted(locksets[i].held))
+
+            def note(is_write: bool, is_sync: bool) -> None:
+                out.append(StaticAccess(
+                    thread=tid, instr_index=i, is_write=is_write,
+                    is_sync=is_sync, region=region, locks=locks,
+                ))
+
+            if op in _DATA_READS:
+                note(False, False)
+            elif op in _DATA_WRITES:
+                note(True, False)
+            elif op in _SYNC_READS:
+                note(False, True)
+            elif op in _SYNC_WRITES:
+                note(True, True)
+            elif op in (Opcode.TEST_AND_SET, Opcode.CAS):
+                note(False, True)
+                note(True, True)
+    return out
+
+
+def find_static_races(program: Program) -> StaticReport:
+    """The full static analysis of *program*."""
+    accesses = collect_accesses(program)
+    races: List[StaticRace] = []
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1:]:
+            if a.thread == b.thread:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            if a.is_sync and b.is_sync:
+                continue  # sync-sync pairs are not data races (Def 2.4)
+            if not a.region.overlaps(b.region):
+                continue
+            if set(a.locks) & set(b.locks):
+                continue  # a common lock orders them in every execution
+            races.append(StaticRace(a, b))
+    return StaticReport(program=program, accesses=accesses, races=races)

@@ -1,0 +1,46 @@
+"""Tracing / instrumentation substrate (section 4.1 of the paper):
+events, READ/WRITE bit-vectors, trace construction from a simulated
+execution, and trace-file serialization for post-mortem analysis."""
+
+from .binfile import (
+    BinaryTraceError,
+    read_binary_trace,
+    write_binary_trace,
+)
+from .bitvector import BitVector
+from .build import Trace, TraceBuilder, build_trace, event_of_op
+from .events import (
+    ComputationEvent,
+    Event,
+    EventId,
+    EventKind,
+    SyncEvent,
+    conflicting_locations,
+    involves_data,
+)
+from .tracefile import TraceFormatError, read_trace, write_trace
+from .validate import InvalidTraceError, require_valid_trace, validate_trace
+
+__all__ = [
+    "BinaryTraceError",
+    "read_binary_trace",
+    "write_binary_trace",
+    "BitVector",
+    "Trace",
+    "TraceBuilder",
+    "build_trace",
+    "event_of_op",
+    "ComputationEvent",
+    "Event",
+    "EventId",
+    "EventKind",
+    "SyncEvent",
+    "conflicting_locations",
+    "involves_data",
+    "TraceFormatError",
+    "InvalidTraceError",
+    "require_valid_trace",
+    "validate_trace",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,82 @@
+"""Race-hunt tests."""
+
+import pytest
+
+from repro.analysis.hunting import default_policies, hunt_races
+from repro.machine.models import make_model
+from repro.machine.replay import replay_execution
+from repro.programs.figure1 import figure1a_program
+from repro.programs.kernels import locked_counter_program
+from repro.programs.workqueue import buggy_workqueue_program
+
+
+def _wo():
+    return make_model("WO")
+
+
+def test_finds_races_in_racy_program():
+    result = hunt_races(figure1a_program(), _wo, tries=6)
+    assert result.found
+    assert result.racy_runs > 0
+    assert result.first_report is not None
+    assert not result.first_report.race_free
+
+
+def test_clean_program_reports_nothing():
+    result = hunt_races(locked_counter_program(2, 2), _wo, tries=6)
+    assert not result.found
+    assert result.clean_runs == 6
+    assert "not a proof" in result.summary()
+
+
+def test_recording_replays_the_racy_run():
+    result = hunt_races(buggy_workqueue_program(), _wo, tries=9)
+    assert result.found
+    replayed = replay_execution(
+        buggy_workqueue_program(), make_model("WO"), result.recording
+    )
+    from repro.core.detector import PostMortemDetector
+    report = PostMortemDetector().analyze_execution(replayed)
+    assert report.format() == result.first_report.format()
+
+
+def test_stop_at_first():
+    result = hunt_races(figure1a_program(), _wo, tries=30, stop_at_first=True)
+    assert result.found
+    assert result.tries < 30
+
+
+def test_per_policy_accounting():
+    result = hunt_races(figure1a_program(), _wo, tries=9)
+    assert sum(total for _, total in result.per_policy.values()) == 9
+    assert sum(racy for racy, _ in result.per_policy.values()) == \
+           result.racy_runs
+
+
+def test_custom_policies():
+    from repro.machine.propagation import EagerPropagation
+    result = hunt_races(
+        figure1a_program(), _wo, tries=4,
+        policies=[("eager", EagerPropagation)],
+    )
+    assert set(result.per_policy) == {"eager"}
+
+
+def test_default_policies_shape():
+    policies = default_policies(3)
+    names = [name for name, _ in policies]
+    assert "stubborn" in names and "ring" in names
+    for _, factory in policies:
+        factory()  # constructible
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        hunt_races(figure1a_program(), _wo, tries=0)
+
+
+def test_summary_text():
+    result = hunt_races(figure1a_program(), _wo, tries=6)
+    text = result.summary()
+    assert "hunted 6 executions" in text
+    assert "seed=" in text

@@ -1,0 +1,80 @@
+"""Metrics tests."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    DetectionSummary,
+    RaceAccuracy,
+    event_race_accuracy,
+    op_races_in_scp,
+    trace_overhead,
+)
+from repro.analysis.naive import NaiveDetector
+from repro.core.detector import PostMortemDetector
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs.kernels import independent_work_program
+from repro.trace.build import build_trace
+
+
+class TestRaceAccuracy:
+    def test_precision_perfect_when_nothing_reported(self):
+        acc = RaceAccuracy(0, 0, 5, 10)
+        assert acc.precision == 1.0
+
+    def test_precision_fraction(self):
+        acc = RaceAccuracy(4, 3, 5, 10)
+        assert acc.precision == pytest.approx(0.75)
+
+    def test_recall(self):
+        acc = RaceAccuracy(4, 3, 6, 10)
+        assert acc.recall == pytest.approx(0.5)
+        assert RaceAccuracy(0, 0, 0, 0).recall == 1.0
+
+
+def test_op_races_in_scp_figure2(figure2_result):
+    sc_races, scp = op_races_in_scp(figure2_result)
+    # The queue races (on Q and QEmpty) are SC; the region races are not.
+    addrs = {race.addr for race in sc_races}
+    q = figure2_result.symbols.addr_of("Q")
+    qe = figure2_result.symbols.addr_of("QEmpty")
+    assert addrs == {q, qe}
+    assert not scp.is_whole_execution
+
+
+def test_first_partition_reporting_full_precision(figure2_result, figure2_trace):
+    report = PostMortemDetector().analyze(figure2_trace)
+    acc = event_race_accuracy(figure2_result, figure2_trace, report.reported_races)
+    assert acc.precision == 1.0
+
+
+def test_naive_reporting_lower_precision(figure2_result, figure2_trace):
+    naive = NaiveDetector().analyze(figure2_trace)
+    acc = event_race_accuracy(figure2_result, figure2_trace, naive.data_races)
+    assert acc.precision < 1.0
+
+
+def test_trace_overhead_counts(figure2_result, figure2_trace):
+    ov = trace_overhead(figure2_result, figure2_trace)
+    assert ov.operations == len(figure2_result.operations)
+    assert ov.events == figure2_trace.event_count
+    assert ov.sync_events + ov.computation_events == ov.events
+    # Event records are far fewer than per-op records here (big
+    # computation events).
+    assert ov.record_ratio < 0.2
+
+
+def test_trace_overhead_empty_execution():
+    result = run_program(independent_work_program(1, 1), make_model("SC"), seed=0)
+    trace = build_trace(result)
+    ov = trace_overhead(result, trace)
+    assert 0 < ov.record_ratio <= 1.0
+
+
+def test_detection_summary_from_report(figure2_result, figure2_trace):
+    report = PostMortemDetector().analyze(figure2_trace)
+    summary = DetectionSummary.from_report(figure2_result, report)
+    assert summary.model == "WO"
+    assert summary.reported_races == 1
+    assert summary.suppressed_races == 1
+    assert summary.precision == 1.0

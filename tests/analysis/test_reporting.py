@@ -1,0 +1,76 @@
+"""Benchmark-report rendering tests."""
+
+import json
+
+from repro.analysis.reporting import (
+    render_benchmark_file,
+    render_benchmark_results,
+)
+
+
+def _payload():
+    return {
+        "machine_info": {"python_version": "3.11.7", "machine": "x86_64"},
+        "benchmarks": [
+            {
+                "name": "test_figure1a_detection[SC]",
+                "stats": {"mean": 0.00042},
+                "extra_info": {
+                    "artifact": "Figure 1a under SC: data races present",
+                    "rows": ["model=SC: 1 data race(s) reported"],
+                },
+            },
+            {
+                "name": "test_big_sweep",
+                "stats": {"mean": 2.5},
+                "extra_info": {
+                    "artifact": "Theorem 3.5 on WO",
+                    "rows": ["24 executions checked", "24/24 held"],
+                },
+            },
+            {
+                "name": "test_mystery",
+                "stats": {"mean": 0.02},
+                "extra_info": {},
+            },
+        ],
+    }
+
+
+def test_groups_by_artifact():
+    text = render_benchmark_results(_payload())
+    assert "## Figure 1a under SC: data races present" in text
+    assert "## Theorem 3.5 on WO" in text
+    assert "model=SC: 1 data race(s) reported" in text
+    assert "24/24 held" in text
+
+
+def test_time_formatting():
+    text = render_benchmark_results(_payload())
+    assert "420 us" in text
+    assert "2.50 s" in text
+
+
+def test_unannotated_listed():
+    text = render_benchmark_results(_payload())
+    assert "Unannotated benchmarks" in text
+    assert "test_mystery" in text
+
+
+def test_machine_info_in_header():
+    text = render_benchmark_results(_payload())
+    assert "3.11.7" in text
+
+
+def test_empty_payload():
+    text = render_benchmark_results({"benchmarks": []})
+    assert text.startswith("# Regenerated experiment results")
+
+
+def test_file_roundtrip(tmp_path):
+    src = tmp_path / "bench.json"
+    src.write_text(json.dumps(_payload()))
+    out = tmp_path / "RESULTS.md"
+    text = render_benchmark_file(src, out)
+    assert out.read_text() == text
+    assert "Figure 1a" in text

@@ -1,0 +1,75 @@
+"""Race-explanation tests."""
+
+from repro.core.detector import PostMortemDetector
+from repro.core.explain import explain_race, explain_report
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs.figure1 import figure1a_program
+from repro.programs.kernels import locked_counter_program
+
+DET = PostMortemDetector()
+
+
+def test_first_race_explained_as_first(figure2_report):
+    first = figure2_report.reported_races[0]
+    explanation = explain_race(figure2_report, first)
+    assert explanation.is_first
+    assert explanation.root_race is None
+    text = explanation.format(figure2_report)
+    assert "FIRST" in text
+    assert "Theorem 4.2" in text
+
+
+def test_suppressed_race_gets_a_chain(figure2_report):
+    suppressed = figure2_report.suppressed_races[0]
+    explanation = explain_race(figure2_report, suppressed)
+    assert not explanation.is_first
+    assert explanation.root_race == figure2_report.reported_races[0]
+    assert explanation.steps
+    # chain starts at a root-race endpoint and ends at the suppressed
+    # race's endpoint
+    assert explanation.steps[0].src in explanation.root_race.events
+    assert explanation.steps[-1].dst in suppressed.events
+
+
+def test_chain_edges_exist_in_gprime(figure2_report):
+    suppressed = figure2_report.suppressed_races[0]
+    explanation = explain_race(figure2_report, suppressed)
+    gprime = figure2_report.analysis.gprime
+    for step in explanation.steps:
+        assert gprime.has_edge(step.src, step.dst)
+
+
+def test_chain_kinds_labelled(figure2_report):
+    suppressed = figure2_report.suppressed_races[0]
+    explanation = explain_race(figure2_report, suppressed)
+    kinds = {step.kind for step in explanation.steps}
+    assert kinds <= {"po", "so1", "race"}
+    text = explanation.format(figure2_report)
+    assert "SUPPRESSED" in text
+    assert "-->" in text
+
+
+def test_explain_report_covers_all_races(figure2_report):
+    text = explain_report(figure2_report)
+    assert text.count("Race <") == len(figure2_report.data_races)
+    assert "FIRST" in text and "SUPPRESSED" in text
+
+
+def test_explain_clean_execution():
+    result = run_program(locked_counter_program(2, 2), make_model("WO"), seed=0)
+    report = DET.analyze_execution(result)
+    assert "nothing to explain" in explain_report(report)
+
+
+def test_independent_races_all_first():
+    result = run_program(figure1a_program(), make_model("SC"), seed=0)
+    report = DET.analyze_execution(result)
+    text = explain_report(report)
+    assert "SUPPRESSED" not in text
+
+
+def test_labels_truncate_large_sets(figure2_report):
+    text = explain_report(figure2_report)
+    assert "more" in text  # the 100-location region sets are truncated
+    assert len(text) < 4000

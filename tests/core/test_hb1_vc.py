@@ -1,0 +1,95 @@
+"""Vector-clock hb1 backend tests, including differential equivalence
+with the transitive-closure backend."""
+
+import pytest
+
+from repro.core.hb1 import HappensBefore1
+from repro.core.hb1_vc import CyclicHB1Error, VectorClockHB1
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs.figure1 import figure1b_program
+from repro.programs.random_programs import random_racy_program
+from repro.programs.workqueue import run_figure2
+from repro.trace.build import build_trace
+
+
+def _assert_backends_agree(trace):
+    closure = HappensBefore1(trace)
+    vc = VectorClockHB1(trace)
+    events = [e.eid for e in trace.all_events()]
+    for a in events:
+        for b in events:
+            if a == b:
+                continue
+            assert closure.ordered(a, b) == vc.ordered(a, b), (a, b)
+
+
+def test_agrees_on_figure1b():
+    result = run_program(figure1b_program(), make_model("WO"), seed=2)
+    _assert_backends_agree(build_trace(result))
+
+
+def test_agrees_on_figure2(figure2_trace):
+    _assert_backends_agree(figure2_trace)
+
+
+def test_agrees_on_random_programs():
+    for seed in range(6):
+        prog = random_racy_program(seed, race_prob=0.5)
+        result = run_program(prog, make_model("RCsc"), seed=seed)
+        _assert_backends_agree(build_trace(result))
+
+
+def test_clock_components_monotone_per_processor(figure2_trace):
+    vc = VectorClockHB1(figure2_trace)
+    for proc_events in figure2_trace.events:
+        last = None
+        for event in proc_events:
+            clock = vc.clock_of(event.eid)
+            if last is not None:
+                assert all(x <= y for x, y in zip(last, clock))
+            last = clock
+
+
+def test_own_component_is_position(figure2_trace):
+    vc = VectorClockHB1(figure2_trace)
+    for proc_events in figure2_trace.events:
+        for event in proc_events:
+            assert vc.clock_of(event.eid)[event.eid.proc] == event.eid.pos + 1
+
+
+def test_cyclic_trace_rejected():
+    import tests.core.test_hb1_cycles as cyc
+    trace = cyc._cyclic_trace()
+    with pytest.raises(CyclicHB1Error):
+        VectorClockHB1(trace)
+
+
+def test_race_detection_same_with_either_backend(figure2_trace):
+    """find_races only needs unordered(); plugging the VC backend in by
+    duck-typing must give the same race set."""
+    from repro.core.races import find_races
+
+    class _Shim:
+        """Adapts VectorClockHB1 to the closure-based query interface
+        find_races uses (dense-index bulk queries)."""
+
+        def __init__(self, trace):
+            self._vc = VectorClockHB1(trace)
+            self._events = [e.eid for e in trace.all_events()]
+            self._index = {e: i for i, e in enumerate(self._events)}
+            self.closure = self
+
+        def index_of(self, eid):
+            return self._index[eid]
+
+        def ordered_index(self, i, j):
+            return self._vc.ordered(self._events[i], self._events[j])
+
+        def unordered(self, a, b):
+            return self._vc.unordered(a, b)
+
+    baseline = find_races(figure2_trace)
+    shimmed = find_races(figure2_trace, _Shim(figure2_trace))
+    assert [(r.a, r.b, r.locations) for r in baseline] == \
+           [(r.a, r.b, r.locations) for r in shimmed]

@@ -1,0 +1,126 @@
+"""On-the-fly detector tests (section 5 baseline)."""
+
+import pytest
+
+from repro.core.onthefly import OnTheFlyDetector, detect_on_the_fly
+from repro.core.ophb import find_op_races
+from repro.machine.models import make_model
+from repro.machine.program import ProgramBuilder
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator, run_program
+from repro.programs.figure1 import figure1a_program, figure1b_program
+from repro.programs.kernels import locked_counter_program, producer_consumer_program
+
+
+def _run(program, script=None, model="SC", seed=0):
+    if script is None:
+        return run_program(program, make_model(model), seed=seed)
+    return Simulator(program, make_model(model),
+                     scheduler=ScriptedScheduler(script), seed=seed).run()
+
+
+def test_detects_figure1a_races():
+    result = _run(figure1a_program())
+    races = detect_on_the_fly(result.operations, result.processor_count)
+    assert {r.addr for r in races} == {0, 1}
+
+
+def test_no_races_in_figure1b():
+    result = _run(figure1b_program(), script=[0, 0, 0, 1, 1, 1, 1])
+    assert detect_on_the_fly(result.operations, result.processor_count) == []
+
+
+def test_no_races_in_locked_counter():
+    for seed in range(5):
+        result = _run(locked_counter_program(3, 3), seed=seed)
+        races = detect_on_the_fly(result.operations, result.processor_count)
+        assert races == [], f"seed {seed}"
+
+
+def test_no_races_in_producer_consumer():
+    result = _run(producer_consumer_program(5), seed=2)
+    assert detect_on_the_fly(result.operations, result.processor_count) == []
+
+
+def test_write_write_race_detected():
+    b = ProgramBuilder()
+    x = b.var("x")
+    with b.thread() as t:
+        t.write(x, 1)
+    with b.thread() as t:
+        t.write(x, 2)
+    result = _run(b.build())
+    races = detect_on_the_fly(result.operations, result.processor_count)
+    assert len(races) == 1
+
+
+def test_race_pairs_deduplicated():
+    result = _run(figure1a_program())
+    detector = OnTheFlyDetector(result.processor_count)
+    detector.process_all(result.operations)
+    keys = [r.key() for r in detector.races]
+    assert len(keys) == len(set(keys))
+
+
+def test_bounded_reader_history_misses_races():
+    """With many concurrent readers of one location and a reader
+    history of 1, the final conflicting write can only race with the
+    last remembered reader — earlier reader races are lost (the
+    accuracy loss of section 5)."""
+    readers = 5
+    b = ProgramBuilder()
+    x = b.var("x")
+    for _ in range(readers):
+        with b.thread() as t:
+            t.read(x)
+    with b.thread() as t:
+        t.write(x, 1)
+    # all readers first, then the writer
+    script = list(range(readers)) + [readers]
+    result = _run(b.build(), script=script)
+
+    full = detect_on_the_fly(result.operations, result.processor_count,
+                             reader_history=readers)
+    bounded = detect_on_the_fly(result.operations, result.processor_count,
+                                reader_history=1)
+    assert len(full) == readers
+    assert len(bounded) < len(full)
+
+
+def test_eviction_counter():
+    b = ProgramBuilder()
+    x = b.var("x")
+    for _ in range(4):
+        with b.thread() as t:
+            t.read(x)
+    result = _run(b.build(), script=[0, 1, 2, 3])
+    detector = OnTheFlyDetector(result.processor_count, reader_history=2)
+    detector.process_all(result.operations)
+    assert detector.evicted_accesses > 0
+
+
+def test_memory_footprint_bounded():
+    result = _run(locked_counter_program(3, 5), seed=1)
+    detector = OnTheFlyDetector(result.processor_count,
+                                reader_history=2, writer_history=1)
+    detector.process_all(result.operations)
+    locations = len({op.addr for op in result.operations if op.is_data})
+    assert detector.memory_footprint <= locations * 3
+
+
+def test_agrees_with_postmortem_on_unbounded_history():
+    """With effectively unbounded history the on-the-fly race set equals
+    the op-level data races of the post-mortem ground truth."""
+    for seed in range(6):
+        result = _run(figure1a_program(), seed=seed)
+        otf = detect_on_the_fly(result.operations, result.processor_count,
+                                reader_history=64, writer_history=64)
+        ground = [r for r in find_op_races(result.operations) if r.is_data_race]
+        assert {(r.a, r.b) for r in otf} == {(r.a, r.b) for r in ground}
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        OnTheFlyDetector(0)
+    with pytest.raises(ValueError):
+        OnTheFlyDetector(2, reader_history=0)

@@ -1,0 +1,102 @@
+"""Operation-level hb1 and race tests (ground-truth layer)."""
+
+from repro.core.ophb import OpHappensBefore, build_op_augmented, find_op_races
+from repro.machine.models import make_model
+from repro.machine.program import ProgramBuilder
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator, run_program
+from repro.programs.figure1 import figure1a_program, figure1b_program
+
+
+def _run(program, script=None, model="SC", seed=0):
+    if script is None:
+        return run_program(program, make_model(model), seed=seed)
+    return Simulator(program, make_model(model),
+                     scheduler=ScriptedScheduler(script), seed=seed).run()
+
+
+def test_po_chain():
+    b = ProgramBuilder()
+    x = b.var("x")
+    with b.thread() as t:
+        t.write(x, 1)
+        t.read(x)
+        t.write(x, 2)
+    result = _run(b.build())
+    hb = OpHappensBefore(result.operations)
+    seqs = [op.seq for op in result.operations]
+    assert hb.ordered(seqs[0], seqs[2])
+    assert not hb.ordered(seqs[2], seqs[0])
+
+
+def test_so1_from_observed_release():
+    result = _run(figure1b_program(), script=[0, 0, 0, 1, 1, 1, 1])
+    hb = OpHappensBefore(result.operations)
+    assert len(hb.so1_edges) == 1
+    release_seq, acquire_seq = hb.so1_edges[0]
+    assert hb.op(release_seq).is_release
+    assert hb.op(acquire_seq).is_acquire
+    # Data ops are transitively ordered across processors.
+    writes = [op for op in result.operations if op.is_data and op.is_write]
+    reads = [op for op in result.operations if op.is_data and op.is_read]
+    for w in writes:
+        for r in reads:
+            if w.addr == r.addr:
+                assert hb.ordered(w.seq, r.seq)
+
+
+def test_figure1a_op_races():
+    result = _run(figure1a_program())
+    races = find_op_races(result.operations)
+    data = [r for r in races if r.is_data_race]
+    assert len(data) == 2  # <W(x),R(x)> and <W(y),R(y)>
+    assert {r.addr for r in data} == {0, 1}
+
+
+def test_figure1b_no_op_races():
+    result = _run(figure1b_program(), script=[0, 0, 0, 1, 1, 1, 1])
+    assert find_op_races(result.operations) == []
+
+
+def test_sync_only_write_not_a_release_edge():
+    b = ProgramBuilder()
+    s = b.var("s")
+    with b.thread() as t:
+        t.test_and_set(s)
+    with b.thread() as t:
+        t.test_and_set(s)  # acquire reads P0's T&S write (value 1)
+    result = _run(b.build(), script=[0, 1])
+    hb = OpHappensBefore(result.operations)
+    assert hb.so1_edges == []
+
+
+def test_augmented_graph_race_edges_bidirectional():
+    result = _run(figure1a_program())
+    hb = OpHappensBefore(result.operations)
+    races = find_op_races(result.operations, hb)
+    gprime = build_op_augmented(hb, races)
+    for race in races:
+        assert gprime.has_edge(race.a, race.b)
+        assert gprime.has_edge(race.b, race.a)
+    # hb edges preserved
+    for src, dst in hb.graph.edges():
+        assert gprime.has_edge(src, dst)
+
+
+def test_op_race_canonical_order():
+    result = _run(figure1a_program())
+    for race in find_op_races(result.operations):
+        assert race.a < race.b
+
+
+def test_sync_sync_op_race_not_data():
+    b = ProgramBuilder()
+    s = b.var("s")
+    with b.thread() as t:
+        t.unset(s)
+    with b.thread() as t:
+        t.unset(s)
+    result = _run(b.build())
+    races = find_op_races(result.operations)
+    assert len(races) == 1
+    assert not races[0].is_data_race

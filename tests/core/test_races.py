@@ -1,0 +1,135 @@
+"""Event-level race detection tests (Definition 2.4)."""
+
+from repro.core.hb1 import HappensBefore1
+from repro.core.races import data_races, find_races
+from repro.machine.models import make_model
+from repro.machine.program import ProgramBuilder
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator, run_program
+from repro.programs.figure1 import figure1a_program, figure1b_program
+from repro.trace.build import build_trace
+
+
+def _trace(program, script=None, model="SC", seed=0):
+    if script is not None:
+        result = Simulator(program, make_model(model),
+                           scheduler=ScriptedScheduler(script), seed=seed).run()
+    else:
+        result = run_program(program, make_model(model), seed=seed)
+    return build_trace(result)
+
+
+def test_figure1a_has_one_event_race_on_both_locations():
+    trace = _trace(figure1a_program())
+    races = find_races(trace)
+    assert len(races) == 1
+    race = races[0]
+    assert race.is_data_race
+    assert set(race.locations) == {0, 1}  # x and y
+
+
+def test_figure1b_race_free():
+    trace = _trace(figure1b_program(), script=[0, 0, 0, 1, 1, 1, 1])
+    assert find_races(trace) == []
+
+
+def test_write_write_race():
+    b = ProgramBuilder()
+    x = b.var("x")
+    with b.thread() as t:
+        t.write(x, 1)
+    with b.thread() as t:
+        t.write(x, 2)
+    races = find_races(_trace(b.build()))
+    assert len(races) == 1
+
+
+def test_read_read_no_race():
+    b = ProgramBuilder()
+    x = b.var("x", initial=5)
+    with b.thread() as t:
+        t.read(x)
+    with b.thread() as t:
+        t.read(x)
+    assert find_races(_trace(b.build())) == []
+
+
+def test_same_processor_never_races():
+    b = ProgramBuilder()
+    x = b.var("x")
+    with b.thread() as t:
+        t.write(x, 1)
+        t.unset(b.var("s"))
+        t.write(x, 2)
+    assert find_races(_trace(b.build())) == []
+
+
+def test_sync_sync_race_flagged_not_data():
+    b = ProgramBuilder()
+    s = b.var("s")
+    with b.thread() as t:
+        t.unset(s)
+    with b.thread() as t:
+        t.unset(s)
+    races = find_races(_trace(b.build()))
+    assert len(races) == 1
+    assert not races[0].is_data_race
+    assert data_races(races) == []
+
+
+def test_sync_data_race_is_data_race():
+    b = ProgramBuilder()
+    s = b.var("s")
+    with b.thread() as t:
+        t.unset(s)          # sync write to s
+    with b.thread() as t:
+        t.read(s)           # data read of s
+    races = find_races(_trace(b.build()))
+    assert len(races) == 1
+    assert races[0].is_data_race
+
+
+def test_ordered_conflicts_not_races():
+    b = ProgramBuilder()
+    s = b.var("s", initial=1)
+    x = b.var("x")
+    with b.thread() as t:
+        t.write(x, 1)
+        t.unset(s)
+    with b.thread() as t:
+        t.lock(s)
+        t.write(x, 2)
+    trace = _trace(b.build(), script=[0, 0, 1, 1, 1])
+    assert find_races(trace) == []
+
+
+def test_races_canonically_ordered_and_sorted():
+    trace = _trace(figure1a_program())
+    races = find_races(trace)
+    for race in races:
+        assert race.a < race.b
+    keys = [(race.a, race.b) for race in races]
+    assert keys == sorted(keys)
+
+
+def test_prebuilt_hb_accepted():
+    trace = _trace(figure1a_program())
+    hb = HappensBefore1(trace)
+    assert find_races(trace, hb) == find_races(trace)
+
+
+def test_describe_uses_symbols():
+    trace = _trace(figure1a_program())
+    race = find_races(trace)[0]
+    text = race.describe(trace)
+    assert "x" in text and "y" in text and "data race" in text
+
+
+def test_three_way_races_counted_pairwise():
+    b = ProgramBuilder()
+    x = b.var("x")
+    for _ in range(3):
+        with b.thread() as t:
+            t.write(x, 1)
+    races = find_races(_trace(b.build()))
+    assert len(races) == 3  # each unordered pair once

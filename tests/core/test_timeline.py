@@ -1,0 +1,60 @@
+"""Timeline renderer tests."""
+
+from repro.core.timeline import render_timeline
+from repro.machine.models import make_model
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator, run_program
+from repro.programs.figure1 import figure1a_program, figure1b_program
+
+
+def test_figure2_timeline_matches_paper_layout(figure2_result):
+    text = render_timeline(figure2_result, max_rows=14)
+    lines = text.splitlines()
+    assert lines[0].split() == ["P0", "P1", "P2"]
+    assert "read(Q,37) *stale*" in text
+    assert "=== end of SCP ===" in text
+    # the SCP marker is in P1's column, right after its release
+    scp_line = next(l for l in lines if "end of SCP" in l)
+    release_line = lines[lines.index(scp_line) - 1]
+    assert "rel-write(S,0)" in release_line
+    assert "more operations" in lines[-1]
+
+
+def test_one_operation_per_row(figure2_result):
+    text = render_timeline(figure2_result, max_rows=10)
+    for line in text.splitlines()[2:-1]:
+        if "end of SCP" in line or not line.strip():
+            continue
+        cells = [c for c in line.split(".") if c.strip()]
+        assert len(cells) == 1, line
+
+
+def test_pair_annotations():
+    result = Simulator(
+        figure1b_program(), make_model("WO"),
+        scheduler=ScriptedScheduler([0, 0, 0, 1, 1, 1, 1]), seed=0,
+    ).run()
+    text = render_timeline(result, mark_pairs=True)
+    assert "<-rel@" in text  # the Test&Set acquire shows its release
+
+
+def test_no_markers_when_disabled(figure2_result):
+    text = render_timeline(figure2_result, mark_scp=False, mark_pairs=False,
+                           max_rows=None)
+    assert "end of SCP" not in text
+    assert "<-rel@" not in text
+    assert "more operations" not in text
+
+
+def test_row_count_honoured():
+    result = run_program(figure1a_program(), make_model("SC"), seed=0)
+    text = render_timeline(result, max_rows=2)
+    body = [l for l in text.splitlines()[2:] if "more operations" not in l]
+    assert len(body) == 2
+
+
+def test_column_width():
+    result = run_program(figure1a_program(), make_model("SC"), seed=0)
+    text = render_timeline(result, width=16)
+    header = text.splitlines()[0]
+    assert header.index("P1") == 16

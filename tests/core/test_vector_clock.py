@@ -1,0 +1,77 @@
+"""VectorClock unit tests."""
+
+import pytest
+
+from repro.core.vector_clock import VectorClock
+
+
+def test_initial_zero():
+    vc = VectorClock(3)
+    assert list(vc) == [0, 0, 0]
+    assert vc.width == 3
+
+
+def test_tick():
+    vc = VectorClock(2)
+    vc.tick(1)
+    vc.tick(1)
+    assert vc[1] == 2
+    assert vc[0] == 0
+
+
+def test_join_pointwise_max():
+    a = VectorClock(3, (1, 5, 2))
+    b = VectorClock(3, (4, 2, 2))
+    a.join(b)
+    assert list(a) == [4, 5, 2]
+    assert list(b) == [4, 2, 2]  # other untouched
+
+
+def test_join_width_mismatch():
+    with pytest.raises(ValueError):
+        VectorClock(2).join(VectorClock(3))
+
+
+def test_ticks_length_validation():
+    with pytest.raises(ValueError):
+        VectorClock(2, (1, 2, 3))
+
+
+def test_happens_before_strict():
+    a = VectorClock(2, (1, 2))
+    b = VectorClock(2, (2, 2))
+    assert a.happens_before(b)
+    assert not b.happens_before(a)
+    assert not a.happens_before(a)
+
+
+def test_concurrent():
+    a = VectorClock(2, (2, 0))
+    b = VectorClock(2, (0, 2))
+    assert a.concurrent_with(b)
+    assert b.concurrent_with(a)
+    c = VectorClock(2, (3, 3))
+    assert not a.concurrent_with(c)
+
+
+def test_dominates_entry():
+    vc = VectorClock(2, (3, 1))
+    assert vc.dominates_entry(0, 3)
+    assert not vc.dominates_entry(0, 4)
+
+
+def test_copy_independent():
+    a = VectorClock(2, (1, 1))
+    b = a.copy()
+    b.tick(0)
+    assert a[0] == 1
+
+
+def test_equality_and_hash():
+    assert VectorClock(2, (1, 2)) == VectorClock(2, (1, 2))
+    assert hash(VectorClock(2, (1, 2))) == hash(VectorClock(2, (1, 2)))
+    assert VectorClock(2, (1, 2)) != VectorClock(2, (2, 1))
+
+
+def test_repr():
+    assert repr(VectorClock(2, (1, 2))) == "VC(1, 2)"

@@ -1,0 +1,59 @@
+"""Tests for graph condensation."""
+
+from repro.graph import DiGraph, condensation, is_acyclic
+
+
+def test_dag_condensation_is_isomorphic():
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 3)])
+    c = condensation(g)
+    assert len(c.components) == 3
+    assert c.dag.edge_count == 2
+
+
+def test_collapses_cycles():
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")])
+    c = condensation(g)
+    assert len(c.components) == 2
+    assert c.index_of["a"] == c.index_of["b"]
+    assert c.index_of["c"] == c.index_of["d"]
+    assert c.index_of["a"] != c.index_of["c"]
+    ci, cj = c.index_of["a"], c.index_of["c"]
+    assert c.dag.has_edge(ci, cj)
+
+
+def test_condensation_always_acyclic():
+    g = DiGraph()
+    g.add_edges([
+        (0, 1), (1, 0),
+        (1, 2), (2, 3), (3, 2),
+        (3, 4), (4, 5), (5, 4), (5, 0),
+    ])
+    c = condensation(g)
+    assert is_acyclic(c.dag)
+
+
+def test_no_self_edges_in_dag():
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 1), (1, 1)])
+    c = condensation(g)
+    ci = c.index_of[1]
+    assert not c.dag.has_edge(ci, ci)
+
+
+def test_component_of():
+    g = DiGraph()
+    g.add_edges([("x", "y"), ("y", "x"), ("y", "z")])
+    c = condensation(g)
+    assert set(c.component_of("x")) == {"x", "y"}
+    assert set(c.component_of("z")) == {"z"}
+
+
+def test_index_reverse_topological():
+    # Tarjan order: edge i -> j in the DAG implies i > j.
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    c = condensation(g)
+    for i, j in c.dag.edges():
+        assert i > j

@@ -1,0 +1,143 @@
+"""Unit tests for the DiGraph container."""
+
+import pytest
+
+from repro.graph import DiGraph
+
+
+def test_empty_graph():
+    g = DiGraph()
+    assert len(g) == 0
+    assert g.node_count == 0
+    assert g.edge_count == 0
+    assert list(g.nodes()) == []
+    assert list(g.edges()) == []
+
+
+def test_add_node_idempotent():
+    g = DiGraph()
+    g.add_node("a")
+    g.add_node("a")
+    assert g.node_count == 1
+    assert "a" in g
+
+
+def test_add_edge_creates_endpoints():
+    g = DiGraph()
+    g.add_edge(1, 2)
+    assert 1 in g and 2 in g
+    assert g.has_edge(1, 2)
+    assert not g.has_edge(2, 1)
+    assert g.edge_count == 1
+
+
+def test_parallel_edges_collapse():
+    g = DiGraph()
+    g.add_edge("a", "b")
+    g.add_edge("a", "b")
+    assert g.edge_count == 1
+
+
+def test_self_loop_allowed():
+    g = DiGraph()
+    g.add_edge("x", "x")
+    assert g.has_edge("x", "x")
+    assert g.out_degree("x") == 1
+    assert g.in_degree("x") == 1
+
+
+def test_successors_predecessors():
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("a", "c"), ("b", "c")])
+    assert g.successors("a") == {"b", "c"}
+    assert g.predecessors("c") == {"a", "b"}
+    assert g.out_degree("a") == 2
+    assert g.in_degree("a") == 0
+
+
+def test_remove_edge():
+    g = DiGraph()
+    g.add_edge("a", "b")
+    g.remove_edge("a", "b")
+    assert not g.has_edge("a", "b")
+    assert g.edge_count == 0
+    assert "a" in g and "b" in g
+
+
+def test_remove_missing_edge_raises():
+    g = DiGraph()
+    g.add_node("a")
+    with pytest.raises(KeyError):
+        g.remove_edge("a", "a")
+
+
+def test_remove_node_removes_incident_edges():
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("b", "c"), ("c", "b")])
+    g.remove_node("b")
+    assert "b" not in g
+    assert g.edge_count == 0
+    assert g.node_count == 2
+
+
+def test_remove_missing_node_raises():
+    g = DiGraph()
+    with pytest.raises(KeyError):
+        g.remove_node("nope")
+
+
+def test_copy_is_independent():
+    g = DiGraph()
+    g.add_edge(1, 2)
+    h = g.copy()
+    h.add_edge(2, 3)
+    assert not g.has_edge(2, 3)
+    assert h.has_edge(1, 2)
+
+
+def test_reversed():
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 3)])
+    r = g.reversed()
+    assert r.has_edge(2, 1)
+    assert r.has_edge(3, 2)
+    assert not r.has_edge(1, 2)
+    assert r.node_count == 3
+
+
+def test_subgraph_induced():
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 3), (3, 1), (1, 4)])
+    s = g.subgraph([1, 2, 4])
+    assert s.has_edge(1, 2)
+    assert s.has_edge(1, 4)
+    assert not s.has_edge(2, 3)
+    assert 3 not in s
+
+
+def test_subgraph_ignores_unknown_nodes():
+    g = DiGraph()
+    g.add_edge(1, 2)
+    s = g.subgraph([1, 2, 99])
+    assert 99 not in s
+    assert s.node_count == 2
+
+
+def test_iteration_order_is_insertion_order():
+    g = DiGraph()
+    for n in ["c", "a", "b"]:
+        g.add_node(n)
+    assert list(g.nodes()) == ["c", "a", "b"]
+
+
+def test_repr_mentions_counts():
+    g = DiGraph()
+    g.add_edge(1, 2)
+    assert "nodes=2" in repr(g)
+    assert "edges=1" in repr(g)
+
+
+def test_hashable_tuple_nodes():
+    g = DiGraph()
+    g.add_edge((0, 1), (1, 0))
+    assert g.has_edge((0, 1), (1, 0))

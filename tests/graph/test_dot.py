@@ -1,0 +1,58 @@
+"""Tests for DOT rendering."""
+
+from repro.graph import DiGraph, to_dot
+
+
+def test_basic_structure():
+    g = DiGraph()
+    g.add_edge("a", "b")
+    dot = to_dot(g)
+    assert dot.startswith("digraph G {")
+    assert dot.rstrip().endswith("}")
+    assert "->" in dot
+
+
+def test_custom_labels():
+    g = DiGraph()
+    g.add_node("n")
+    dot = to_dot(g, label_of=lambda n: f"node-{n}")
+    assert 'label="node-n"' in dot
+
+
+def test_quote_escaping():
+    g = DiGraph()
+    g.add_node('we"ird')
+    dot = to_dot(g)
+    assert '\\"' in dot
+
+
+def test_edge_attrs():
+    g = DiGraph()
+    g.add_edge(1, 2)
+    dot = to_dot(g, edge_attrs=lambda s, d: {"style": "dashed"})
+    assert 'style="dashed"' in dot
+
+
+def test_clusters():
+    g = DiGraph()
+    g.add_edge("a", "b")
+    g.add_node("c")
+    dot = to_dot(g, clusters={"my box": ["a", "b"]})
+    assert "subgraph cluster_0" in dot
+    assert 'label="my box"' in dot
+
+
+def test_node_attrs():
+    g = DiGraph()
+    g.add_node("x")
+    dot = to_dot(g, node_attrs=lambda n: {"color": "red"})
+    assert 'color="red"' in dot
+
+
+def test_every_node_rendered_once():
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("b", "c")])
+    dot = to_dot(g, clusters={"grp": ["a"]})
+    # 3 node declaration lines: one in the cluster, two outside.
+    declarations = [l for l in dot.splitlines() if "[label=" in l and "->" not in l]
+    assert len(declarations) == 3

@@ -1,0 +1,88 @@
+"""Tests for topological sorting and cycle detection."""
+
+import pytest
+
+from repro.graph import CycleError, DiGraph, find_cycle, is_acyclic, topological_sort
+
+
+def _assert_valid_topo(graph, order):
+    position = {node: i for i, node in enumerate(order)}
+    assert sorted(map(str, order)) == sorted(map(str, graph.nodes()))
+    for src, dst in graph.edges():
+        assert position[src] < position[dst]
+
+
+def test_empty():
+    assert topological_sort(DiGraph()) == []
+
+
+def test_chain():
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 3)])
+    assert topological_sort(g) == [1, 2, 3]
+
+
+def test_diamond_valid():
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+    _assert_valid_topo(g, topological_sort(g))
+
+
+def test_cycle_raises():
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 1)])
+    with pytest.raises(CycleError):
+        topological_sort(g)
+
+
+def test_self_loop_raises():
+    g = DiGraph()
+    g.add_edge("a", "a")
+    with pytest.raises(CycleError):
+        topological_sort(g)
+
+
+def test_is_acyclic():
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 3)])
+    assert is_acyclic(g)
+    g.add_edge(3, 1)
+    assert not is_acyclic(g)
+
+
+def test_deterministic_order():
+    def build():
+        g = DiGraph()
+        g.add_edges([("a", "x"), ("a", "y"), ("a", "z")])
+        return g
+
+    assert topological_sort(build()) == topological_sort(build())
+
+
+class TestFindCycle:
+    def test_acyclic_returns_none(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 3), (1, 3)])
+        assert find_cycle(g) is None
+
+    def test_finds_simple_cycle(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 3), (3, 1)])
+        cycle = find_cycle(g)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for a, b in zip(cycle, cycle[1:]):
+            assert g.has_edge(a, b)
+
+    def test_finds_self_loop(self):
+        g = DiGraph()
+        g.add_edge("s", "s")
+        cycle = find_cycle(g)
+        assert cycle == ["s", "s"]
+
+    def test_cycle_reachable_only_from_tail(self):
+        g = DiGraph()
+        g.add_edges([("start", "a"), ("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = find_cycle(g)
+        assert cycle is not None
+        assert set(cycle) <= {"a", "b", "c"}

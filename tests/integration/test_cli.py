@@ -1,0 +1,204 @@
+"""CLI tests (in-process via main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_models_lists_all(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for name in ("SC", "WO", "RCsc", "DRF0", "DRF1"):
+        assert name in out
+
+
+def test_run_clean_workload_exit_zero(capsys):
+    code = main(["run", "locked-counter", "--model", "WO", "--seed", "1"])
+    assert code == 0
+    assert "No data races detected" in capsys.readouterr().out
+
+
+def test_run_racy_workload_exit_one(capsys):
+    code = main(["run", "figure1a", "--model", "SC"])
+    assert code == 1
+    assert "First partition" in capsys.readouterr().out
+
+
+def test_run_figure2(capsys):
+    code = main(["run", "figure2", "--model", "WO"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "Q" in out
+    assert "suppressed" in out
+
+
+def test_run_with_naive_baseline(capsys):
+    main(["run", "figure2", "--model", "WO", "--naive"])
+    out = capsys.readouterr().out
+    assert "Naive race report" in out
+
+
+def test_run_writes_dot(tmp_path, capsys):
+    dot = tmp_path / "g.dot"
+    main(["run", "figure1a", "--dot", str(dot)])
+    assert dot.exists()
+    assert dot.read_text().startswith("digraph")
+
+
+def test_trace_then_analyze(tmp_path, capsys):
+    trace_path = tmp_path / "wq.trace"
+    assert main(["trace", "figure2", str(trace_path), "--model", "WO"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    code = main(["analyze", str(trace_path)])
+    assert code == 1
+    assert "First partition" in capsys.readouterr().out
+
+
+def test_check_condition_34(capsys):
+    assert main(["check", "figure2", "--model", "WO"]) == 0
+    out = capsys.readouterr().out
+    assert "clause1=ok" in out
+    assert "clause2=ok" in out
+
+
+def test_check_clean_program(capsys):
+    assert main(["check", "producer-consumer", "--model", "RCsc"]) == 0
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "not-a-workload"])
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "figure1a", "--model", "TSO"])
+
+
+def test_static_command(capsys):
+    code = main(["static", "racy-counter"])
+    assert code == 1
+    assert "potential data race" in capsys.readouterr().out
+
+
+def test_static_clean_command(capsys):
+    code = main(["static", "locked-counter"])
+    assert code == 0
+    assert "statically data-race-free" in capsys.readouterr().out
+
+
+def test_drf_check_command(capsys):
+    assert main(["drf-check", "figure1b"]) == 0
+    assert "data-race-free" in capsys.readouterr().out
+    assert main(["drf-check", "single-race"]) == 1
+    out = capsys.readouterr().out
+    assert "NOT data-race-free" in out
+    assert "witness" in out
+
+
+def test_drf_check_limit(capsys):
+    code = main(["drf-check", "locked-counter", "--max-states", "5"])
+    assert code == 2
+    assert "incomplete" in capsys.readouterr().err
+
+
+def test_disasm_and_run_file(tmp_path, capsys):
+    assert main(["disasm", "figure1b"]) == 0
+    text = capsys.readouterr().out
+    assert ".thread" in text
+    source = tmp_path / "prog.rasm"
+    source.write_text(text)
+    assert main(["run-file", str(source), "--model", "WO"]) == 0
+    assert "No data races" in capsys.readouterr().out
+
+
+def test_run_file_syntax_error(tmp_path, capsys):
+    source = tmp_path / "bad.rasm"
+    source.write_text(".thread\n    bogus %r\n")
+    assert main(["run-file", str(source)]) == 2
+    assert "unknown mnemonic" in capsys.readouterr().err
+
+
+def test_record_then_replay(tmp_path, capsys):
+    rec = tmp_path / "run.replay"
+    code = main(["record", "racy-counter", str(rec),
+                 "--model", "RCsc", "--seed", "5"])
+    assert code == 1  # races found
+    first = capsys.readouterr().out
+    assert "recorded" in first
+    code = main(["replay", "racy-counter", str(rec)])
+    assert code == 1
+    second = capsys.readouterr().out
+    assert "replayed" in second
+    # same report both times
+    assert first.split("=" * 70)[1] == second.split("=" * 70)[1]
+
+
+def test_replay_wrong_workload_fails(tmp_path, capsys):
+    rec = tmp_path / "run.replay"
+    main(["record", "figure1a", str(rec)])
+    capsys.readouterr()
+    code = main(["replay", "producer-consumer", str(rec)])
+    assert code == 2
+    assert "replay failed" in capsys.readouterr().err
+
+
+def test_run_explain_flag(capsys):
+    code = main(["run", "figure2", "--explain"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "SUPPRESSED" in out
+    assert "affects" in out or "-->" in out
+
+
+def test_analyze_rejects_corrupt_trace(tmp_path, capsys):
+    import json
+    trace_path = tmp_path / "t.trace"
+    main(["trace", "figure1a", str(trace_path)])
+    capsys.readouterr()
+    # corrupt: give an event an out-of-range bit
+    lines = trace_path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("t") == "comp":
+            record["reads"] = format(1 << 500, "x")
+            lines[i] = json.dumps(record)
+            break
+    trace_path.write_text("\n".join(lines) + "\n")
+    assert main(["analyze", str(trace_path)]) == 2
+    assert "invalid trace" in capsys.readouterr().err
+
+
+def test_timeline_command(capsys):
+    assert main(["timeline", "figure2", "--rows", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "*stale*" in out
+    assert "end of SCP" in out
+    assert out.splitlines()[0].split() == ["P0", "P1", "P2"]
+
+
+def test_outcomes_command(capsys):
+    code = main(["outcomes", "store-buffering", "--model", "SC",
+                 "--vars", "critical[0]", "critical[1]"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "3 outcome(s)" in out
+    code = main(["outcomes", "store-buffering", "--model", "WO",
+                 "--vars", "critical[0]", "critical[1]"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "4 outcome(s)" in out
+    assert "critical[0]=1, critical[1]=1" in out
+
+
+def test_outcomes_limit(capsys):
+    code = main(["outcomes", "queue", "--model", "WO",
+                 "--max-states", "50"])
+    assert code == 2
+    assert "incomplete" in capsys.readouterr().err
+
+
+def test_new_workloads_run(capsys):
+    assert main(["run", "cas-counter", "--model", "RCsc"]) == 0
+    assert main(["run", "iriw", "--model", "WO"]) == 1  # racy

@@ -1,0 +1,186 @@
+"""Assembler / disassembler tests."""
+
+import pytest
+
+from repro.core.detector import PostMortemDetector
+from repro.machine.assembler import (
+    AssemblyError,
+    format_program,
+    parse_program,
+)
+from repro.machine.isa import Opcode
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+
+FIGURE_1B = """
+; Figure 1b of the paper
+.var x
+.var y
+.var s = 1
+
+.thread            ; P1
+    write x, #1
+    write y, #1
+    unset s
+
+.thread            ; P2
+spin:
+    testset %got, s
+    bnz %got, spin
+    read %ry, y
+    read %rx, x
+"""
+
+
+def test_parse_and_run_figure1b():
+    program = parse_program(FIGURE_1B)
+    assert program.processor_count == 2
+    assert program.initial_value(program.symbols.addr_of("s")) == 1
+    result = run_program(program, make_model("WO"), seed=1)
+    assert result.completed
+    assert PostMortemDetector().analyze_execution(result).race_free
+    assert result.registers[1]["rx"] == 1
+    assert result.registers[1]["ry"] == 1
+
+
+def test_halt_appended():
+    program = parse_program(".var x\n.thread\n    write x, #1\n")
+    assert program.threads[0].instructions[-1].opcode is Opcode.HALT
+
+
+def test_array_declaration_and_indexing():
+    text = """
+.array buf[4] = 0 7 0 9
+.thread
+    mov %i, #1
+    read %v, buf[%i]
+    read %w, buf[3]
+    write @0, %v
+"""
+    program = parse_program(text)
+    result = run_program(program, make_model("SC"), seed=0)
+    assert result.registers[0]["v"] == 7
+    assert result.registers[0]["w"] == 9
+
+
+def test_all_mnemonics_parse():
+    text = """
+.var a
+.var f
+.thread
+top:
+    read %r, a
+    write a, #1
+    testset %t, f
+    unset f
+    acqread %q, f
+    relwrite f, %r
+    fence
+    mov %m, #3
+    add %m, %m, #1
+    sub %m, %m, #1
+    mul %m, %m, #2
+    cmpeq %c, %m, #6
+    cmplt %d, %m, #9
+    bz %c, top
+    bnz %d, end
+    jmp end
+end:
+    nop
+    halt
+"""
+    program = parse_program(text)
+    opcodes = {i.opcode for i in program.threads[0].instructions}
+    assert Opcode.TEST_AND_SET in opcodes
+    assert Opcode.FENCE in opcodes
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            parse_program(".thread\n    frobnicate %r\n")
+
+    def test_unknown_location(self):
+        with pytest.raises(AssemblyError, match="unknown location"):
+            parse_program(".thread\n    read %r, nope\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError, match="takes 2 operand"):
+            parse_program(".var x\n.thread\n    read %r\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="expected register"):
+            parse_program(".var x\n.thread\n    read r, x\n")
+
+    def test_instruction_outside_thread(self):
+        with pytest.raises(AssemblyError, match="outside .thread"):
+            parse_program(".var x\n    read %r, x\n")
+
+    def test_declaration_after_thread(self):
+        with pytest.raises(AssemblyError, match="precede"):
+            parse_program(".thread\n    nop\n.thread\n    nop\n.var x\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            parse_program(".thread\nfoo:\nfoo:\n    nop\n")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            parse_program(".thread\n    jmp nowhere\n")
+
+    def test_no_threads(self):
+        with pytest.raises(AssemblyError, match="no .thread"):
+            parse_program(".var x\n")
+
+    def test_duplicate_symbol(self):
+        with pytest.raises(AssemblyError):
+            parse_program(".var x\n.var x\n.thread\n    nop\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as exc:
+            parse_program(".var x\n.thread\n    read %r, nope\n")
+        assert exc.value.line_no == 3
+        assert "line 3" in str(exc.value)
+
+    def test_array_initializer_too_long(self):
+        with pytest.raises(AssemblyError, match="longer than array"):
+            parse_program(".array a[2] = 1 2 3\n.thread\n    nop\n")
+
+
+class TestRoundTrip:
+    def test_format_then_parse_equivalent(self):
+        original = parse_program(FIGURE_1B)
+        text = format_program(original)
+        reparsed = parse_program(text)
+        assert reparsed.processor_count == original.processor_count
+        assert reparsed.initial_memory == original.initial_memory
+        for ta, tb in zip(original.threads, reparsed.threads):
+            assert [i.opcode for i in ta.instructions] == \
+                   [i.opcode for i in tb.instructions]
+
+    def test_builder_programs_round_trip(self):
+        from repro.programs.workqueue import buggy_workqueue_program
+        from repro.programs.kernels import locked_counter_program
+        for program in (buggy_workqueue_program(),
+                        locked_counter_program(2, 2)):
+            reparsed = parse_program(format_program(program))
+            a = run_program(program, make_model("SC"), seed=5)
+            b = run_program(reparsed, make_model("SC"), seed=5)
+            assert [
+                (op.proc, op.kind, op.addr, op.value) for op in a.operations
+            ] == [
+                (op.proc, op.kind, op.addr, op.value) for op in b.operations
+            ]
+
+    def test_initial_values_preserved(self):
+        program = parse_program(".var s = 1\n.array a[3] = 0 5 0\n.thread\n    nop\n")
+        text = format_program(program)
+        assert "= 1" in text
+        assert "0 5 0" in text
+
+
+def test_every_mnemonic_documented():
+    """The module docstring's grammar must mention every mnemonic."""
+    import repro.machine.assembler as asm
+    for mnemonic in asm._MNEMONICS:
+        assert mnemonic in asm.__doc__, mnemonic

@@ -1,0 +1,71 @@
+"""Ablation tests: the non-compliant model violates Condition 3.4(1)."""
+
+from repro.core.detector import PostMortemDetector
+from repro.core.scp import check_condition_34
+from repro.machine.models import WeakOrdering, make_model
+from repro.machine.models.broken import BrokenWeakOrdering
+from repro.machine.propagation import StubbornPropagation
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator, run_program
+from repro.programs.figure1 import figure1b_program
+
+
+def _run_fig1b(model):
+    # P1 writes x, y, Unset; P2 spins, then reads. Stubborn propagation
+    # so only flushes make buffered writes visible.
+    return Simulator(
+        figure1b_program(), model,
+        scheduler=ScriptedScheduler([0, 0, 0, 1, 1, 1, 1, 1]),
+        propagation=StubbornPropagation(), seed=0,
+    ).run()
+
+
+def test_not_in_registry():
+    import pytest
+    with pytest.raises(ValueError):
+        make_model("BrokenWO")
+
+
+def test_compliant_model_gives_sc():
+    result = _run_fig1b(WeakOrdering())
+    assert result.completed
+    assert not result.stale_reads
+    assert check_condition_34(result).ok
+
+
+def test_broken_model_violates_clause1():
+    """The same DRF program, same schedule, on the broken hardware:
+    P2 acquires the lock but reads stale x/y — no data races, yet not
+    sequentially consistent."""
+    result = _run_fig1b(BrokenWeakOrdering())
+    assert result.completed
+    assert result.stale_reads  # the smoking gun
+    report = check_condition_34(result)
+    assert report.data_race_free      # no data races...
+    assert not report.no_stale_reads  # ...but not SC
+    assert not report.clause1_ok
+    assert not report.ok
+
+
+def test_detector_conclusion_would_be_wrong_on_broken_hardware():
+    """The detector (which sees only the trace) reports no races; on
+    compliant hardware that proves SC, on broken hardware it does not —
+    the reader actually saw stale values."""
+    result = _run_fig1b(BrokenWeakOrdering())
+    report = PostMortemDetector().analyze_execution(result)
+    assert report.race_free  # trace looks clean
+    # Ground truth disagrees with what the report licenses:
+    reads = [op for op in result.per_proc[1] if op.is_data and op.is_read]
+    assert any(op.value == 0 for op in reads)  # stale x or y observed
+
+
+def test_broken_model_detected_across_seeds():
+    violations = 0
+    for seed in range(10):
+        result = run_program(
+            figure1b_program(), BrokenWeakOrdering(), seed=seed,
+            propagation=StubbornPropagation(),
+        )
+        if not check_condition_34(result).ok:
+            violations += 1
+    assert violations > 0

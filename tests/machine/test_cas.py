@@ -1,0 +1,181 @@
+"""CAS instruction tests."""
+
+import pytest
+
+from repro.core.detector import PostMortemDetector
+from repro.machine.assembler import format_program, parse_program
+from repro.machine.models import ALL_MODEL_NAMES, make_model
+from repro.machine.operations import OperationKind, SyncRole
+from repro.machine.program import ProgramBuilder
+from repro.machine.propagation import StubbornPropagation
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator, run_program
+
+DET = PostMortemDetector()
+
+
+def _run(builder_fn, model="SC", seed=0, **kwargs):
+    b = ProgramBuilder()
+    builder_fn(b)
+    return run_program(b.build(), make_model(model), seed=seed, **kwargs)
+
+
+class TestSemantics:
+    def test_success_writes_and_returns_one(self):
+        def build(b):
+            c = b.var("c", initial=7)
+            ok = b.var("ok")
+            with b.thread() as t:
+                r = t.cas(c, 7, 99)
+                t.write(ok, r)
+        res = _run(build)
+        assert res.value_of("c") == 99
+        assert res.value_of("ok") == 1
+
+    def test_failure_leaves_memory_and_returns_zero(self):
+        def build(b):
+            c = b.var("c", initial=7)
+            ok = b.var("ok", initial=5)
+            with b.thread() as t:
+                r = t.cas(c, 8, 99)
+                t.write(ok, r)
+        res = _run(build)
+        assert res.value_of("c") == 7
+        assert res.value_of("ok") == 0
+
+    def test_register_operands(self):
+        def build(b):
+            c = b.var("c", initial=3)
+            with b.thread() as t:
+                expected = t.mov(3)
+                new = t.mov(44)
+                t.cas(c, expected, new)
+        res = _run(build)
+        assert res.value_of("c") == 44
+
+    def test_success_emits_acquire_read_and_sync_only_write(self):
+        def build(b):
+            c = b.var("c")
+            with b.thread() as t:
+                t.cas(c, 0, 1)
+        res = _run(build)
+        roles = [(op.kind, op.role) for op in res.operations]
+        assert roles == [
+            (OperationKind.READ, SyncRole.ACQUIRE),
+            (OperationKind.WRITE, SyncRole.SYNC_ONLY),
+        ]
+
+    def test_failure_emits_only_the_read(self):
+        def build(b):
+            c = b.var("c", initial=9)
+            with b.thread() as t:
+                t.cas(c, 0, 1)
+        res = _run(build)
+        assert len(res.operations) == 1
+        assert res.operations[0].is_read
+
+    def test_atomicity_no_lost_updates(self):
+        from repro.programs.kernels import cas_counter_program
+        for model in ALL_MODEL_NAMES:
+            for seed in range(4):
+                res = run_program(
+                    cas_counter_program(4, 3), make_model(model), seed=seed
+                )
+                assert res.completed
+                assert res.value_of("counter") == 12, (model, seed)
+
+    def test_cas_write_is_not_a_release(self):
+        """A reader acquiring the value a CAS wrote gets no hb1
+        ordering (like Test&Set's write, section 2.1)."""
+        def build(b):
+            c = b.var("c")
+            x = b.var("x")
+            with b.thread() as t:
+                t.write(x, 1)      # buffered data write
+                t.cas(c, 0, 5)     # sync write of 5, NOT a release
+            with b.thread() as t:
+                t.acquire_read(c)  # reads 5: no pairing
+                t.read(x)
+        b = ProgramBuilder()
+        build(b)
+        sim = Simulator(
+            b.build(), make_model("RCsc"),
+            scheduler=ScriptedScheduler([0, 0, 1, 1]),
+            propagation=StubbornPropagation(), seed=0,
+        )
+        res = sim.run()
+        report = DET.analyze_execution(res)
+        assert not report.race_free  # x write/read unordered
+        x_read = [op for op in res.per_proc[1] if op.is_data][0]
+        assert x_read.stale  # RCsc never flushed (CAS isn't a release)
+
+
+class TestCASKernels:
+    def test_cas_programs_race_free(self):
+        from repro.programs.kernels import (
+            cas_counter_program, cas_slot_allocator_program,
+        )
+        for seed in range(3):
+            for prog in (cas_counter_program(2, 2),
+                         cas_slot_allocator_program(3)):
+                res = run_program(
+                    prog, make_model("WO"), seed=seed,
+                    propagation=StubbornPropagation(),
+                )
+                assert res.completed
+                assert DET.analyze_execution(res).race_free
+
+    def test_slot_allocation_unique(self):
+        from repro.programs.kernels import cas_slot_allocator_program
+        for seed in range(6):
+            res = run_program(
+                cas_slot_allocator_program(4), make_model("RCsc"), seed=seed
+            )
+            base = res.symbols.addr_of("slots")
+            values = sorted(res.final_memory[base + i] for i in range(4))
+            assert values == [100, 101, 102, 103], seed
+
+    def test_validation(self):
+        from repro.programs.kernels import (
+            cas_counter_program, cas_slot_allocator_program,
+        )
+        with pytest.raises(ValueError):
+            cas_counter_program(0)
+        with pytest.raises(ValueError):
+            cas_slot_allocator_program(0)
+
+
+class TestAssemblerAndStatic:
+    def test_cas_assembles_and_formats(self):
+        text = """
+.var c = 7
+.thread
+    cas %ok, c, #7, #42
+"""
+        program = parse_program(text)
+        res = run_program(program, make_model("SC"), seed=0)
+        assert res.value_of("c") == 42
+        rendered = format_program(program)
+        assert "cas %ok, c, #7, #42" in rendered
+        reparsed = parse_program(rendered)
+        res2 = run_program(reparsed, make_model("SC"), seed=0)
+        assert res2.value_of("c") == 42
+
+    def test_static_analysis_sees_cas_as_sync(self):
+        from repro.staticanalysis import find_static_races
+        from repro.programs.kernels import cas_counter_program
+        report = find_static_races(cas_counter_program(2, 1))
+        # all counter accesses are sync: no data race pairs
+        assert not report.potentially_racy
+
+    def test_exhaustive_explorer_handles_cas_spin(self):
+        from repro.analysis.exhaustive import is_program_data_race_free
+        b = ProgramBuilder()
+        gate = b.var("gate")
+        with b.thread() as t:
+            t.release_write(gate, 1)
+        with b.thread() as t:
+            t.label("spin")
+            got = t.cas(gate, 1, 2)
+            t.jump_if_zero(got, "spin")
+        assert is_program_data_race_free(b.build())

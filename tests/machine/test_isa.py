@@ -1,0 +1,109 @@
+"""Instruction validation tests."""
+
+import pytest
+
+from repro.machine.isa import (
+    Addr,
+    IllegalInstruction,
+    Imm,
+    Instruction,
+    Opcode,
+    Reg,
+)
+
+
+def test_read_well_formed():
+    i = Instruction(Opcode.READ, dst=Reg("r"), addr=Addr(3))
+    assert i.opcode is Opcode.READ
+    assert i.addr.base == 3
+
+
+def test_read_requires_addr():
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.READ, dst=Reg("r"))
+
+
+def test_read_requires_dst():
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.READ, addr=Addr(0))
+
+
+def test_write_requires_one_source():
+    Instruction(Opcode.WRITE, src=(Imm(5),), addr=Addr(0))
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.WRITE, src=(), addr=Addr(0))
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.WRITE, src=(Imm(1), Imm(2)), addr=Addr(0))
+
+
+def test_write_takes_no_dst():
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.WRITE, dst=Reg("r"), src=(Imm(1),), addr=Addr(0))
+
+
+def test_alu_arity():
+    Instruction(Opcode.ADD, dst=Reg("d"), src=(Imm(1), Reg("a")))
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.ADD, dst=Reg("d"), src=(Imm(1),))
+
+
+def test_mov_single_source():
+    Instruction(Opcode.MOV, dst=Reg("d"), src=(Imm(7),))
+
+
+def test_branch_requires_label():
+    Instruction(Opcode.BZ, src=(Reg("c"),), label="loop")
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.BZ, src=(Reg("c"),))
+
+
+def test_jump_requires_label():
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.JMP)
+
+
+def test_non_branch_rejects_label():
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.NOP, label="x")
+
+
+def test_non_memory_rejects_addr():
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.ADD, dst=Reg("d"), src=(Imm(1), Imm(2)), addr=Addr(0))
+
+
+def test_unset_shape():
+    Instruction(Opcode.UNSET, addr=Addr(1))
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.UNSET, dst=Reg("r"), addr=Addr(1))
+
+
+def test_test_and_set_shape():
+    Instruction(Opcode.TEST_AND_SET, dst=Reg("old"), addr=Addr(2))
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.TEST_AND_SET, addr=Addr(2))
+
+
+def test_fence_takes_nothing():
+    Instruction(Opcode.FENCE)
+    with pytest.raises(IllegalInstruction):
+        Instruction(Opcode.FENCE, addr=Addr(0))
+
+
+def test_addr_with_register_index_repr():
+    a = Addr(10, index=Reg("i"))
+    assert "10" in repr(a)
+    assert "i" in repr(a)
+
+
+def test_instruction_repr_roundtrippable_parts():
+    i = Instruction(Opcode.BZ, src=(Reg("c"),), label="top")
+    text = repr(i)
+    assert "bz" in text and "%c" in text and "@top" in text
+
+
+def test_instructions_hashable_and_frozen():
+    i = Instruction(Opcode.NOP)
+    with pytest.raises(Exception):
+        i.opcode = Opcode.HALT  # frozen dataclass
+    assert hash(i) == hash(Instruction(Opcode.NOP))

@@ -1,0 +1,90 @@
+"""Memory-model flush rules and stall accounting."""
+
+import pytest
+
+from repro.machine.models import (
+    ALL_MODEL_NAMES,
+    MODEL_REGISTRY,
+    WEAK_MODEL_NAMES,
+    CostModel,
+    DataRaceFree0,
+    DataRaceFree1,
+    ReleaseConsistencySC,
+    SequentialConsistency,
+    WeakOrdering,
+    make_model,
+)
+from repro.machine.operations import SyncRole
+
+
+class TestRegistry:
+    def test_all_names_resolvable(self):
+        for name in ALL_MODEL_NAMES:
+            assert make_model(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_model("TSO")
+
+    def test_weak_models_subset(self):
+        assert set(WEAK_MODEL_NAMES) < set(MODEL_REGISTRY)
+        assert "SC" not in WEAK_MODEL_NAMES
+
+
+class TestBufferingRules:
+    def test_sc_never_buffers(self):
+        assert not SequentialConsistency().buffers_data_writes()
+
+    @pytest.mark.parametrize("cls", [WeakOrdering, ReleaseConsistencySC,
+                                     DataRaceFree0, DataRaceFree1])
+    def test_weak_models_buffer(self, cls):
+        assert cls().buffers_data_writes()
+
+
+class TestFlushRules:
+    @pytest.mark.parametrize("cls", [WeakOrdering, DataRaceFree0])
+    def test_wo_family_flushes_at_every_sync(self, cls):
+        m = cls()
+        assert m.flushes_at(SyncRole.ACQUIRE)
+        assert m.flushes_at(SyncRole.RELEASE)
+        assert m.flushes_at(SyncRole.SYNC_ONLY)
+        assert not m.flushes_at(SyncRole.NONE)
+
+    @pytest.mark.parametrize("cls", [ReleaseConsistencySC, DataRaceFree1])
+    def test_rc_family_flushes_at_release_only(self, cls):
+        m = cls()
+        assert m.flushes_at(SyncRole.RELEASE)
+        assert not m.flushes_at(SyncRole.ACQUIRE)
+        assert not m.flushes_at(SyncRole.SYNC_ONLY)
+
+
+class TestStallAccounting:
+    def test_sc_data_write_stalls_full_latency(self):
+        costs = CostModel(write_latency=10)
+        assert SequentialConsistency(costs).data_write_stall() == 10
+
+    def test_weak_data_write_free(self):
+        assert WeakOrdering().data_write_stall() == 0
+
+    def test_sync_write_base_cost(self):
+        costs = CostModel(write_latency=10, drain_per_write=2)
+        m = WeakOrdering(costs)
+        assert m.sync_write_stall(SyncRole.RELEASE, 0) == 10
+
+    def test_flush_penalty_round_trip_plus_drains(self):
+        costs = CostModel(write_latency=10, drain_per_write=2)
+        m = WeakOrdering(costs)
+        # base 10 + round trip 10 + 3 drains * 2
+        assert m.sync_write_stall(SyncRole.RELEASE, 3) == 26
+
+    def test_sync_read_cheaper_than_write(self):
+        costs = CostModel(write_latency=10, read_latency=1)
+        m = WeakOrdering(costs)
+        assert m.sync_read_stall(SyncRole.ACQUIRE, 0) == 1
+
+    def test_data_read_stall(self):
+        costs = CostModel(read_latency=3)
+        assert WeakOrdering(costs).data_read_stall() == 3
+
+    def test_repr_contains_name(self):
+        assert "WO" in repr(WeakOrdering())

@@ -1,0 +1,176 @@
+"""Program builder and symbol table tests."""
+
+import pytest
+
+from repro.machine.isa import Opcode
+from repro.machine.program import ProgramBuilder, SymbolError, SymbolTable
+
+
+class TestSymbolTable:
+    def test_scalar_allocation_sequential(self):
+        st = SymbolTable()
+        assert st.scalar("a") == 0
+        assert st.scalar("b") == 1
+        assert st.size == 2
+
+    def test_array_allocation(self):
+        st = SymbolTable()
+        st.scalar("x")
+        base = st.array("arr", 5)
+        assert base == 1
+        assert st.size == 6
+
+    def test_duplicate_rejected(self):
+        st = SymbolTable()
+        st.scalar("x")
+        with pytest.raises(SymbolError):
+            st.scalar("x")
+        with pytest.raises(SymbolError):
+            st.array("x", 3)
+
+    def test_zero_size_array_rejected(self):
+        st = SymbolTable()
+        with pytest.raises(ValueError):
+            st.array("a", 0)
+
+    def test_addr_of(self):
+        st = SymbolTable()
+        st.scalar("x")
+        st.array("a", 3)
+        assert st.addr_of("x") == 0
+        assert st.addr_of("a") == 1
+        with pytest.raises(SymbolError):
+            st.addr_of("nope")
+
+    def test_name_of_scalar_and_array(self):
+        st = SymbolTable()
+        st.scalar("x")
+        st.array("a", 3)
+        assert st.name_of(0) == "x"
+        assert st.name_of(1) == "a[0]"
+        assert st.name_of(3) == "a[2]"
+        assert st.name_of(99) == "@99"
+
+    def test_names(self):
+        st = SymbolTable()
+        st.scalar("x")
+        st.array("a", 2)
+        assert set(st.names()) == {"x", "a"}
+
+
+class TestProgramBuilder:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder().build()
+
+    def test_threads_accumulate(self):
+        b = ProgramBuilder()
+        x = b.var("x")
+        with b.thread() as t:
+            t.write(x, 1)
+        with b.thread() as t:
+            t.read(x)
+        program = b.build()
+        assert program.processor_count == 2
+
+    def test_halt_appended(self):
+        b = ProgramBuilder()
+        x = b.var("x")
+        with b.thread() as t:
+            t.write(x, 1)
+        program = b.build()
+        assert program.threads[0].instructions[-1].opcode is Opcode.HALT
+
+    def test_explicit_halt_not_duplicated(self):
+        b = ProgramBuilder()
+        with b.thread() as t:
+            t.halt()
+        program = b.build()
+        assert len(program.threads[0]) == 1
+
+    def test_initial_memory(self):
+        b = ProgramBuilder()
+        b.var("zero")
+        b.var("one", initial=1)
+        b.array("arr", 3, initial=[0, 7, 0])
+        with b.thread() as t:
+            t.nop()
+        program = b.build()
+        assert program.initial_value(0) == 0
+        assert program.initial_value(1) == 1
+        assert program.initial_value(3) == 7
+
+    def test_array_initializer_too_long(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            b.array("a", 2, initial=[1, 2, 3])
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(SymbolError):
+            with b.thread() as t:
+                t.label("x")
+                t.label("x")
+
+    def test_dangling_label_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(SymbolError):
+            with b.thread() as t:
+                t.jump("nowhere")
+
+    def test_string_location_resolution(self):
+        b = ProgramBuilder()
+        b.var("flag")
+        with b.thread() as t:
+            t.write("flag", 9)
+        program = b.build()
+        instr = program.threads[0].instructions[0]
+        assert instr.addr.base == 0
+
+    def test_array_ref_constant_index(self):
+        b = ProgramBuilder()
+        arr = b.array("a", 4)
+        with b.thread() as t:
+            t.write(b.at(arr, 2), 1)
+        program = b.build()
+        assert program.threads[0].instructions[0].addr.base == arr + 2
+
+    def test_array_ref_register_index(self):
+        b = ProgramBuilder()
+        arr = b.array("a", 4)
+        with b.thread() as t:
+            i = t.mov(3)
+            t.write(b.at(arr, i), 1)
+        program = b.build()
+        instr = program.threads[0].instructions[1]
+        assert instr.addr.base == arr
+        assert instr.addr.index == i
+
+    def test_fresh_registers_distinct(self):
+        b = ProgramBuilder()
+        x = b.var("x")
+        with b.thread() as t:
+            r1 = t.read(x)
+            r2 = t.read(x)
+            assert r1 != r2
+
+    def test_thread_context_on_exception_discards(self):
+        b = ProgramBuilder()
+        b.var("x")
+        with pytest.raises(RuntimeError):
+            with b.thread() as t:
+                t.nop()
+                raise RuntimeError("boom")
+        with b.thread() as t:
+            t.nop()
+        assert b.build().processor_count == 1
+
+    def test_lock_emits_spin(self):
+        b = ProgramBuilder()
+        s = b.var("s")
+        with b.thread() as t:
+            t.lock(s)
+        program = b.build()
+        opcodes = [i.opcode for i in program.threads[0].instructions]
+        assert Opcode.TEST_AND_SET in opcodes
+        assert Opcode.BNZ in opcodes

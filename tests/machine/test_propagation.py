@@ -1,0 +1,140 @@
+"""Propagation policy tests."""
+
+import random
+
+import pytest
+
+from repro.machine.memory import MemorySystem
+from repro.machine.models import WeakOrdering
+from repro.machine.propagation import (
+    EagerPropagation,
+    HoldbackPropagation,
+    RandomPropagation,
+    StubbornPropagation,
+)
+
+
+@pytest.fixture
+def memory():
+    m = MemorySystem(4, 3, WeakOrdering())
+    m.write_data(0, 1, 11, seq=0, taint=False)
+    m.write_data(0, 2, 22, seq=1, taint=False)
+    return m
+
+
+def test_eager_delivers_everything(memory):
+    EagerPropagation().step(memory, random.Random(0))
+    assert memory.views_converged()
+    assert memory.read_data(2, 1).value == 11
+
+
+def test_stubborn_delivers_nothing(memory):
+    StubbornPropagation().step(memory, random.Random(0))
+    assert memory.pending_count() == 2
+    assert memory.read_data(1, 1).stale
+
+
+def test_random_eventually_delivers(memory):
+    policy = RandomPropagation(0.5)
+    rng = random.Random(1)
+    for _ in range(200):
+        if memory.views_converged():
+            break
+        policy.step(memory, rng)
+    assert memory.views_converged()
+
+
+def test_random_probability_validation():
+    with pytest.raises(ValueError):
+        RandomPropagation(1.5)
+    with pytest.raises(ValueError):
+        RandomPropagation(-0.1)
+
+
+def test_random_zero_probability_never_delivers(memory):
+    policy = RandomPropagation(0.0)
+    rng = random.Random(2)
+    for _ in range(50):
+        policy.step(memory, rng)
+    assert memory.pending_count() == 2
+
+
+def test_holdback_withholds_chosen_addresses(memory):
+    HoldbackPropagation(held=[1]).step(memory, random.Random(0))
+    assert memory.read_data(1, 2).value == 22  # addr 2 delivered
+    assert memory.read_data(1, 1).stale        # addr 1 held
+    assert memory.pending_count() == 1
+
+
+def test_holdback_released_by_flush(memory):
+    HoldbackPropagation(held=[1]).step(memory, random.Random(0))
+    memory.flush(0)
+    assert memory.views_converged()
+    assert memory.read_data(2, 1).value == 11
+
+
+class TestHomeDirectoryPropagation:
+    def test_per_location_homes_reorder_same_writer_writes(self):
+        """Two writes by one processor to differently-homed locations
+        arrive at a reader out of issue order — deterministically."""
+        from repro.machine.propagation import HomeDirectoryPropagation
+        near, far = 0, 1  # two locations
+
+        def home_of(addr):
+            return 1 if addr == near else 2
+
+        dist = [[0, 1, 9], [1, 0, 9], [9, 9, 0]]
+        m = MemorySystem(4, 3, WeakOrdering())
+        policy = HomeDirectoryPropagation(home_of, dist)
+        rng = random.Random(0)
+        m.write_data(0, far, 11, seq=0, taint=False)   # issued FIRST
+        m.write_data(0, near, 22, seq=1, taint=False)  # issued second
+        for _ in range(5):
+            policy.step(m, rng)
+        # reader 1 sees the second write but not the first
+        assert m.read_data(1, near).value == 22
+        assert m.read_data(1, far).stale
+        for _ in range(30):
+            policy.step(m, rng)
+        assert m.read_data(1, far).value == 11  # eventually arrives
+
+    def test_flush_overrides_schedule(self):
+        from repro.machine.propagation import HomeDirectoryPropagation
+        dist = [[0, 50], [50, 0]]
+        m = MemorySystem(2, 2, WeakOrdering())
+        policy = HomeDirectoryPropagation(lambda a: 1, dist)
+        rng = random.Random(0)
+        m.write_data(0, 0, 7, seq=0, taint=False)
+        policy.step(m, rng)
+        m.flush(0)
+        assert m.read_data(1, 0).value == 7
+        policy.step(m, rng)  # stale schedule must not blow up
+        assert policy._arrivals == {}
+
+    def test_figure2_numa_reproduction(self):
+        from repro.core.detector import PostMortemDetector
+        from repro.machine.models import make_model
+        from repro.programs.workqueue import figure2_numa_setup
+        result = figure2_numa_setup(make_model("WO")).run()
+        assert result.completed
+        stale = result.stale_reads
+        assert len(stale) == 1
+        assert result.addr_name(stale[0].addr) == "Q"
+        assert stale[0].value == 37
+        report = PostMortemDetector().analyze_execution(result)
+        assert len(report.first_partitions) == 1
+        assert report.suppressed_races
+
+    def test_more_processors_than_topology_nodes(self):
+        """Processors map onto nodes modulo the node count — a 3-node
+        ring must serve a 5-processor machine without error."""
+        from repro.machine.models import make_model
+        from repro.machine.propagation import HomeDirectoryPropagation
+        from repro.machine.simulator import run_program
+        from repro.programs.random_programs import random_racy_program
+        prog = random_racy_program(3, processors=5, ops_per_thread=4)
+        result = run_program(
+            prog, make_model("WO"), seed=3,
+            propagation=HomeDirectoryPropagation.ring(3),
+        )
+        assert result.completed

@@ -1,0 +1,131 @@
+"""Simulator-level tests: determinism, completion, results plumbing."""
+
+import pytest
+
+from repro.machine.models import make_model
+from repro.machine.program import ProgramBuilder
+from repro.machine.propagation import StubbornPropagation
+from repro.machine.scheduler import RoundRobin
+from repro.machine.simulator import Simulator, run_program
+from repro.programs.figure1 import figure1a_program, figure1b_program
+from repro.programs.kernels import locked_counter_program
+
+
+def test_same_seed_same_execution():
+    prog = locked_counter_program(3, 3)
+    a = run_program(prog, make_model("WO"), seed=42)
+    b = run_program(prog, make_model("WO"), seed=42)
+    assert [op.seq for op in a.operations] == [op.seq for op in b.operations]
+    assert [(op.proc, op.addr, op.value) for op in a.operations] == \
+           [(op.proc, op.addr, op.value) for op in b.operations]
+    assert a.final_memory == b.final_memory
+
+
+def test_different_seeds_can_differ():
+    prog = locked_counter_program(3, 3)
+    runs = {
+        tuple((op.proc, op.addr) for op in
+              run_program(prog, make_model("WO"), seed=s).operations)
+        for s in range(8)
+    }
+    assert len(runs) > 1
+
+
+def test_completion_flag():
+    res = run_program(figure1a_program(), make_model("SC"), seed=0)
+    assert res.completed
+    assert res.steps > 0
+
+
+def test_max_steps_bound():
+    b = ProgramBuilder()
+    s = b.var("s", initial=1)  # never released
+    with b.thread() as t:
+        t.lock(s)  # spins forever
+    res = run_program(b.build(), make_model("SC"), seed=0, max_steps=50)
+    assert not res.completed
+    assert res.steps == 50
+
+
+def test_per_proc_streams_ordered():
+    res = run_program(figure1b_program(), make_model("WO"), seed=3)
+    for ops in res.per_proc:
+        locals_ = [op.local_index for op in ops]
+        assert locals_ == sorted(locals_)
+        assert locals_ == list(range(len(ops)))
+
+
+def test_global_seq_strictly_increasing():
+    res = run_program(figure1b_program(), make_model("WO"), seed=3)
+    seqs = [op.seq for op in res.operations]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_value_of_requires_symbols():
+    res = run_program(figure1a_program(), make_model("SC"), seed=0)
+    assert res.value_of("x") == 1
+
+
+def test_addr_name_rendering():
+    res = run_program(figure1a_program(), make_model("SC"), seed=0)
+    names = {res.addr_name(op.addr) for op in res.operations}
+    assert names == {"x", "y"}
+
+
+def test_describe_op():
+    res = run_program(figure1a_program(), make_model("SC"), seed=0)
+    text = res.describe_op(res.operations[0])
+    assert text.startswith("P")
+    assert "(" in text
+
+
+def test_op_by_seq():
+    res = run_program(figure1a_program(), make_model("SC"), seed=0)
+    for op in res.operations:
+        assert res.op_by_seq(op.seq) is op
+    with pytest.raises(KeyError):
+        res.op_by_seq(10_000)
+
+
+def test_sc_executions_never_stale():
+    for seed in range(10):
+        res = run_program(figure1a_program(), make_model("SC"), seed=seed)
+        assert res.stale_reads == []
+
+
+def test_weak_stubborn_exposes_staleness():
+    # Round-robin + stubborn: P0's write buffers, P1 reads stale.
+    res = run_program(
+        figure1a_program(),
+        make_model("WO"),
+        scheduler=RoundRobin(),
+        propagation=StubbornPropagation(),
+        seed=0,
+    )
+    assert len(res.stale_reads) >= 1
+
+
+def test_data_and_sync_partition():
+    res = run_program(figure1b_program(), make_model("WO"), seed=1)
+    data = res.data_operations()
+    sync = res.sync_operations()
+    assert len(data) + len(sync) == len(res.operations)
+    assert all(op.is_data for op in data)
+    assert all(op.is_sync for op in sync)
+
+
+def test_simulator_reusable_program():
+    prog = figure1a_program()
+    r1 = Simulator(prog, make_model("SC"), seed=0).run()
+    r2 = Simulator(prog, make_model("SC"), seed=0).run()
+    assert [op.value for op in r1.operations] == [op.value for op in r2.operations]
+
+
+def test_registers_snapshot():
+    b = ProgramBuilder()
+    out = b.var("out", initial=9)
+    with b.thread() as t:
+        t.read(out, dst=t.reg("result"))
+    res = run_program(b.build(), make_model("SC"), seed=0)
+    assert res.registers[0]["result"] == 9

@@ -1,0 +1,150 @@
+"""Taint-tracking (SCP ground truth) tests.
+
+The processor must mark the raw SCP cut at the first operation whose
+identity (program point / effective address) depends on a stale value:
+control taint from branching on a stale-read register, or address taint
+from indexing with one.  Writes of tainted *values* remain in the
+prefix (operation identity ignores values, section 2.1).
+"""
+
+from repro.machine.models import make_model
+from repro.machine.program import ProgramBuilder
+from repro.machine.propagation import StubbornPropagation
+from repro.machine.scheduler import ScriptedScheduler
+from repro.machine.simulator import Simulator
+
+
+def _run_scripted(program, script, model="WO"):
+    sim = Simulator(
+        program,
+        make_model(model),
+        scheduler=ScriptedScheduler(script),
+        propagation=StubbornPropagation(),
+        seed=0,
+    )
+    return sim.run()
+
+
+def _stale_read_program():
+    """P0 writes x (buffered); P1 reads x stale."""
+    b = ProgramBuilder()
+    x = b.var("x")
+    b.var("out")
+    return b, x
+
+
+def test_stale_read_alone_does_not_cut():
+    b, x = _stale_read_program()
+    with b.thread() as t:
+        t.write(x, 1)
+    with b.thread() as t:
+        t.read(x)
+    # P0 writes (buffered), then P1 reads stale.
+    res = _run_scripted(b.build(), [0, 1])
+    assert len(res.stale_reads) == 1
+    assert res.raw_scp_cuts == [None, None]
+
+
+def test_write_of_tainted_value_stays_in_prefix():
+    b, x = _stale_read_program()
+    with b.thread() as t:
+        t.write(x, 1)
+    with b.thread() as t:
+        v = t.read(x)
+        t.write("out", v)  # same operation identity in any SC execution
+    res = _run_scripted(b.build(), [0, 1, 1])
+    assert res.raw_scp_cuts == [None, None]
+
+
+def test_branch_on_stale_value_cuts_at_next_operation():
+    b, x = _stale_read_program()
+    y = b.var("y")
+    with b.thread() as t:
+        t.write(x, 1)
+    with b.thread() as t:
+        v = t.read(x)          # op 0: stale
+        t.jump_if_zero(v, "a")  # control now tainted
+        t.write(y, 1)
+        t.jump("end")
+        t.label("a")
+        t.write(y, 2)           # op 1: first op under tainted control
+        t.label("end")
+    res = _run_scripted(b.build(), [0, 1, 1, 1])
+    assert res.raw_scp_cuts[1] == 1
+
+
+def test_tainted_address_cuts():
+    b = ProgramBuilder()
+    idx = b.var("idx")
+    arr = b.array("arr", 8)
+    with b.thread() as t:
+        t.write(idx, 3)
+    with b.thread() as t:
+        i = t.read(idx)              # op 0: stale (value 0, not 3)
+        t.write(b.at(arr, i), 9)     # op 1: address depends on stale value
+    res = _run_scripted(b.build(), [0, 1, 1])
+    assert res.raw_scp_cuts[1] == 1
+
+
+def test_taint_propagates_through_alu():
+    b = ProgramBuilder()
+    idx = b.var("idx")
+    arr = b.array("arr", 8)
+    with b.thread() as t:
+        t.write(idx, 3)
+    with b.thread() as t:
+        i = t.read(idx)
+        j = t.add(i, 1)
+        k = t.mul(j, 2)
+        t.write(b.at(arr, k), 9)
+    res = _run_scripted(b.build(), [0, 1, 1, 1, 1])
+    assert res.raw_scp_cuts[1] == 1
+
+
+def test_taint_propagates_through_memory_to_third_processor():
+    b = ProgramBuilder()
+    x = b.var("x")
+    relay = b.var("relay")
+    arr = b.array("arr", 8)
+    with b.thread() as t:       # P0: the racing writer
+        t.write(x, 3)
+    with b.thread() as t:       # P1: stale read, relays the value
+        v = t.read(x)
+        t.write(relay, v)
+        t.fence()               # make the relayed (tainted) value visible
+    with b.thread() as t:       # P2: consumes the tainted value
+        w = t.read(relay)
+        t.write(b.at(arr, w), 1)
+    res = _run_scripted(b.build(), [0, 1, 1, 1, 2, 2])
+    assert res.raw_scp_cuts[2] == 1
+
+
+def test_fresh_values_never_taint():
+    b = ProgramBuilder()
+    x = b.var("x")
+    arr = b.array("arr", 4)
+    with b.thread() as t:
+        t.write(x, 2)
+        t.fence()
+    with b.thread() as t:
+        v = t.read(x)
+        t.write(b.at(arr, v), 5)
+    res = _run_scripted(b.build(), [0, 0, 1, 1])
+    assert res.stale_reads == []
+    assert res.raw_scp_cuts == [None, None]
+
+
+def test_sync_reads_never_stale_never_taint():
+    b = ProgramBuilder()
+    s = b.var("s")
+    arr = b.array("arr", 4)
+    with b.thread() as t:
+        t.write(s, 2)  # a *data* write to the sync location, buffered
+    with b.thread() as t:
+        v = t.acquire_read(s)  # sync read: sees committed value 2
+        t.write(b.at(arr, v), 1)
+    res = _run_scripted(b.build(), [0, 1, 1])
+    acquire = [op for op in res.operations if op.is_sync][0]
+    assert acquire.value == 2
+    assert not acquire.stale
+    assert res.raw_scp_cuts == [None, None]

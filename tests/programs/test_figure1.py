@@ -1,0 +1,46 @@
+"""Figure 1 program tests."""
+
+from repro.core.detector import PostMortemDetector
+from repro.machine.models import ALL_MODEL_NAMES, make_model
+from repro.machine.simulator import run_program
+from repro.programs.figure1 import figure1a_program, figure1b_program
+
+
+def test_figure1a_shape():
+    program = figure1a_program()
+    assert program.processor_count == 2
+    assert program.symbols.addr_of("x") == 0
+    assert program.symbols.addr_of("y") == 1
+
+
+def test_figure1a_races_under_every_model_and_seed():
+    det = PostMortemDetector()
+    for model in ALL_MODEL_NAMES:
+        for seed in range(4):
+            result = run_program(figure1a_program(), make_model(model), seed=seed)
+            assert result.completed
+            report = det.analyze_execution(result)
+            assert not report.race_free, (model, seed)
+
+
+def test_figure1b_race_free_under_every_model_and_seed():
+    det = PostMortemDetector()
+    for model in ALL_MODEL_NAMES:
+        for seed in range(4):
+            result = run_program(figure1b_program(), make_model(model), seed=seed)
+            assert result.completed
+            report = det.analyze_execution(result)
+            assert report.race_free, (model, seed)
+            assert not result.stale_reads, (model, seed)
+
+
+def test_figure1b_reader_sees_writes():
+    result = run_program(figure1b_program(), make_model("WO"), seed=0)
+    reads = [op for op in result.operations if op.is_data and op.is_read]
+    assert {op.value for op in reads} == {1}
+
+
+def test_figure1b_lock_initially_held():
+    program = figure1b_program()
+    s = program.symbols.addr_of("s")
+    assert program.initial_value(s) == 1

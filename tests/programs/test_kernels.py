@@ -1,0 +1,161 @@
+"""Kernel workload tests: semantic correctness plus race status."""
+
+import pytest
+
+from repro.core.detector import PostMortemDetector
+from repro.machine.models import ALL_MODEL_NAMES, make_model
+from repro.machine.simulator import run_program
+from repro.programs.kernels import (
+    fanin_barrier_program,
+    independent_work_program,
+    locked_counter_program,
+    producer_consumer_program,
+    racy_counter_program,
+    region_then_lock_program,
+    single_race_program,
+)
+
+DET = PostMortemDetector()
+
+
+class TestLockedCounter:
+    @pytest.mark.parametrize("model", ALL_MODEL_NAMES)
+    def test_no_lost_updates(self, model):
+        result = run_program(
+            locked_counter_program(3, 4), make_model(model), seed=9
+        )
+        assert result.completed
+        assert result.value_of("counter") == 12
+
+    def test_race_free(self):
+        for seed in range(4):
+            result = run_program(
+                locked_counter_program(2, 3), make_model("WO"), seed=seed
+            )
+            assert DET.analyze_execution(result).race_free
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            locked_counter_program(0, 1)
+
+
+class TestRacyCounter:
+    def test_races_detected(self):
+        result = run_program(racy_counter_program(2, 2), make_model("SC"), seed=0)
+        assert not DET.analyze_execution(result).race_free
+
+    def test_can_lose_updates_on_sc(self):
+        lost = False
+        for seed in range(20):
+            result = run_program(
+                racy_counter_program(3, 4), make_model("SC"), seed=seed
+            )
+            if result.value_of("counter") < 12:
+                lost = True
+                break
+        assert lost
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            racy_counter_program(1, 0)
+
+
+class TestProducerConsumer:
+    @pytest.mark.parametrize("model", ALL_MODEL_NAMES)
+    def test_consumer_sees_all_items(self, model):
+        items = 6
+        result = run_program(
+            producer_consumer_program(items), make_model(model), seed=4
+        )
+        assert result.completed
+        expected = sum(10 + i for i in range(items))
+        assert result.value_of("consumed") == expected
+
+    def test_race_free(self):
+        for seed in range(4):
+            result = run_program(
+                producer_consumer_program(4), make_model("DRF1"), seed=seed
+            )
+            assert DET.analyze_execution(result).race_free
+            assert not result.stale_reads
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            producer_consumer_program(0)
+
+
+class TestIndependentWork:
+    def test_no_conflicts_at_all(self):
+        result = run_program(
+            independent_work_program(3, 4), make_model("WO"), seed=0
+        )
+        report = DET.analyze_execution(result)
+        assert report.races == []  # not even sync races
+
+    def test_final_values(self):
+        result = run_program(
+            independent_work_program(2, 2), make_model("SC"), seed=0
+        )
+        region = result.symbols.addr_of("region")
+        assert result.final_memory[region + 0] == 1      # proc 0 adds 1
+        assert result.final_memory[region + 2] == 2      # proc 1 adds 2
+
+
+class TestSingleRace:
+    def test_exactly_one_race(self):
+        result = run_program(single_race_program(), make_model("SC"), seed=0)
+        report = DET.analyze_execution(result)
+        assert len(report.data_races) == 1
+        assert len(report.first_partitions) == 1
+
+
+class TestRegionThenLock:
+    @pytest.mark.parametrize("model", ALL_MODEL_NAMES)
+    def test_summary_correct(self, model):
+        result = run_program(
+            region_then_lock_program(2, 3, 2), make_model(model), seed=6
+        )
+        assert result.completed
+        assert result.value_of("summary") == 4  # 2 procs * 2 rounds
+
+    def test_race_free(self):
+        result = run_program(
+            region_then_lock_program(2, 3, 2), make_model("WO"), seed=1
+        )
+        assert DET.analyze_execution(result).race_free
+
+    def test_rcsc_cheaper_than_wo(self):
+        prog = region_then_lock_program(3, 8, 3)
+        wo = run_program(prog, make_model("WO"), seed=5)
+        rc = run_program(prog, make_model("RCsc"), seed=5)
+        sc = run_program(prog, make_model("SC"), seed=5)
+        assert rc.total_stall_cycles < wo.total_stall_cycles
+        assert wo.total_stall_cycles < sc.total_stall_cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            region_then_lock_program(0)
+
+
+class TestFaninBarrier:
+    @pytest.mark.parametrize("model", ALL_MODEL_NAMES)
+    def test_result_combines_all_workers(self, model):
+        workers, cells = 2, 3
+        result = run_program(
+            fanin_barrier_program(workers, cells), make_model(model), seed=8
+        )
+        assert result.completed
+        expected = sum((w + 1) * cells for w in range(workers))
+        assert result.value_of("result") == expected
+
+    def test_race_free(self):
+        for seed in range(3):
+            result = run_program(
+                fanin_barrier_program(2, 2), make_model("RCsc"), seed=seed
+            )
+            assert DET.analyze_execution(result).race_free
+            assert not result.stale_reads
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fanin_barrier_program(0)

@@ -1,0 +1,209 @@
+"""Litmus-test program tests: the store-buffering separation."""
+
+import pytest
+
+from repro.analysis.exhaustive import is_program_data_race_free
+from repro.core.detector import PostMortemDetector
+from repro.core.scp import check_condition_34
+from repro.machine.models import ALL_MODEL_NAMES, WEAK_MODEL_NAMES, make_model
+from repro.machine.propagation import StubbornPropagation
+from repro.machine.simulator import run_program
+from repro.programs.litmus import (
+    both_entered,
+    count_sb_violations,
+    locked_mutual_exclusion_program,
+    run_store_buffering_witness,
+    store_buffering_program,
+)
+
+DET = PostMortemDetector()
+
+
+class TestStoreBuffering:
+    def test_sc_never_both_enter(self):
+        assert count_sb_violations(make_model("SC"), seeds=60) == 0
+
+    @pytest.mark.parametrize("model", WEAK_MODEL_NAMES)
+    def test_weak_models_admit_both_enter(self, model):
+        witness = run_store_buffering_witness(make_model(model))
+        assert both_entered(witness)
+
+    def test_sc_witness_schedule_fails_to_violate(self):
+        witness = run_store_buffering_witness(make_model("SC"))
+        assert not both_entered(witness)
+
+    def test_program_not_drf(self):
+        assert not is_program_data_race_free(store_buffering_program())
+
+    def test_detector_flags_races_on_weak_witness(self):
+        witness = run_store_buffering_witness(make_model("WO"))
+        report = DET.analyze_execution(witness)
+        assert not report.race_free
+        # the flag accesses race
+        names = {
+            report.trace.addr_name(a)
+            for race in report.data_races
+            for a in race.locations
+        }
+        assert {"flag0", "flag1"} <= names
+
+    @pytest.mark.parametrize("model", WEAK_MODEL_NAMES)
+    def test_condition_34_still_holds(self, model):
+        """Even in the SC-violating outcome, the weak machine preserved
+        an SCP accounting for every race (Theorem 3.5)."""
+        witness = run_store_buffering_witness(make_model(model))
+        assert check_condition_34(witness).ok
+
+    def test_stale_reads_present_in_weak_witness(self):
+        witness = run_store_buffering_witness(make_model("WO"))
+        stale_names = {
+            witness.addr_name(op.addr) for op in witness.stale_reads
+        }
+        assert stale_names == {"flag0", "flag1"}
+
+
+class TestLockedMutualExclusion:
+    @pytest.mark.parametrize("model", ALL_MODEL_NAMES)
+    def test_never_overlaps(self, model):
+        for seed in range(6):
+            result = run_program(
+                locked_mutual_exclusion_program(), make_model(model),
+                seed=seed, propagation=StubbornPropagation(),
+            )
+            assert result.completed
+            assert result.value_of("overlap") == 0, (model, seed)
+
+    def test_race_free_and_drf(self):
+        result = run_program(
+            locked_mutual_exclusion_program(), make_model("WO"), seed=2
+        )
+        assert DET.analyze_execution(result).race_free
+        assert is_program_data_race_free(locked_mutual_exclusion_program())
+
+
+class TestIRIW:
+    """Independent Reads of Independent Writes: per-reader visibility
+    lets two readers observe two writes in opposite orders — no single
+    total order (SC) can explain that outcome."""
+
+    def test_sc_never_forbidden(self):
+        from repro.programs.litmus import (
+            iriw_forbidden_outcome, iriw_program, run_iriw_witness,
+        )
+        from repro.machine.simulator import run_program as _run
+        assert not iriw_forbidden_outcome(run_iriw_witness(make_model("SC")))
+        for seed in range(25):
+            result = _run(iriw_program(), make_model("SC"), seed=seed)
+            assert not iriw_forbidden_outcome(result), seed
+
+    @pytest.mark.parametrize("model", WEAK_MODEL_NAMES)
+    def test_weak_models_admit_forbidden(self, model):
+        from repro.programs.litmus import (
+            iriw_forbidden_outcome, run_iriw_witness,
+        )
+        result = run_iriw_witness(make_model(model))
+        assert result.completed
+        assert iriw_forbidden_outcome(result)
+
+    def test_forbidden_outcome_has_no_sc_witness(self):
+        """The exhaustive SC-witness search must agree the weak IRIW
+        outcome is not sequentially consistent."""
+        from repro.analysis.sc_checker import find_sc_witness
+        from repro.programs.litmus import (
+            iriw_forbidden_outcome, run_iriw_witness,
+        )
+        result = run_iriw_witness(make_model("WO"))
+        assert iriw_forbidden_outcome(result)
+        assert find_sc_witness(result.operations) is None
+
+    def test_condition_34_still_holds(self):
+        from repro.programs.litmus import run_iriw_witness
+        assert check_condition_34(run_iriw_witness(make_model("WO"))).ok
+
+    def test_not_drf(self):
+        from repro.programs.litmus import iriw_program
+        assert not is_program_data_race_free(iriw_program())
+
+
+class TestRingFactory:
+    def test_ring_distances_symmetric(self):
+        from repro.machine.propagation import HomeDirectoryPropagation
+        policy = HomeDirectoryPropagation.ring(5, hop_cost=3)
+        for u in range(5):
+            assert policy.dist[u][u] == 0
+            for v in range(5):
+                assert policy.dist[u][v] == policy.dist[v][u]
+        assert policy.dist[0][1] == 3
+        assert policy.dist[0][4] == 3  # wraps around the ring
+        assert policy.dist[0][2] == 6
+
+    def test_ring_validation(self):
+        from repro.machine.propagation import HomeDirectoryPropagation
+        with pytest.raises(ValueError):
+            HomeDirectoryPropagation.ring(0)
+
+    def test_condition_34_under_ring_topology(self):
+        """Deterministic NUMA propagation is still Condition-3.4
+        compliant (flushes are instant)."""
+        from repro.machine.propagation import HomeDirectoryPropagation
+        from repro.programs.random_programs import random_racy_program
+        for seed in range(5):
+            prog = random_racy_program(seed, race_prob=0.5)
+            result = run_program(
+                prog, make_model("WO"), seed=seed,
+                propagation=HomeDirectoryPropagation.ring(3),
+            )
+            assert result.completed
+            assert check_condition_34(result).ok, seed
+
+
+class TestPeterson:
+    """Peterson's algorithm: correct under SC (proved exhaustively),
+    broken on every weak model (the textbook SC-dependence)."""
+
+    def test_sc_mutual_exclusion_exhaustive(self):
+        from repro.analysis.outcomes import enumerate_outcomes
+        from repro.programs.litmus import peterson_program
+        out = enumerate_outcomes(
+            peterson_program(), make_model("SC"), interesting=["overlap"]
+        )
+        assert out.values_of("overlap") == {(0,)}
+
+    @pytest.mark.parametrize("model", WEAK_MODEL_NAMES)
+    def test_weak_models_violate(self, model):
+        from repro.programs.litmus import run_peterson_witness
+        result = run_peterson_witness(make_model(model))
+        assert result.completed
+        assert result.value_of("overlap") == 1
+        assert result.stale_reads  # the stale flag read caused it
+
+    def test_not_drf(self):
+        from repro.analysis.exhaustive import is_program_data_race_free
+        from repro.programs.litmus import peterson_program
+        assert not is_program_data_race_free(peterson_program())
+
+    def test_detector_points_at_the_protocol_variables(self):
+        from repro.programs.litmus import run_peterson_witness
+        result = run_peterson_witness(make_model("WO"))
+        report = DET.analyze_execution(result)
+        assert not report.race_free
+        names = {
+            report.trace.addr_name(a)
+            for p in report.first_partitions
+            for race in p.data_races
+            for a in race.locations
+        }
+        assert names & {"flag[0]", "flag[1]", "turn"}
+
+    def test_condition_34_holds(self):
+        from repro.programs.litmus import run_peterson_witness
+        assert check_condition_34(run_peterson_witness(make_model("WO"))).ok
+
+    def test_sc_random_runs_never_violate(self):
+        from repro.programs.litmus import peterson_program
+        for seed in range(15):
+            result = run_program(
+                peterson_program(), make_model("SC"), seed=seed
+            )
+            assert result.completed
+            assert result.value_of("overlap") == 0, seed

@@ -1,0 +1,95 @@
+"""Bounded-queue kernel tests."""
+
+import pytest
+
+from repro.core.detector import PostMortemDetector
+from repro.core.scp import check_condition_34
+from repro.machine.models import ALL_MODEL_NAMES, make_model
+from repro.machine.propagation import StubbornPropagation
+from repro.machine.simulator import run_program
+from repro.programs.queue import bounded_queue_program, expected_checksum_total
+
+DET = PostMortemDetector()
+
+
+class TestLockedQueue:
+    @pytest.mark.parametrize("model", ALL_MODEL_NAMES)
+    def test_fifo_accounting_balances(self, model):
+        producers, consumers, items = 2, 2, 3
+        program = bounded_queue_program(producers, consumers, items)
+        for seed in range(3):
+            result = run_program(
+                program, make_model(model), seed=seed, max_steps=400_000
+            )
+            assert result.completed, (model, seed)
+            base = result.symbols.addr_of("sum")
+            total = sum(
+                result.final_memory[base + c] for c in range(consumers)
+            )
+            assert total == expected_checksum_total(producers, items)
+            # queue drained exactly
+            assert result.value_of("count") == 0
+            assert result.value_of("head") == result.value_of("tail")
+
+    def test_race_free(self):
+        program = bounded_queue_program(2, 1, 2)
+        for seed in range(3):
+            result = run_program(
+                program, make_model("WO"), seed=seed, max_steps=400_000,
+                propagation=StubbornPropagation(),
+            )
+            assert result.completed
+            assert DET.analyze_execution(result).race_free, seed
+            assert not result.stale_reads
+
+    def test_single_producer_single_consumer(self):
+        program = bounded_queue_program(1, 1, 4)
+        result = run_program(program, make_model("RCsc"), seed=7,
+                             max_steps=400_000)
+        assert result.completed
+        base = result.symbols.addr_of("sum")
+        assert result.final_memory[base] == expected_checksum_total(1, 4)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            bounded_queue_program(1, 2, 3)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            bounded_queue_program(4, 2, 8, capacity=16)
+
+
+class TestBuggyQueue:
+    def test_races_detected(self):
+        program = bounded_queue_program(2, 2, 3, locked=False)
+        result = run_program(
+            program, make_model("WO"), seed=3, max_steps=20_000
+        )
+        report = DET.analyze_execution(result)
+        assert not report.race_free
+        assert report.first_partitions
+
+    def test_condition_34_holds_even_mid_flight(self):
+        program = bounded_queue_program(2, 2, 3, locked=False)
+        result = run_program(
+            program, make_model("WO"), seed=3, max_steps=5_000
+        )
+        assert check_condition_34(result).ok
+
+    def test_queue_state_races_in_first_partition(self):
+        program = bounded_queue_program(2, 2, 3, locked=False)
+        result = run_program(
+            program, make_model("SC"), seed=1, max_steps=20_000
+        )
+        report = DET.analyze_execution(result)
+        assert not report.race_free
+        first_locs = {
+            report.trace.addr_name(a)
+            for p in report.first_partitions
+            for race in p.data_races
+            for a in race.locations
+        }
+        # the first races involve the unprotected queue metadata/buffer
+        assert first_locs & {"head", "tail", "count"} or any(
+            name.startswith("buf[") for name in first_locs
+        )

@@ -1,0 +1,112 @@
+"""Random program generator tests."""
+
+import pytest
+
+from repro.core.detector import PostMortemDetector
+from repro.machine.isa import Opcode
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs.random_programs import (
+    random_drf_program,
+    random_program_suite,
+    random_racy_program,
+)
+
+
+def _opcode_stream(program):
+    return [
+        i.opcode for thread in program.threads for i in thread.instructions
+    ]
+
+
+def test_deterministic_generation():
+    a = random_drf_program(7)
+    b = random_drf_program(7)
+    assert _opcode_stream(a) == _opcode_stream(b)
+
+
+def test_different_seeds_differ():
+    streams = {tuple(_opcode_stream(random_drf_program(s))) for s in range(10)}
+    assert len(streams) > 1
+
+
+def test_drf_programs_have_locks_around_shared_access():
+    det = PostMortemDetector()
+    for seed in range(10):
+        prog = random_drf_program(seed)
+        result = run_program(prog, make_model("SC"), seed=seed)
+        assert result.completed
+        assert det.analyze_execution(result).race_free, seed
+
+
+def test_racy_programs_race_sometimes():
+    det = PostMortemDetector()
+    racy_count = 0
+    for seed in range(15):
+        prog = random_racy_program(seed, race_prob=0.8)
+        result = run_program(prog, make_model("SC"), seed=seed)
+        if not det.analyze_execution(result).race_free:
+            racy_count += 1
+    assert racy_count > 5
+
+
+def test_race_prob_validation():
+    with pytest.raises(ValueError):
+        random_racy_program(0, race_prob=0.0)
+    with pytest.raises(ValueError):
+        random_racy_program(0, race_prob=1.5)
+
+
+def test_suite_generation():
+    suite = random_program_suite(100, 5, racy=False)
+    assert len(suite) == 5
+    assert all(p.processor_count == 3 for p in suite)
+
+
+def test_kwargs_forwarded():
+    prog = random_drf_program(3, processors=5, ops_per_thread=2)
+    assert prog.processor_count == 5
+
+
+def test_programs_terminate_under_all_models():
+    for seed in range(5):
+        prog = random_racy_program(seed)
+        for model in ("SC", "WO", "RCsc"):
+            result = run_program(prog, make_model(model), seed=seed)
+            assert result.completed, (seed, model)
+
+
+class TestFlagSyncGenerator:
+    def test_deterministic(self):
+        from repro.programs.random_programs import random_flagsync_program
+        a = random_flagsync_program(5)
+        b = random_flagsync_program(5)
+        assert _opcode_stream(a) == _opcode_stream(b)
+
+    def test_race_free_on_all_weak_models(self):
+        from repro.core.detector import PostMortemDetector
+        from repro.machine.propagation import StubbornPropagation
+        from repro.programs.random_programs import random_flagsync_program
+        det = PostMortemDetector()
+        for seed in range(6):
+            prog = random_flagsync_program(seed)
+            for model in ("WO", "RCsc", "DRF1"):
+                result = run_program(
+                    prog, make_model(model), seed=seed,
+                    propagation=StubbornPropagation(),
+                )
+                assert result.completed, (seed, model)
+                assert not result.stale_reads, (seed, model)
+                assert det.analyze_execution(result).race_free, (seed, model)
+
+    def test_no_test_and_set_used(self):
+        from repro.programs.random_programs import random_flagsync_program
+        prog = random_flagsync_program(3)
+        assert Opcode.TEST_AND_SET not in _opcode_stream(prog)
+        assert Opcode.REL_WRITE in _opcode_stream(prog)
+
+    def test_validation(self):
+        import pytest
+        from repro.programs.random_programs import random_flagsync_program
+        with pytest.raises(ValueError):
+            random_flagsync_program(0, stages=1)

@@ -1,0 +1,118 @@
+"""Work-queue (Figure 2) program tests."""
+
+import pytest
+
+from repro.core.detector import PostMortemDetector
+from repro.machine.models import WEAK_MODEL_NAMES, make_model
+from repro.machine.simulator import run_program
+from repro.programs.workqueue import (
+    WorkQueueParams,
+    buggy_workqueue_program,
+    fixed_workqueue_program,
+    run_figure2,
+)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        p = WorkQueueParams()
+        assert p.stale_addr == 37
+        assert p.enqueued_addr == 100
+        assert p.region_size == 200
+
+    def test_region_size_covers_stale_overlap(self):
+        p = WorkQueueParams(stale_addr=150, enqueued_addr=10,
+                            work_len=100, region_len=50)
+        assert p.region_size == 250
+
+
+class TestDeterministicFigure2:
+    def test_reproduces_stale_dequeue(self, figure2_result):
+        assert figure2_result.completed
+        stale = figure2_result.stale_reads
+        assert len(stale) == 1
+        op = stale[0]
+        assert figure2_result.addr_name(op.addr) == "Q"
+        assert op.value == 37  # the old queue contents
+
+    def test_qempty_read_fresh(self, figure2_result):
+        qe = figure2_result.symbols.addr_of("Q") + 1  # QEmpty follows Q
+        reads = [
+            op for op in figure2_result.per_proc[1]
+            if op.is_read and figure2_result.addr_name(op.addr) == "QEmpty"
+        ]
+        assert len(reads) == 1
+        assert reads[0].value == 0
+        assert not reads[0].stale
+
+    def test_p2_worked_on_overlapping_region(self, figure2_result):
+        symbols = figure2_result.symbols
+        p2_writes = {
+            op.addr for op in figure2_result.per_proc[1]
+            if op.is_write and op.is_data
+        }
+        region = symbols.addr_of("region")
+        # P2 worked 37..136 relative to region base: overlap with P3's
+        # region 0..99 on 37..99.
+        assert region + 37 in p2_writes
+        assert region + 99 in p2_writes
+        assert region + 136 in p2_writes
+
+    def test_works_under_all_weak_models(self):
+        for model in WEAK_MODEL_NAMES:
+            result = run_figure2(make_model(model))
+            assert result.completed
+            assert len(result.stale_reads) == 1, model
+
+    def test_sc_never_dequeues_stale(self):
+        for seed in range(6):
+            result = run_program(
+                buggy_workqueue_program(), make_model("SC"), seed=seed
+            )
+            q_reads = [
+                op for op in result.per_proc[1]
+                if op.is_read and result.addr_name(op.addr) == "Q"
+            ]
+            for op in q_reads:
+                assert op.value in (37, 100)
+                assert not op.stale
+
+
+class TestFixedVariant:
+    @pytest.mark.parametrize("model", ("SC",) + WEAK_MODEL_NAMES)
+    def test_race_free(self, model):
+        det = PostMortemDetector()
+        for seed in range(3):
+            result = run_program(
+                fixed_workqueue_program(), make_model(model), seed=seed
+            )
+            assert result.completed
+            assert det.analyze_execution(result).race_free, (model, seed)
+            assert not result.stale_reads
+
+    def test_locks_present(self):
+        from repro.machine.isa import Opcode
+        program = fixed_workqueue_program()
+        for thread in program.threads[:2]:
+            opcodes = [i.opcode for i in thread.instructions]
+            assert Opcode.TEST_AND_SET in opcodes
+
+
+def test_buggy_program_has_no_test_and_set():
+    from repro.machine.isa import Opcode
+    program = buggy_workqueue_program()
+    for thread in program.threads:
+        opcodes = [i.opcode for i in thread.instructions]
+        assert Opcode.TEST_AND_SET not in opcodes
+
+
+def test_small_params_still_overlap():
+    params = WorkQueueParams(stale_addr=2, enqueued_addr=6,
+                             region_len=6, work_len=6)
+    from repro.programs.workqueue import figure2_weak_setup
+    result = figure2_weak_setup(make_model("WO"), params).run()
+    assert result.completed
+    assert len(result.stale_reads) == 1
+    report = PostMortemDetector().analyze_execution(result)
+    assert not report.race_free
+    assert len(report.suppressed_races) >= 1

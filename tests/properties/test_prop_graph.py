@@ -1,0 +1,111 @@
+"""Property-based tests of the graph substrate against brute-force
+reference implementations, over hypothesis-generated random digraphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DiGraph,
+    TransitiveClosure,
+    condensation,
+    find_cycle,
+    is_acyclic,
+    reachable_from,
+    strongly_connected_components,
+    topological_sort,
+)
+
+
+@st.composite
+def digraphs(draw, max_nodes=12):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    g = DiGraph()
+    g.add_nodes(range(n))
+    if n:
+        edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ),
+                max_size=3 * n,
+            )
+        )
+        g.add_edges(edges)
+    return g
+
+
+def _brute_reach(g):
+    return {node: reachable_from(g, node) for node in g.nodes()}
+
+
+@given(digraphs())
+@settings(max_examples=150, deadline=None)
+def test_transitive_closure_matches_bfs(g):
+    tc = TransitiveClosure(g)
+    reach = _brute_reach(g)
+    for a in g.nodes():
+        for b in g.nodes():
+            assert tc.ordered(a, b) == (b in reach[a])
+
+
+@given(digraphs())
+@settings(max_examples=150, deadline=None)
+def test_scc_mutual_reachability(g):
+    reach = _brute_reach(g)
+    comps = strongly_connected_components(g)
+    # Partition property
+    all_nodes = [n for c in comps for n in c]
+    assert sorted(all_nodes) == sorted(g.nodes())
+    # Within a component: mutual reachability (via non-empty paths when
+    # the component has >1 node).
+    for comp in comps:
+        if len(comp) > 1:
+            for a in comp:
+                for b in comp:
+                    assert b in reach[a]
+    # Across components: never mutually reachable.
+    index = {}
+    for i, comp in enumerate(comps):
+        for node in comp:
+            index[node] = i
+    for a in g.nodes():
+        for b in g.nodes():
+            if index[a] != index[b]:
+                assert not (b in reach[a] and a in reach[b])
+
+
+@given(digraphs())
+@settings(max_examples=150, deadline=None)
+def test_condensation_acyclic_and_consistent(g):
+    c = condensation(g)
+    assert is_acyclic(c.dag)
+    for src, dst in g.edges():
+        ci, cj = c.index_of[src], c.index_of[dst]
+        if ci != cj:
+            assert c.dag.has_edge(ci, cj)
+
+
+@given(digraphs())
+@settings(max_examples=150, deadline=None)
+def test_topo_sort_iff_acyclic(g):
+    cycle = find_cycle(g)
+    if cycle is None:
+        order = topological_sort(g)
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst in g.edges():
+            assert position[src] < position[dst]
+    else:
+        assert not is_acyclic(g)
+        assert cycle[0] == cycle[-1]
+        for a, b in zip(cycle, cycle[1:]):
+            assert g.has_edge(a, b)
+
+
+@given(digraphs())
+@settings(max_examples=100, deadline=None)
+def test_reversed_flips_reachability(g):
+    r = g.reversed()
+    for a in g.nodes():
+        fwd = reachable_from(g, a)
+        for b in fwd:
+            assert a in reachable_from(r, b)

@@ -1,0 +1,132 @@
+"""CFG construction tests."""
+
+from repro.machine.program import ProgramBuilder
+from repro.staticanalysis.cfg import basic_blocks, build_cfg
+
+
+def _thread(builder_fn):
+    b = ProgramBuilder()
+    builder_fn(b)
+    return b.build().threads[0]
+
+
+def test_straight_line():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            t.write(x, 1)
+            t.write(x, 2)
+    thread = _thread(build)
+    cfg = build_cfg(thread)
+    # write -> write -> halt -> exit
+    assert cfg.successors[0] == [1]
+    assert cfg.successors[1] == [2]
+    assert cfg.successors[2] == [cfg.exit_node]
+
+
+def test_branch_has_two_successors():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            r = t.mov(0)
+            t.jump_if_zero(r, "skip")
+            t.write(x, 1)
+            t.label("skip")
+            t.write(x, 2)
+    thread = _thread(build)
+    cfg = build_cfg(thread)
+    branch = 1
+    assert len(cfg.successors[branch]) == 2
+    assert set(cfg.successors[branch]) == {2, 3}
+
+
+def test_jump_no_fallthrough():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            t.jump("end")
+            t.write(x, 1)
+            t.label("end")
+            t.write(x, 2)
+    thread = _thread(build)
+    cfg = build_cfg(thread)
+    assert cfg.successors[0] == [2]
+
+
+def test_unreachable_excluded():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            t.jump("end")
+            t.write(x, 1)  # dead
+            t.label("end")
+            t.write(x, 2)
+    thread = _thread(build)
+    cfg = build_cfg(thread)
+    reachable = cfg.reachable_instructions()
+    assert 1 not in reachable
+    assert {0, 2} <= reachable
+
+
+def test_loop_back_edge():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            i = t.mov(0)
+            t.label("loop")
+            t.write(x, 1)
+            t.add(i, 1, dst=i)
+            cond = t.cmp_lt(i, 3)
+            t.jump_if_nonzero(cond, "loop")
+    thread = _thread(build)
+    cfg = build_cfg(thread)
+    branch = 4
+    assert 1 in cfg.successors[branch]  # back edge to the loop body
+    assert 1 in cfg.predecessors[1] or branch in cfg.predecessors[1]
+
+
+def test_predecessors_mirror_successors():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            r = t.mov(1)
+            t.jump_if_nonzero(r, "end")
+            t.write(x, 1)
+            t.label("end")
+    thread = _thread(build)
+    cfg = build_cfg(thread)
+    for src, dsts in cfg.successors.items():
+        for dst in dsts:
+            assert src in cfg.predecessors[dst]
+
+
+def test_basic_blocks_cover_reachable():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            i = t.mov(0)
+            t.label("loop")
+            t.write(x, 1)
+            t.add(i, 1, dst=i)
+            cond = t.cmp_lt(i, 3)
+            t.jump_if_nonzero(cond, "loop")
+            t.write(x, 9)
+    thread = _thread(build)
+    cfg = build_cfg(thread)
+    blocks = basic_blocks(cfg)
+    covered = set()
+    for start, end in blocks:
+        covered.update(range(start, end))
+    assert cfg.reachable_instructions() <= covered
+    # the loop head starts a block
+    assert any(start == 1 for start, _ in blocks)
+
+
+def test_empty_thread():
+    b = ProgramBuilder()
+    with b.thread() as t:
+        pass  # builder appends HALT
+    thread = b.build().threads[0]
+    cfg = build_cfg(thread)
+    assert cfg.reachable_instructions() == {0}
+    assert basic_blocks(cfg) == [(0, 1)]

@@ -1,0 +1,152 @@
+"""Lockset dataflow tests."""
+
+from repro.machine.isa import Opcode
+from repro.machine.program import ProgramBuilder
+from repro.staticanalysis.lockset import compute_locksets
+
+
+def _thread(builder_fn):
+    b = ProgramBuilder()
+    builder_fn(b)
+    program = b.build()
+    return program, program.threads[0]
+
+
+def _lockset_at_opcode(program, thread, opcode, occurrence=0):
+    locksets = compute_locksets(thread)
+    count = 0
+    for i, instr in enumerate(thread.instructions):
+        if instr.opcode is opcode and i in locksets:
+            if count == occurrence:
+                return locksets[i].held
+            count += 1
+    raise AssertionError(f"no reachable {opcode} #{occurrence}")
+
+
+def test_lock_idiom_acquires():
+    def build(b):
+        s = b.var("s")
+        x = b.var("x")
+        with b.thread() as t:
+            t.lock(s)
+            t.write(x, 1)     # inside the critical section
+            t.unlock(s)
+            t.write(x, 2)     # outside
+    program, thread = _thread(build)
+    s = program.symbols.addr_of("s")
+    locksets = compute_locksets(thread)
+    writes = [i for i, ins in enumerate(thread.instructions)
+              if ins.opcode is Opcode.WRITE]
+    assert locksets[writes[0]].held == frozenset({s})
+    assert locksets[writes[1]].held == frozenset()
+
+
+def test_unset_releases():
+    def build(b):
+        s = b.var("s")
+        x = b.var("x")
+        with b.thread() as t:
+            t.lock(s)
+            t.unset(s)
+            t.write(x, 1)
+    program, thread = _thread(build)
+    locksets = compute_locksets(thread)
+    write = [i for i, ins in enumerate(thread.instructions)
+             if ins.opcode is Opcode.WRITE][0]
+    assert locksets[write].held == frozenset()
+
+
+def test_nested_locks():
+    def build(b):
+        s1, s2 = b.var("s1"), b.var("s2")
+        x = b.var("x")
+        with b.thread() as t:
+            t.lock(s1)
+            t.lock(s2)
+            t.write(x, 1)
+            t.unlock(s2)
+            t.write(x, 2)
+            t.unlock(s1)
+    program, thread = _thread(build)
+    s1 = program.symbols.addr_of("s1")
+    s2 = program.symbols.addr_of("s2")
+    locksets = compute_locksets(thread)
+    writes = [i for i, ins in enumerate(thread.instructions)
+              if ins.opcode is Opcode.WRITE]
+    assert locksets[writes[0]].held == frozenset({s1, s2})
+    assert locksets[writes[1]].held == frozenset({s1})
+
+
+def test_branch_merge_is_intersection():
+    """A location locked on only one branch arm is not definitely held
+    at the join point."""
+    def build(b):
+        s = b.var("s")
+        x = b.var("x")
+        cond = b.var("cond")
+        with b.thread() as t:
+            c = t.read(cond)
+            t.jump_if_zero(c, "skip")
+            t.lock(s)
+            t.label("skip")
+            t.write(x, 1)  # join point: lock NOT definitely held
+    program, thread = _thread(build)
+    locksets = compute_locksets(thread)
+    write = [i for i, ins in enumerate(thread.instructions)
+             if ins.opcode is Opcode.WRITE][0]
+    assert locksets[write].held == frozenset()
+
+
+def test_loop_keeps_lock_if_held_on_all_paths():
+    def build(b):
+        s = b.var("s")
+        x = b.var("x")
+        with b.thread() as t:
+            t.lock(s)
+            i = t.mov(0)
+            t.label("loop")
+            t.write(x, 1)
+            t.add(i, 1, dst=i)
+            cond = t.cmp_lt(i, 3)
+            t.jump_if_nonzero(cond, "loop")
+            t.unlock(s)
+    program, thread = _thread(build)
+    s = program.symbols.addr_of("s")
+    locksets = compute_locksets(thread)
+    write = [i for i, ins in enumerate(thread.instructions)
+             if ins.opcode is Opcode.WRITE][0]
+    assert locksets[write].held == frozenset({s})
+
+
+def test_failed_ts_path_not_held():
+    """Inside the spin loop (back at the Test&Set) the lock is not
+    considered held."""
+    def build(b):
+        s = b.var("s")
+        with b.thread() as t:
+            t.lock(s)
+    program, thread = _thread(build)
+    locksets = compute_locksets(thread)
+    ts = [i for i, ins in enumerate(thread.instructions)
+          if ins.opcode is Opcode.TEST_AND_SET][0]
+    assert locksets[ts].held == frozenset()
+
+
+def test_clobbered_binding_no_refinement():
+    """If the Test&Set result register is overwritten before the
+    branch, the analysis must not acquire the lock."""
+    from repro.machine.isa import Addr, Imm, Instruction, Opcode as Op, Reg
+    from repro.machine.program import ThreadProgram
+    r = Reg("r")
+    thread = ThreadProgram(
+        instructions=(
+            Instruction(Op.TEST_AND_SET, dst=r, addr=Addr(0)),
+            Instruction(Op.MOV, dst=r, src=(Imm(0),)),   # clobber
+            Instruction(Op.BNZ, src=(r,), label="top"),
+            Instruction(Op.WRITE, src=(Imm(1),), addr=Addr(1)),
+            Instruction(Op.HALT),
+        ),
+        labels={"top": 0},
+    )
+    locksets = compute_locksets(thread)
+    assert locksets[3].held == frozenset()

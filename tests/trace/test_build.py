@@ -1,0 +1,162 @@
+"""Trace building (event segmentation) tests."""
+
+from repro.machine.models import make_model
+from repro.machine.program import ProgramBuilder
+from repro.machine.simulator import run_program
+from repro.trace.build import build_trace, event_of_op
+from repro.trace.events import ComputationEvent, SyncEvent
+
+
+def _trace_of(builder_fn, model="SC", seed=0):
+    b = ProgramBuilder()
+    builder_fn(b)
+    result = run_program(b.build(), make_model(model), seed=seed)
+    return result, build_trace(result)
+
+
+def test_pure_data_run_is_one_computation_event():
+    def build(b):
+        x, y = b.var("x"), b.var("y")
+        with b.thread() as t:
+            t.write(x, 1)
+            t.read(y)
+            t.write(y, 2)
+    _, trace = _trace_of(build)
+    assert trace.event_count == 1
+    event = trace.events[0][0]
+    assert isinstance(event, ComputationEvent)
+    assert set(event.writes) == {0, 1}
+    assert set(event.reads) == {1}
+    assert event.op_count == 3
+
+
+def test_sync_op_closes_computation_event():
+    def build(b):
+        x = b.var("x")
+        s = b.var("s")
+        with b.thread() as t:
+            t.write(x, 1)
+            t.unset(s)
+            t.write(x, 2)
+    _, trace = _trace_of(build)
+    events = trace.events[0]
+    assert len(events) == 3
+    assert isinstance(events[0], ComputationEvent)
+    assert isinstance(events[1], SyncEvent)
+    assert isinstance(events[2], ComputationEvent)
+
+
+def test_test_and_set_is_two_sync_events():
+    def build(b):
+        s = b.var("s")
+        with b.thread() as t:
+            t.test_and_set(s)
+    _, trace = _trace_of(build)
+    events = trace.events[0]
+    assert len(events) == 2
+    assert all(isinstance(e, SyncEvent) for e in events)
+
+
+def test_sync_order_per_location():
+    def build(b):
+        s1 = b.var("s1")
+        s2 = b.var("s2")
+        with b.thread() as t:
+            t.unset(s1)
+            t.unset(s2)
+            t.unset(s1)
+    _, trace = _trace_of(build)
+    assert len(trace.sync_order[0]) == 2
+    assert len(trace.sync_order[1]) == 1
+    # order positions recorded on the events
+    for addr, order in trace.sync_order.items():
+        for pos, eid in enumerate(order):
+            event = trace.event(eid)
+            assert event.order_pos == pos
+            assert event.addr == addr
+
+
+def test_event_ids_match_positions():
+    def build(b):
+        x = b.var("x")
+        s = b.var("s")
+        with b.thread() as t:
+            t.write(x, 1)
+            t.unset(s)
+        with b.thread() as t:
+            t.read(x)
+    _, trace = _trace_of(build)
+    for proc, events in enumerate(trace.events):
+        for pos, event in enumerate(events):
+            assert event.eid.proc == proc
+            assert event.eid.pos == pos
+
+
+def test_event_of_op_mapping():
+    def build(b):
+        x = b.var("x")
+        s = b.var("s")
+        with b.thread() as t:
+            t.write(x, 1)
+            t.unset(s)
+    result, trace = _trace_of(build)
+    for op in result.operations:
+        eid = event_of_op(trace, op.seq)
+        assert eid is not None
+        event = trace.event(eid)
+        if op.is_sync:
+            assert isinstance(event, SyncEvent)
+            assert event.seq == op.seq
+        else:
+            assert op.seq in event.op_seqs
+    assert event_of_op(trace, 999) is None
+
+
+def test_counts_and_accessors():
+    def build(b):
+        x = b.var("x")
+        s = b.var("s")
+        with b.thread() as t:
+            t.write(x, 1)
+            t.unset(s)
+        with b.thread() as t:
+            t.read(x)
+    _, trace = _trace_of(build)
+    assert trace.event_count == len(trace.all_events())
+    assert len(trace.sync_events()) == 1
+    assert len(trace.computation_events()) == 2
+
+
+def test_interleaving_does_not_merge_across_procs():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            t.write(x, 1)
+            t.write(x, 2)
+        with b.thread() as t:
+            t.read(x)
+            t.read(x)
+    _, trace = _trace_of(build, seed=3)
+    # Each processor's run of data ops is one event regardless of how
+    # the scheduler interleaved them.
+    assert len(trace.events[0]) == 1
+    assert len(trace.events[1]) == 1
+
+
+def test_addr_name_and_label():
+    def build(b):
+        b.var("foo")
+        with b.thread() as t:
+            t.write("foo", 1)
+    _, trace = _trace_of(build)
+    assert trace.addr_name(0) == "foo"
+    assert "foo" in trace.label(trace.events[0][0].eid)
+
+
+def test_model_name_recorded():
+    def build(b):
+        x = b.var("x")
+        with b.thread() as t:
+            t.write(x, 1)
+    _, trace = _trace_of(build, model="RCsc")
+    assert trace.model_name == "RCsc"
