@@ -1,0 +1,74 @@
+"""Hunting throughput: serial versus the parallel execution engine.
+
+The hunt's value scales with executions per second (one clean run
+proves nothing — §1), so this bench measures the engine's throughput
+on the ``racy-counter`` workload at increasing worker counts and
+reports the speedup over the serial path.  The >1.5x-at-4-workers
+scaling assertion only applies on machines that actually have 4 cores
+to scale onto; on smaller machines the numbers are still reported.
+"""
+
+import os
+
+import pytest
+
+from conftest import emit
+from repro.analysis.hunting import hunt_races
+from repro.machine.models import make_model
+from repro.programs.kernels import racy_counter_program
+
+TRIES = 96
+
+
+def _available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _hunt(jobs: int):
+    return hunt_races(
+        racy_counter_program(4, 8),
+        lambda: make_model("WO"),
+        tries=TRIES,
+        jobs=jobs,
+    )
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_hunt_throughput(benchmark, jobs):
+    result = benchmark(lambda: _hunt(jobs))
+    emit(
+        benchmark,
+        f"Hunt throughput (jobs={jobs}, {_available_cores()} core(s))",
+        [
+            f"{result.tries} executions in {result.elapsed:.3f}s -> "
+            f"{result.executions_per_second:.0f} exec/s; "
+            f"{result.racy_runs} racy, {result.clean_runs} clean",
+        ],
+    )
+
+
+def test_parallel_scaling(benchmark):
+    """Serial-vs-parallel scaling table; asserts >1.5x at 4 workers
+    when the hardware has >= 4 cores."""
+    cores = _available_cores()
+    serial = _hunt(1)
+    rates = {1: serial.executions_per_second}
+    for jobs in (2, 4):
+        result = _hunt(jobs)
+        assert result.stats() == serial.stats()  # determinism, always
+        rates[jobs] = result.executions_per_second
+    benchmark(lambda: _hunt(min(4, max(cores, 1))))
+    rows = [
+        f"jobs={jobs}: {rate:.0f} exec/s "
+        f"(speedup {rate / rates[1]:.2f}x)"
+        for jobs, rate in sorted(rates.items())
+    ]
+    rows.append(f"available cores: {cores}")
+    emit(benchmark, "Hunt scaling (serial vs parallel)", rows)
+    if cores >= 4:
+        assert rates[4] > 1.5 * rates[1], (
+            f"expected >1.5x at 4 workers on {cores} cores, got "
+            f"{rates[4] / rates[1]:.2f}x"
+        )

@@ -9,7 +9,15 @@ from .exhaustive import (
     explore_program,
     is_program_data_race_free,
 )
-from .hunting import HuntResult, default_policies, hunt_races
+from .hunting import (
+    HuntResult,
+    JobFailure,
+    default_policies,
+    hunt_races,
+    policies_by_name,
+    policy_registry,
+)
+from .parallel import HuntJob, JobOutcome, plan_jobs, run_hunt
 from .outcomes import OutcomeLimit, OutcomeSet, enumerate_outcomes
 from .metrics import (
     DetectionSummary,
@@ -40,8 +48,15 @@ __all__ = [
     "OutcomeSet",
     "enumerate_outcomes",
     "HuntResult",
+    "HuntJob",
+    "JobFailure",
+    "JobOutcome",
     "default_policies",
     "hunt_races",
+    "plan_jobs",
+    "policies_by_name",
+    "policy_registry",
+    "run_hunt",
     "DetectionSummary",
     "RaceAccuracy",
     "TraceOverhead",

@@ -10,7 +10,17 @@ debugger.
 
 The hunt sweeps seeds across a set of propagation-policy factories
 (stubborn and NUMA-ring shapes surface weak-memory reorderings that
-eager propagation hides) and reports per-policy statistics.
+eager propagation hides) and reports per-policy and per-seed
+statistics.  Every policy is swept over the *same* seed range
+(seed-major enumeration: attempt ``i`` runs seed ``i // P`` under
+policy ``i % P``), so per-policy racy rates are directly comparable
+and adding or removing a policy never changes which seeds another
+policy observes.
+
+Execution is delegated to :mod:`repro.analysis.parallel`, which shards
+the (seed, policy) jobs across worker processes when ``jobs > 1`` and
+merges outcomes deterministically — the merged :class:`HuntResult`
+statistics are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -18,17 +28,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.detector import PostMortemDetector
 from ..core.report import RaceReport
 from ..machine.models.base import MemoryModel
 from ..machine.program import Program
 from ..machine.propagation import (
+    EagerPropagation,
     HomeDirectoryPropagation,
     PropagationPolicy,
     RandomPropagation,
     StubbornPropagation,
 )
-from ..machine.replay import ExecutionRecording, record_execution
+from ..machine.replay import ExecutionRecording
 from ..machine.simulator import ExecutionResult
 
 PolicyFactory = Callable[[], PropagationPolicy]
@@ -43,6 +53,44 @@ def default_policies(processor_count: int) -> List[Tuple[str, PolicyFactory]]:
             max(processor_count, 2)
         )),
     ]
+
+
+def policy_registry(processor_count: int) -> Dict[str, PolicyFactory]:
+    """Every named propagation shape the CLI can sweep."""
+    registry: Dict[str, PolicyFactory] = dict(
+        default_policies(processor_count)
+    )
+    registry["eager"] = EagerPropagation
+    registry["random-0.5"] = lambda: RandomPropagation(0.5)
+    return registry
+
+
+POLICY_NAMES = ("stubborn", "random-0.2", "ring", "eager", "random-0.5")
+
+
+def policies_by_name(
+    names: Sequence[str], processor_count: int
+) -> List[Tuple[str, PolicyFactory]]:
+    """Resolve policy names (CLI ``--policies``) to ``(name, factory)``
+    pairs, preserving order.  Unknown names raise :class:`ValueError`."""
+    registry = policy_registry(processor_count)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown propagation polic{'ies' if len(unknown) > 1 else 'y'} "
+            f"{', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(registry))}"
+        )
+    return [(name, registry[name]) for name in names]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One hunt job that crashed or timed out instead of completing."""
+
+    seed: int
+    policy: str
+    error: str
 
 
 @dataclass
@@ -60,10 +108,57 @@ class HuntResult:
     seed: Optional[int] = None
     policy: Optional[str] = None
     per_policy: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    per_seed: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    recording_verified: Optional[bool] = None
+    failures: List[JobFailure] = field(default_factory=list)
+    step_bound_runs: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
 
     @property
     def found(self) -> bool:
-        return self.first_racy is not None
+        return self.racy_runs > 0
+
+    @property
+    def executions_per_second(self) -> float:
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.tries / self.elapsed
+
+    def stats(self) -> dict:
+        """The merge-determined statistics: identical for any worker
+        count over the same job set (no timing, no worker count)."""
+        return {
+            "model": self.model_name,
+            "tries": self.tries,
+            "racy_runs": self.racy_runs,
+            "clean_runs": self.clean_runs,
+            "step_bound_runs": self.step_bound_runs,
+            "found": self.found,
+            "seed": self.seed,
+            "policy": self.policy,
+            "recording_verified": self.recording_verified,
+            "per_policy": {
+                name: {"racy": racy, "runs": total}
+                for name, (racy, total) in sorted(self.per_policy.items())
+            },
+            "per_seed": {
+                str(seed): {"racy": racy, "runs": total}
+                for seed, (racy, total) in sorted(self.per_seed.items())
+            },
+            "failures": [
+                {"seed": f.seed, "policy": f.policy, "error": f.error}
+                for f in self.failures
+            ],
+        }
+
+    def to_json(self) -> dict:
+        """``stats()`` plus the run's timing/worker metadata."""
+        payload = self.stats()
+        payload["jobs"] = self.jobs
+        payload["elapsed_sec"] = round(self.elapsed, 6)
+        payload["executions_per_sec"] = round(self.executions_per_second, 1)
+        return payload
 
     def summary(self) -> str:
         lines = [
@@ -72,12 +167,30 @@ class HuntResult:
         ]
         for policy, (racy, total) in sorted(self.per_policy.items()):
             lines.append(f"  {policy}: {racy}/{total} racy")
-        if self.found:
+        if self.step_bound_runs:
             lines.append(
-                f"first racy execution: seed={self.seed}, "
-                f"policy={self.policy}; recording captured for replay"
+                f"  {self.step_bound_runs} run(s) hit the step bound "
+                f"before completing"
             )
-        else:
+        for failure in self.failures:
+            lines.append(
+                f"  FAILED seed={failure.seed} policy={failure.policy}: "
+                f"{failure.error}"
+            )
+        if self.found and self.seed is not None:
+            first = (
+                f"first racy execution: seed={self.seed}, "
+                f"policy={self.policy}"
+            )
+            if self.recording_verified is False:
+                lines.append(first)
+                lines.append(
+                    "  WARNING: recording failed replay verification; "
+                    "the captured recording does not reproduce this race"
+                )
+            else:
+                lines.append(first + "; recording captured for replay")
+        elif not self.found:
             lines.append(
                 "no racy execution found (not a proof of data-race-"
                 "freedom; see analysis.exhaustive for that)"
@@ -92,6 +205,8 @@ def hunt_races(
     policies: Optional[Sequence[Tuple[str, PolicyFactory]]] = None,
     stop_at_first: bool = False,
     max_steps: int = 200_000,
+    jobs: int = 1,
+    job_timeout: Optional[float] = None,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -99,45 +214,46 @@ def hunt_races(
         program: the program under test.
         model_factory: builds a fresh memory model per run (models are
             stateless today, but a factory keeps that a non-assumption).
-        tries: total executions, divided round-robin over policies.
+        tries: total executions.  Enumeration is seed-major — attempt
+            ``i`` runs seed ``i // P`` under policy ``i % P`` — so all
+            ``P`` policies sweep the same seed range (when ``tries`` is
+            a multiple of ``P``, identical seed sets; otherwise the
+            final seed covers only a prefix of the policy list).
         policies: ``(name, factory)`` pairs; defaults to
-            :func:`default_policies`.
+            :func:`default_policies`.  An explicit empty sequence is an
+            error — a hunt with no policies can run nothing.
         stop_at_first: return as soon as one racy execution is found.
+        max_steps: per-execution simulator step bound (runs that hit it
+            are still analyzed, and counted in ``step_bound_runs``).
+        jobs: worker processes.  ``1`` runs in-process; ``N > 1`` shards
+            jobs across a fork-based pool (see
+            :mod:`repro.analysis.parallel`) with statistics identical
+            to the serial run.
+        job_timeout: optional per-execution wall-clock limit in
+            seconds; a timed-out job is recorded as a failure, not
+            fatal.  Wall-clock limits are inherently nondeterministic —
+            leave unset when exact reproducibility matters.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
-    detector = PostMortemDetector()
-    policy_list = list(
-        policies if policies is not None
-        else default_policies(program.processor_count)
+    if jobs < 1:
+        raise ValueError("jobs must be positive")
+    if policies is None:
+        policy_list = default_policies(program.processor_count)
+    else:
+        policy_list = list(policies)
+        if not policy_list:
+            raise ValueError(
+                "policies must not be empty (pass None for the defaults)"
+            )
+    from .parallel import run_hunt
+    return run_hunt(
+        program,
+        model_factory,
+        tries=tries,
+        policies=policy_list,
+        stop_at_first=stop_at_first,
+        max_steps=max_steps,
+        jobs=jobs,
+        job_timeout=job_timeout,
     )
-    model_name = model_factory().name
-    result = HuntResult(
-        program=program, model_name=model_name, tries=0,
-        racy_runs=0, clean_runs=0,
-    )
-    for attempt in range(tries):
-        name, factory = policy_list[attempt % len(policy_list)]
-        seed = attempt
-        execution, recording = record_execution(
-            program, model_factory(), seed=seed,
-            propagation=factory(), max_steps=max_steps,
-        )
-        report = detector.analyze_execution(execution)
-        result.tries += 1
-        racy, total = result.per_policy.get(name, (0, 0))
-        if report.race_free:
-            result.clean_runs += 1
-            result.per_policy[name] = (racy, total + 1)
-            continue
-        result.racy_runs += 1
-        result.per_policy[name] = (racy + 1, total + 1)
-        if result.first_racy is None:
-            result.first_racy = execution
-            result.first_report = report
-            result.recording = recording
-            result.seed = seed
-            result.policy = name
-            if stop_at_first:
-                break
-    return result

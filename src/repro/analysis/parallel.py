@@ -1,0 +1,411 @@
+"""The parallel race-hunting engine.
+
+One dynamic run proves nothing (paper §1), so the hunt's currency is
+*executions per second*.  This module turns the seed x policy sweep of
+:mod:`repro.analysis.hunting` into an explicit job list and executes it
+either in-process (``jobs=1`` — today's serial path) or across a
+``fork``-based :mod:`multiprocessing` pool, with three properties the
+serial loop gets for free and a pool must work for:
+
+* **Determinism** — jobs carry a canonical index (seed-major over the
+  policy list) and outcomes are merged in index order, so the merged
+  :class:`~repro.analysis.hunting.HuntResult` statistics are identical
+  for any worker count and any completion order.
+* **Early stop** — with ``stop_at_first`` the parent broadcasts the
+  lowest racy job index through a shared value; workers skip jobs
+  *beyond* it (jobs before it still run, preserving the serial
+  semantics of "everything up to and including the first racy run").
+* **Isolation** — a job that raises, or exceeds ``job_timeout``
+  wall-clock seconds, becomes a recorded
+  :class:`~repro.analysis.hunting.JobFailure` instead of killing the
+  hunt; an execution that hits the step bound is counted but flagged.
+
+Workers never ship :class:`~repro.machine.simulator.ExecutionResult`
+objects back — they return the racy run's
+:class:`~repro.machine.replay.ExecutionRecording` (plain lists of
+ints, cheap to pickle) plus a report digest, and the parent *replays*
+the recording to reconstruct the execution.  That replay doubles as
+verification that the advertised recording actually reproduces the
+race (``HuntResult.recording_verified``).
+
+Parallel execution requires the ``fork`` start method (policy and
+model factories may be closures, which ``spawn`` cannot pickle); on
+platforms without it the engine silently degrades to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.detector import PostMortemDetector
+from ..machine.models.base import MemoryModel
+from ..machine.program import Program
+from ..machine.replay import (
+    ExecutionRecording,
+    ReplayError,
+    record_execution,
+    replay_execution,
+    verify_recording,
+)
+from .hunting import HuntResult, JobFailure, PolicyFactory
+
+
+@dataclass(frozen=True)
+class HuntJob:
+    """One unit of hunt work: run one seed under one policy.
+
+    ``index`` is the job's position in the canonical seed-major
+    enumeration; merging folds outcomes in ``index`` order, which is
+    what makes the hunt's result independent of worker count.
+    """
+
+    index: int
+    seed: int
+    policy_index: int
+    policy_name: str
+
+
+@dataclass
+class JobOutcome:
+    """What one job produced, in picklable form.
+
+    ``execution``/``report`` are populated only when the job ran
+    in-process (the serial path keeps the live objects); workers leave
+    them ``None`` and the parent reconstructs the racy execution by
+    replaying ``recording``.
+    """
+
+    job: HuntJob
+    status: str  # "racy" | "clean" | "error" | "skipped"
+    completed: bool = True
+    operations: int = 0
+    error: str = ""
+    recording: Optional[ExecutionRecording] = None
+    report_digest: str = ""
+    execution: Optional[object] = None
+    report: Optional[object] = None
+
+
+def plan_jobs(tries: int, policy_names: Sequence[str]) -> List[HuntJob]:
+    """The canonical seed-major job list: attempt ``i`` is seed
+    ``i // P`` under policy ``i % P``, so every policy sweeps the same
+    seed range (seed ``s`` runs under all ``P`` policies before seed
+    ``s + 1`` starts)."""
+    if not policy_names:
+        raise ValueError("policies must not be empty")
+    count = len(policy_names)
+    return [
+        HuntJob(
+            index=i,
+            seed=i // count,
+            policy_index=i % count,
+            policy_name=policy_names[i % count],
+        )
+        for i in range(tries)
+    ]
+
+
+class JobTimeout(Exception):
+    """A job exceeded its wall-clock budget."""
+
+
+@contextmanager
+def _time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`JobTimeout` if the body runs longer than
+    *seconds* (SIGALRM-based; silently a no-op off the main thread or
+    on platforms without SIGALRM)."""
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise JobTimeout(f"execution exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class _HuntState:
+    """Everything a job needs to run; shared with workers via fork."""
+
+    def __init__(
+        self,
+        program: Program,
+        model_factory: Callable[[], MemoryModel],
+        policies: Sequence[Tuple[str, PolicyFactory]],
+        max_steps: int,
+        job_timeout: Optional[float],
+    ) -> None:
+        self.program = program
+        self.model_factory = model_factory
+        self.policies = list(policies)
+        self.max_steps = max_steps
+        self.job_timeout = job_timeout
+        self.detector = PostMortemDetector()
+
+
+def _execute_job(
+    state: _HuntState, job: HuntJob, keep_execution: bool
+) -> JobOutcome:
+    """Run one job with failure/timeout isolation."""
+    _, factory = state.policies[job.policy_index]
+    try:
+        with _time_limit(state.job_timeout):
+            execution, recording = record_execution(
+                state.program,
+                state.model_factory(),
+                seed=job.seed,
+                propagation=factory(),
+                max_steps=state.max_steps,
+            )
+            report = state.detector.analyze_execution(execution)
+    except Exception as exc:  # isolated, recorded by the merge
+        return JobOutcome(
+            job=job, status="error",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    racy = not report.race_free
+    outcome = JobOutcome(
+        job=job,
+        status="racy" if racy else "clean",
+        completed=execution.completed,
+        operations=len(execution.operations),
+        recording=recording if racy else None,
+        report_digest=report.format() if racy else "",
+    )
+    if keep_execution:
+        outcome.execution = execution
+        outcome.report = report
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# worker-side plumbing (module-level so the pool task is picklable; the
+# heavyweight state rides the fork, not the task pipe)
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: Optional[_HuntState] = None
+_WORKER_STOP = None  # multiprocessing.Value: lowest racy index, -1 = none
+
+
+def _init_worker(state: _HuntState, stop_at) -> None:
+    global _WORKER_STATE, _WORKER_STOP
+    _WORKER_STATE = state
+    _WORKER_STOP = stop_at
+
+
+def _worker_run(job: HuntJob) -> JobOutcome:
+    if _WORKER_STOP is not None:
+        stop = _WORKER_STOP.value
+        # Only jobs *beyond* the racy index are skippable: everything
+        # before it is part of the deterministic stop_at_first prefix.
+        if 0 <= stop < job.index:
+            return JobOutcome(job=job, status="skipped")
+    assert _WORKER_STATE is not None
+    return _execute_job(_WORKER_STATE, job, keep_execution=False)
+
+
+# ----------------------------------------------------------------------
+# execution strategies
+# ----------------------------------------------------------------------
+
+def _run_serial(
+    state: _HuntState, jobs: List[HuntJob], stop_at_first: bool
+) -> List[JobOutcome]:
+    outcomes: List[JobOutcome] = []
+    for job in jobs:
+        outcome = _execute_job(state, job, keep_execution=True)
+        outcomes.append(outcome)
+        if stop_at_first and outcome.status == "racy":
+            break
+    return outcomes
+
+
+def _run_parallel(
+    state: _HuntState,
+    jobs: List[HuntJob],
+    stop_at_first: bool,
+    workers: int,
+) -> List[JobOutcome]:
+    ctx = multiprocessing.get_context("fork")
+    stop_at = ctx.Value("i", -1) if stop_at_first else None
+    # Small chunks keep the early-stop responsive; otherwise amortize
+    # the per-task IPC over larger batches.
+    chunksize = 1 if stop_at_first else max(1, len(jobs) // (workers * 8))
+    outcomes: List[JobOutcome] = []
+    with ctx.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(state, stop_at),
+    ) as pool:
+        for outcome in pool.imap_unordered(
+            _worker_run, jobs, chunksize=chunksize
+        ):
+            outcomes.append(outcome)
+            if stop_at is not None and outcome.status == "racy":
+                with stop_at.get_lock():
+                    if stop_at.value < 0 or outcome.job.index < stop_at.value:
+                        stop_at.value = outcome.job.index
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# deterministic merge
+# ----------------------------------------------------------------------
+
+def _attach_first(
+    result: HuntResult, first: JobOutcome, state: _HuntState
+) -> None:
+    """Fill in the first racy execution + verify its recording."""
+    result.seed = first.job.seed
+    result.policy = first.job.policy_name
+    result.recording = first.recording
+    if first.recording is None:  # pragma: no cover - racy jobs record
+        return
+    if first.execution is not None:
+        # In-process job: we hold the original execution; check the
+        # recording reproduces it exactly before advertising replay.
+        result.first_racy = first.execution
+        result.first_report = first.report
+        result.recording_verified = verify_recording(
+            state.program,
+            state.model_factory(),
+            first.recording,
+            first.execution,
+            max_steps=state.max_steps,
+        )
+        return
+    # Cross-process job: reconstruct the execution by replaying the
+    # recording; matching the worker's report digest verifies it.
+    try:
+        execution = replay_execution(
+            state.program,
+            state.model_factory(),
+            first.recording,
+            max_steps=state.max_steps,
+        )
+    except ReplayError:
+        result.recording_verified = False
+        return
+    report = state.detector.analyze_execution(execution)
+    result.first_racy = execution
+    result.first_report = report
+    result.recording_verified = (
+        not report.race_free and report.format() == first.report_digest
+    )
+
+
+def merge_outcomes(
+    state: _HuntState,
+    outcomes: Sequence[JobOutcome],
+    stop_at_first: bool,
+) -> HuntResult:
+    """Fold outcomes into a :class:`HuntResult` in canonical job order.
+
+    Sorting by job index before folding makes the result a pure
+    function of the outcome *set* — worker count and completion order
+    cannot change it.  With ``stop_at_first``, outcomes beyond the
+    first racy index are discarded (the serial path never ran them).
+    """
+    result = HuntResult(
+        program=state.program,
+        model_name=state.model_factory().name,
+        tries=0,
+        racy_runs=0,
+        clean_runs=0,
+    )
+    first: Optional[JobOutcome] = None
+    for outcome in sorted(outcomes, key=lambda o: o.job.index):
+        if outcome.status == "skipped":
+            continue
+        if (
+            stop_at_first
+            and first is not None
+            and outcome.job.index > first.job.index
+        ):
+            continue
+        job = outcome.job
+        result.tries += 1
+        if outcome.status == "error":
+            result.failures.append(
+                JobFailure(seed=job.seed, policy=job.policy_name,
+                           error=outcome.error)
+            )
+            continue
+        if not outcome.completed:
+            result.step_bound_runs += 1
+        racy = outcome.status == "racy"
+        p_racy, p_total = result.per_policy.get(job.policy_name, (0, 0))
+        result.per_policy[job.policy_name] = (p_racy + racy, p_total + 1)
+        s_racy, s_total = result.per_seed.get(job.seed, (0, 0))
+        result.per_seed[job.seed] = (s_racy + racy, s_total + 1)
+        if racy:
+            result.racy_runs += 1
+            if first is None:
+                first = outcome
+        else:
+            result.clean_runs += 1
+    if first is not None:
+        _attach_first(result, first, state)
+    return result
+
+
+# ----------------------------------------------------------------------
+# engine entry point
+# ----------------------------------------------------------------------
+
+def run_hunt(
+    program: Program,
+    model_factory: Callable[[], MemoryModel],
+    *,
+    tries: int,
+    policies: Sequence[Tuple[str, PolicyFactory]],
+    stop_at_first: bool = False,
+    max_steps: int = 200_000,
+    jobs: int = 1,
+    job_timeout: Optional[float] = None,
+) -> HuntResult:
+    """Execute the seed x policy sweep on *jobs* workers and merge.
+
+    The public entry point is
+    :func:`repro.analysis.hunting.hunt_races`; this is the engine
+    underneath it.
+    """
+    if tries < 1:
+        raise ValueError("tries must be positive")
+    if jobs < 1:
+        raise ValueError("jobs must be positive")
+    policy_list = list(policies)
+    if not policy_list:
+        raise ValueError("policies must not be empty")
+    job_plan = plan_jobs(tries, [name for name, _ in policy_list])
+    state = _HuntState(program, model_factory, policy_list,
+                       max_steps, job_timeout)
+    workers = min(jobs, len(job_plan))
+    if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        workers = 1  # factories may be closures; spawn cannot ship them
+    start = time.perf_counter()
+    if workers == 1:
+        outcomes = _run_serial(state, job_plan, stop_at_first)
+    else:
+        outcomes = _run_parallel(state, job_plan, stop_at_first, workers)
+    result = merge_outcomes(state, outcomes, stop_at_first)
+    result.jobs = workers
+    result.elapsed = time.perf_counter() - start
+    return result

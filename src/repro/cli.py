@@ -4,7 +4,9 @@
 and prints the post-mortem race report; ``weakraces trace`` writes the
 trace file instead; ``weakraces analyze`` runs the detector on a
 previously written trace file; ``weakraces check`` verifies Condition
-3.4 on an execution; ``weakraces models`` lists the memory models.
+3.4 on an execution; ``weakraces hunt`` sweeps seeds x propagation
+policies (optionally across worker processes) for a racy execution;
+``weakraces models`` lists the memory models.
 """
 
 from __future__ import annotations
@@ -166,6 +168,55 @@ def _build_parser() -> argparse.ArgumentParser:
     tl_p.add_argument("--rows", type=int, default=40)
     tl_p.add_argument("--width", type=int, default=26)
 
+    hunt_p = sub.add_parser(
+        "hunt",
+        help="sweep seeds x propagation policies for a racy execution, "
+             "optionally sharded across worker processes",
+        description=(
+            "Run a workload many times under different seeds and "
+            "propagation policies, looking for a racy execution with a "
+            "replay-verified recording.  Every policy sweeps the same "
+            "seed range, so per-policy racy rates are comparable.  "
+            "Exit status: 1 when a race was found, 0 when none was, "
+            "2 on usage errors."
+        ),
+    )
+    hunt_p.add_argument("workload", choices=sorted(WORKLOADS))
+    hunt_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    hunt_p.add_argument(
+        "--tries", type=int, default=24,
+        help="total executions to sweep (default %(default)s)",
+    )
+    hunt_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; 1 runs in-process, N>1 shards the "
+             "sweep with identical merged statistics",
+    )
+    hunt_p.add_argument(
+        "--policies", nargs="+", metavar="NAME",
+        help="propagation policies to sweep, in order "
+             "(default: stubborn random-0.2 ring)",
+    )
+    hunt_p.add_argument(
+        "--stop-at-first", action="store_true",
+        help="stop as soon as one racy execution is found",
+    )
+    hunt_p.add_argument("--max-steps", type=int, default=200_000)
+    hunt_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-execution wall-clock limit; timed-out runs are "
+             "recorded as failures (nondeterministic — avoid when "
+             "exact reproducibility matters)",
+    )
+    hunt_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the merged result as JSON instead of the summary",
+    )
+    hunt_p.add_argument(
+        "--save-recording", metavar="FILE",
+        help="write the first racy run's verified recording here",
+    )
+
     sub.add_parser("models", help="list memory models")
     return parser
 
@@ -253,6 +304,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"({recording.model_name})")
         print(report.format())
         return 0 if report.race_free else 1
+
+    if args.command == "hunt":
+        import json as _json
+        from .analysis.hunting import hunt_races, policies_by_name
+        program = WORKLOADS[args.workload]()
+        try:
+            policies = (
+                policies_by_name(args.policies, program.processor_count)
+                if args.policies else None
+            )
+            result = hunt_races(
+                program,
+                lambda: make_model(args.model),
+                tries=args.tries,
+                policies=policies,
+                stop_at_first=args.stop_at_first,
+                max_steps=args.max_steps,
+                jobs=args.jobs,
+                job_timeout=args.timeout,
+            )
+        except ValueError as exc:
+            print(f"hunt: {exc}", file=sys.stderr)
+            return 2
+        if args.save_recording and result.recording is not None:
+            result.recording.save(args.save_recording)
+        if args.as_json:
+            print(_json.dumps(result.to_json(), indent=2, sort_keys=True))
+        else:
+            print(result.summary())
+            print(
+                f"({result.jobs} worker(s), {result.elapsed:.2f}s, "
+                f"{result.executions_per_second:.0f} executions/sec)"
+            )
+            if args.save_recording and result.recording is not None:
+                print(f"recording written to {args.save_recording}")
+        return 1 if result.found else 0
 
     if args.command == "outcomes":
         from .analysis.outcomes import OutcomeLimit, enumerate_outcomes

@@ -206,6 +206,27 @@ def replay_execution(
     return sim.run(max_steps=min(max_steps, len(recording.schedule)))
 
 
+def verify_recording(
+    program: Program,
+    model: MemoryModel,
+    recording: ExecutionRecording,
+    expected: ExecutionResult,
+    max_steps: int = 200_000,
+) -> bool:
+    """True iff *recording* replays to exactly *expected*.
+
+    A recording is only useful as a debugging artifact if replaying it
+    reproduces the execution it was captured from; callers that hand a
+    recording to a user (e.g. the race hunt) should verify it first
+    rather than advertise a replay that will diverge or fail.
+    """
+    try:
+        replayed = replay_execution(program, model, recording, max_steps=max_steps)
+    except ReplayError:
+        return False
+    return executions_equal(expected, replayed)
+
+
 def executions_equal(a: ExecutionResult, b: ExecutionResult) -> bool:
     """Structural equality of two executions' operation streams."""
     if len(a.operations) != len(b.operations):

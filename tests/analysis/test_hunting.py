@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.analysis.hunting import default_policies, hunt_races
+from repro.analysis.hunting import (
+    HuntResult,
+    default_policies,
+    hunt_races,
+    policies_by_name,
+)
+from repro.analysis.parallel import plan_jobs
 from repro.machine.models import make_model
 from repro.machine.replay import replay_execution
 from repro.programs.figure1 import figure1a_program
@@ -73,6 +79,15 @@ def test_default_policies_shape():
 def test_validation():
     with pytest.raises(ValueError):
         hunt_races(figure1a_program(), _wo, tries=0)
+    with pytest.raises(ValueError):
+        hunt_races(figure1a_program(), _wo, tries=4, jobs=0)
+
+
+def test_empty_policies_rejected():
+    """Regression: an explicit empty policy list used to slip past the
+    ``is not None`` check and die with ZeroDivisionError."""
+    with pytest.raises(ValueError, match="policies must not be empty"):
+        hunt_races(figure1a_program(), _wo, tries=4, policies=[])
 
 
 def test_summary_text():
@@ -80,3 +95,81 @@ def test_summary_text():
     text = result.summary()
     assert "hunted 6 executions" in text
     assert "seed=" in text
+
+
+# ----------------------------------------------------------------------
+# seed/policy decoupling (regression for the round-robin seed coupling)
+# ----------------------------------------------------------------------
+
+def test_every_policy_sweeps_identical_seed_set():
+    """Regression: ``seed = attempt`` with policy round-robin gave each
+    policy a disjoint seed stride (stubborn only ever saw 0, 3, 6, ...).
+    Seed-major enumeration gives every policy the same seed set."""
+    plan = plan_jobs(12, ["stubborn", "random-0.2", "ring"])
+    seeds_of = {
+        name: sorted(j.seed for j in plan if j.policy_name == name)
+        for name in ("stubborn", "random-0.2", "ring")
+    }
+    assert seeds_of["stubborn"] == seeds_of["random-0.2"] \
+        == seeds_of["ring"] == [0, 1, 2, 3]
+
+
+def test_policy_count_change_keeps_seed_sets():
+    """Adding a policy must not silently change which seeds the
+    existing policies observe (per seeds-per-policy)."""
+    two = plan_jobs(8, ["a", "b"])
+    three = plan_jobs(12, ["a", "b", "c"])
+    seeds = lambda plan, name: sorted(
+        j.seed for j in plan if j.policy_name == name
+    )
+    assert seeds(two, "a") == seeds(three, "a") == [0, 1, 2, 3]
+    assert seeds(two, "b") == seeds(three, "b") == [0, 1, 2, 3]
+
+
+def test_hunt_per_seed_covers_every_policy():
+    result = hunt_races(figure1a_program(), _wo, tries=9)
+    # 3 policies, 9 tries -> seeds 0..2, each run under all 3 policies
+    assert sorted(result.per_seed) == [0, 1, 2]
+    assert all(total == 3 for _, total in result.per_seed.values())
+    assert all(total == 3 for _, total in result.per_policy.values())
+
+
+# ----------------------------------------------------------------------
+# recording verification (satellite: don't advertise a broken replay)
+# ----------------------------------------------------------------------
+
+def test_recording_verified_on_find():
+    result = hunt_races(buggy_workqueue_program(), _wo, tries=9)
+    assert result.found
+    assert result.recording_verified is True
+    assert "recording captured for replay" in result.summary()
+
+
+def test_summary_warns_when_verification_fails():
+    result = HuntResult(
+        program=figure1a_program(), model_name="WO", tries=1,
+        racy_runs=1, clean_runs=0, seed=0, policy="stubborn",
+        per_policy={"stubborn": (1, 1)}, recording_verified=False,
+    )
+    text = result.summary()
+    assert "WARNING" in text
+    assert "failed replay verification" in text
+    assert "recording captured for replay" not in text
+
+
+def test_policies_by_name():
+    pairs = policies_by_name(["eager", "stubborn"], 3)
+    assert [name for name, _ in pairs] == ["eager", "stubborn"]
+    for _, factory in pairs:
+        factory()
+    with pytest.raises(ValueError, match="unknown propagation policy"):
+        policies_by_name(["nope"], 3)
+
+
+def test_stats_round_trip_json_serializable():
+    import json
+    result = hunt_races(figure1a_program(), _wo, tries=6)
+    payload = result.to_json()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["tries"] == 6
+    assert payload["jobs"] == 1

@@ -10,6 +10,7 @@ from repro.machine.replay import (
     executions_equal,
     record_execution,
     replay_execution,
+    verify_recording,
 )
 from repro.programs.figure1 import figure1a_program, figure1b_program
 from repro.programs.kernels import locked_counter_program
@@ -86,6 +87,42 @@ def test_recording_captures_stubborn_deliveries_as_empty():
         propagation=StubbornPropagation(),
     )
     assert all(step == [] for step in recording.deliveries)
+
+
+def test_recording_is_picklable():
+    """Recordings cross process boundaries in the parallel hunt engine;
+    a pickle round-trip must preserve them exactly."""
+    import pickle
+    program = buggy_workqueue_program()
+    original, recording = record_execution(program, make_model("WO"), seed=7)
+    clone = pickle.loads(pickle.dumps(recording))
+    assert clone == recording
+    assert clone is not recording
+    replayed = replay_execution(program, make_model("WO"), clone)
+    assert executions_equal(original, replayed)
+
+
+def test_verify_recording_accepts_faithful_recording():
+    program = buggy_workqueue_program()
+    original, recording = record_execution(program, make_model("WO"), seed=11)
+    assert verify_recording(program, make_model("WO"), recording, original)
+
+
+def test_verify_recording_rejects_corrupted_recording():
+    program = buggy_workqueue_program()
+    original, recording = record_execution(program, make_model("WO"), seed=11)
+    corrupted = ExecutionRecording(
+        model_name=recording.model_name,
+        schedule=recording.schedule[: len(recording.schedule) // 2],
+        deliveries=recording.deliveries[: len(recording.deliveries) // 2],
+    )
+    assert not verify_recording(program, make_model("WO"), corrupted, original)
+
+
+def test_verify_recording_rejects_wrong_model():
+    program = buggy_workqueue_program()
+    original, recording = record_execution(program, make_model("WO"), seed=11)
+    assert not verify_recording(program, make_model("SC"), recording, original)
 
 
 def test_replayed_analysis_identical():
