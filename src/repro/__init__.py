@@ -10,17 +10,22 @@ baselines.
 
 Quickstart::
 
-    from repro import (
-        PostMortemDetector, make_model, run_program,
-        buggy_workqueue_program,
-    )
+    import repro
+    from repro import make_model, run_program, buggy_workqueue_program
 
     program = buggy_workqueue_program()
     result = run_program(program, make_model("WO"), seed=7)
-    report = PostMortemDetector().analyze_execution(result)
+    report = repro.detect(result)          # the unified entry point
     print(report.format())
+
+``repro.detect`` accepts a ``Trace``, an ``ExecutionResult``, or a
+trace-file path, selects the detector variant via
+``detector="postmortem" | "naive" | "onthefly"``, and can profile the
+pipeline via ``profile=`` (see :mod:`repro.obs`).
 """
 
+from . import obs
+from .api import DETECTOR_NAMES, detect, report_from_json
 from .analysis import (
     DetectionSummary,
     ExplorationResult,
@@ -39,13 +44,13 @@ from .core import (
     EventRace,
     HappensBefore1,
     OnTheFlyDetector,
+    OnTheFlyReport,
     PartitionAnalysis,
     PostMortemDetector,
     RacePartition,
     RaceReport,
     SCPrefix,
     check_condition_34,
-    detect,
     detect_on_the_fly,
     explain_race,
     explain_report,
@@ -84,6 +89,10 @@ from .trace import Trace, build_trace, read_trace, write_trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
+    "DETECTOR_NAMES",
+    "detect",
+    "report_from_json",
     "DetectionSummary",
     "ExplorationResult",
     "explore_program",
@@ -99,6 +108,7 @@ __all__ = [
     "EventRace",
     "HappensBefore1",
     "OnTheFlyDetector",
+    "OnTheFlyReport",
     "FirstRaceOnTheFlyDetector",
     "locate_first_races_on_the_fly",
     "PartitionAnalysis",
@@ -107,7 +117,6 @@ __all__ = [
     "RaceReport",
     "SCPrefix",
     "check_condition_34",
-    "detect",
     "detect_on_the_fly",
     "explain_race",
     "explain_report",

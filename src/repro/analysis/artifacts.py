@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..core.detector import PostMortemDetector
 from ..core.partitions import RacePartition
 from ..core.races import EventRace
 from ..core.report import RaceReport
@@ -87,14 +86,11 @@ def analyze_artifacts(execution_or_trace) -> ArtifactReport:
     result is exactly the weak-system report, which is the section 5
     analogy in code form.)
     """
-    detector = PostMortemDetector()
-    if isinstance(execution_or_trace, ExecutionResult):
-        report = detector.analyze_execution(execution_or_trace)
-    elif isinstance(execution_or_trace, Trace):
-        report = detector.analyze(execution_or_trace)
-    else:
+    if not isinstance(execution_or_trace, (ExecutionResult, Trace)):
         raise TypeError(
             f"expected ExecutionResult or Trace, "
             f"got {type(execution_or_trace).__name__}"
         )
-    return ArtifactReport(report=report)
+    from ..api import detect
+
+    return ArtifactReport(report=detect(execution_or_trace))

@@ -114,6 +114,7 @@ class HuntResult:
     step_bound_runs: int = 0
     jobs: int = 1
     elapsed: float = 0.0
+    stage_profile: Optional[Dict[str, dict]] = None
 
     @property
     def found(self) -> bool:
@@ -158,6 +159,8 @@ class HuntResult:
         payload["jobs"] = self.jobs
         payload["elapsed_sec"] = round(self.elapsed, 6)
         payload["executions_per_sec"] = round(self.executions_per_second, 1)
+        if self.stage_profile is not None:
+            payload["stage_profile"] = self.stage_profile
         return payload
 
     def summary(self) -> str:
@@ -207,6 +210,7 @@ def hunt_races(
     max_steps: int = 200_000,
     jobs: int = 1,
     job_timeout: Optional[float] = None,
+    progress: Optional[Callable[[int, int, int], None]] = None,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -233,6 +237,9 @@ def hunt_races(
             seconds; a timed-out job is recorded as a failure, not
             fatal.  Wall-clock limits are inherently nondeterministic —
             leave unset when exact reproducibility matters.
+        progress: optional callback invoked after every completed job
+            as ``progress(done, total, racy_so_far)`` (the CLI uses it
+            for a live status line).
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -256,4 +263,5 @@ def hunt_races(
         max_steps=max_steps,
         jobs=jobs,
         job_timeout=job_timeout,
+        progress=progress,
     )

@@ -9,11 +9,14 @@ can quantify how much the first-partition method narrows the report.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
 
+from .. import obs
 from ..core.hb1 import HappensBefore1
 from ..core.races import EventRace, find_races
+from ..core.report import REPORT_FORMAT, _race_from_record, _race_record
 from ..machine.simulator import ExecutionResult
 from ..trace.build import Trace, build_trace
 
@@ -29,6 +32,10 @@ class NaiveReport:
     def data_races(self) -> List[EventRace]:
         return [race for race in self.races if race.is_data_race]
 
+    @property
+    def race_free(self) -> bool:
+        return not self.data_races
+
     def format(self) -> str:
         lines = [
             f"Naive race report ({self.trace.model_name} execution): "
@@ -38,13 +45,46 @@ class NaiveReport:
             lines.append(f"  {race.describe(self.trace)}")
         return "\n".join(lines)
 
+    # -- shared report protocol ----------------------------------------
+    def to_json(self) -> Dict:
+        from ..trace.tracefile import trace_to_json
+
+        return {
+            "kind": "naive",
+            "format": REPORT_FORMAT,
+            "race_free": self.race_free,
+            "trace": trace_to_json(self.trace),
+            "races": [_race_record(race) for race in self.races],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "NaiveReport":
+        from ..trace.tracefile import trace_from_json
+
+        if payload.get("kind") != "naive":
+            raise ValueError(
+                f"expected a naive report payload, "
+                f"got kind {payload.get('kind')!r}"
+            )
+        return cls(
+            trace=trace_from_json(payload["trace"]),
+            races=[_race_from_record(r) for r in payload["races"]],
+        )
+
 
 class NaiveDetector:
     """Applies the SC-system dynamic technique to a weak trace verbatim."""
 
     def analyze(self, trace: Trace) -> NaiveReport:
-        hb = HappensBefore1(trace)
-        return NaiveReport(trace=trace, races=find_races(trace, hb))
+        with obs.span("detect.naive"):
+            hb = HappensBefore1(trace)
+            return NaiveReport(trace=trace, races=find_races(trace, hb))
 
     def analyze_execution(self, result: ExecutionResult) -> NaiveReport:
+        warnings.warn(
+            "NaiveDetector.analyze_execution is deprecated; use "
+            "repro.detect(result, detector='naive')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.analyze(build_trace(result))

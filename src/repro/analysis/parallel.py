@@ -43,7 +43,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from ..core.detector import PostMortemDetector
+from .. import obs
 from ..machine.models.base import MemoryModel
 from ..machine.program import Program
 from ..machine.replay import (
@@ -54,6 +54,16 @@ from ..machine.replay import (
     verify_recording,
 )
 from .hunting import HuntResult, JobFailure, PolicyFactory
+
+ProgressCallback = Callable[[int, int, int], None]
+
+
+def _analyze(execution):
+    """Route report construction through the unified entry point
+    (imported lazily: repro.api itself imports this package)."""
+    from ..api import detect
+
+    return detect(execution)
 
 
 @dataclass(frozen=True)
@@ -90,6 +100,7 @@ class JobOutcome:
     report_digest: str = ""
     execution: Optional[object] = None
     report: Optional[object] = None
+    profile: Optional[List[dict]] = None  # flat span records, if profiled
 
 
 def plan_jobs(tries: int, policy_names: Sequence[str]) -> List[HuntJob]:
@@ -151,16 +162,36 @@ class _HuntState:
         policies: Sequence[Tuple[str, PolicyFactory]],
         max_steps: int,
         job_timeout: Optional[float],
+        profile: bool = False,
     ) -> None:
         self.program = program
         self.model_factory = model_factory
         self.policies = list(policies)
         self.max_steps = max_steps
         self.job_timeout = job_timeout
-        self.detector = PostMortemDetector()
+        self.profile = profile
 
 
 def _execute_job(
+    state: _HuntState, job: HuntJob, keep_execution: bool
+) -> JobOutcome:
+    """Run one job; with profiling on, record it into a job-local
+    profiler whose flat span records ride back on the outcome (cheap
+    to pickle, aggregated by the parent across workers)."""
+    if not state.profile:
+        return _execute_job_inner(state, job, keep_execution)
+    profiler = obs.Profiler()
+    with profiler.activate():
+        with obs.span("hunt.job") as sp:
+            outcome = _execute_job_inner(state, job, keep_execution)
+            sp.add("executions", 1)
+            if outcome.status == "racy":
+                sp.add("racy", 1)
+    outcome.profile = profiler.to_records()
+    return outcome
+
+
+def _execute_job_inner(
     state: _HuntState, job: HuntJob, keep_execution: bool
 ) -> JobOutcome:
     """Run one job with failure/timeout isolation."""
@@ -174,7 +205,7 @@ def _execute_job(
                 propagation=factory(),
                 max_steps=state.max_steps,
             )
-            report = state.detector.analyze_execution(execution)
+            report = _analyze(execution)
     except Exception as exc:  # isolated, recorded by the merge
         return JobOutcome(
             job=job, status="error",
@@ -226,12 +257,19 @@ def _worker_run(job: HuntJob) -> JobOutcome:
 # ----------------------------------------------------------------------
 
 def _run_serial(
-    state: _HuntState, jobs: List[HuntJob], stop_at_first: bool
+    state: _HuntState,
+    jobs: List[HuntJob],
+    stop_at_first: bool,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[JobOutcome]:
     outcomes: List[JobOutcome] = []
+    racy = 0
     for job in jobs:
         outcome = _execute_job(state, job, keep_execution=True)
         outcomes.append(outcome)
+        racy += outcome.status == "racy"
+        if progress is not None:
+            progress(len(outcomes), len(jobs), racy)
         if stop_at_first and outcome.status == "racy":
             break
     return outcomes
@@ -242,6 +280,7 @@ def _run_parallel(
     jobs: List[HuntJob],
     stop_at_first: bool,
     workers: int,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[JobOutcome]:
     ctx = multiprocessing.get_context("fork")
     stop_at = ctx.Value("i", -1) if stop_at_first else None
@@ -249,6 +288,7 @@ def _run_parallel(
     # the per-task IPC over larger batches.
     chunksize = 1 if stop_at_first else max(1, len(jobs) // (workers * 8))
     outcomes: List[JobOutcome] = []
+    racy = 0
     with ctx.Pool(
         processes=workers,
         initializer=_init_worker,
@@ -258,6 +298,9 @@ def _run_parallel(
             _worker_run, jobs, chunksize=chunksize
         ):
             outcomes.append(outcome)
+            racy += outcome.status == "racy"
+            if progress is not None:
+                progress(len(outcomes), len(jobs), racy)
             if stop_at is not None and outcome.status == "racy":
                 with stop_at.get_lock():
                     if stop_at.value < 0 or outcome.job.index < stop_at.value:
@@ -303,7 +346,7 @@ def _attach_first(
     except ReplayError:
         result.recording_verified = False
         return
-    report = state.detector.analyze_execution(execution)
+    report = _analyze(execution)
     result.first_racy = execution
     result.first_report = report
     result.recording_verified = (
@@ -380,12 +423,19 @@ def run_hunt(
     max_steps: int = 200_000,
     jobs: int = 1,
     job_timeout: Optional[float] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
     The public entry point is
     :func:`repro.analysis.hunting.hunt_races`; this is the engine
-    underneath it.
+    underneath it.  *progress*, if given, is called after every
+    completed job as ``progress(done, total, racy_so_far)``.
+
+    When a :mod:`repro.obs` profiler is active, every job (in-process
+    or forked) records per-stage spans into a job-local profiler; the
+    parent folds them into per-span-path aggregates on the active
+    profiler and on ``HuntResult.stage_profile``.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -395,17 +445,36 @@ def run_hunt(
     if not policy_list:
         raise ValueError("policies must not be empty")
     job_plan = plan_jobs(tries, [name for name, _ in policy_list])
+    profiling = obs.enabled()
     state = _HuntState(program, model_factory, policy_list,
-                       max_steps, job_timeout)
+                       max_steps, job_timeout, profile=profiling)
     workers = min(jobs, len(job_plan))
     if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
         workers = 1  # factories may be closures; spawn cannot ship them
     start = time.perf_counter()
-    if workers == 1:
-        outcomes = _run_serial(state, job_plan, stop_at_first)
-    else:
-        outcomes = _run_parallel(state, job_plan, stop_at_first, workers)
-    result = merge_outcomes(state, outcomes, stop_at_first)
+    with obs.span("hunt") as sp:
+        if workers == 1:
+            outcomes = _run_serial(state, job_plan, stop_at_first, progress)
+        else:
+            outcomes = _run_parallel(
+                state, job_plan, stop_at_first, workers, progress
+            )
+        result = merge_outcomes(state, outcomes, stop_at_first)
+        if sp.enabled:
+            sp.add("tries", result.tries)
+            sp.add("racy_runs", result.racy_runs)
+            sp.add("clean_runs", result.clean_runs)
+            sp.add("workers", workers)
+    if profiling:
+        aggregates = obs.aggregate_records(
+            o.profile for o in outcomes if o.profile
+        )
+        profiler = obs.active()
+        if profiler is not None:
+            profiler.add_aggregates(aggregates)
+        result.stage_profile = {
+            path: agg.to_dict() for path, agg in sorted(aggregates.items())
+        }
     result.jobs = workers
     result.elapsed = time.perf_counter() - start
     return result

@@ -1,0 +1,159 @@
+"""The unified detection entry point: ``repro.detect``.
+
+Every detector variant, every source kind, one front door::
+
+    report = repro.detect(source, detector="postmortem", profile=None)
+
+``source`` may be a :class:`~repro.trace.build.Trace`, an
+:class:`~repro.machine.simulator.ExecutionResult`, or a trace-file path
+(str / ``os.PathLike``, as written by ``weakraces trace`` /
+:func:`repro.trace.tracefile.write_trace`).
+
+``detector`` selects the variant:
+
+* ``"postmortem"`` — the paper's pipeline (§4.1–4.2); returns a
+  :class:`~repro.core.report.RaceReport`.
+* ``"naive"`` — the report-everything strawman (§3.1); returns a
+  :class:`~repro.analysis.naive.NaiveReport`.
+* ``"onthefly"`` — the streaming bounded-history detector with online
+  first-race classification (§5); returns an
+  :class:`~repro.core.onthefly.OnTheFlyReport`.  Requires an
+  ``ExecutionResult`` (it consumes the operation stream, which trace
+  files deliberately do not record — §4.1).
+
+All three returned reports share one protocol: ``format()``,
+``to_json()``, and ``from_json()`` (see :func:`report_from_json`), so
+CLI ``--json`` output and hunt artifacts serialize uniformly.
+
+``profile`` threads the observability layer through the call: pass a
+:class:`repro.obs.Profiler` to record into it, or a path to write a
+JSONL profile of this detection (see ``docs/detection_pipeline.md``,
+"Profiling the pipeline").
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from . import obs
+from .analysis.naive import NaiveDetector, NaiveReport
+from .core.onthefly import OnTheFlyReport
+from .core.onthefly_first import FirstRaceOnTheFlyDetector
+from .core.report import RaceReport
+from .machine.simulator import ExecutionResult
+from .trace.build import Trace, build_trace
+from .trace.tracefile import read_trace
+
+DETECTOR_NAMES = ("postmortem", "naive", "onthefly")
+
+ReportType = Union[RaceReport, NaiveReport, OnTheFlyReport]
+
+
+def _resolve_source(source) -> Union[Trace, ExecutionResult]:
+    if isinstance(source, (str, os.PathLike)):
+        return read_trace(source)
+    if isinstance(source, (Trace, ExecutionResult)):
+        return source
+    raise TypeError(
+        f"expected Trace, ExecutionResult, or trace-file path, "
+        f"got {type(source).__name__}"
+    )
+
+
+def _detect(source, detector: str) -> ReportType:
+    resolved = _resolve_source(source)
+    if detector == "onthefly":
+        if not isinstance(resolved, ExecutionResult):
+            raise TypeError(
+                "detector='onthefly' consumes the operation stream and "
+                "needs an ExecutionResult; trace files do not record "
+                "individual operations (paper section 4.1)"
+            )
+        with obs.span("detect.onthefly") as sp:
+            streaming = FirstRaceOnTheFlyDetector(resolved.processor_count)
+            streaming.process_all(resolved.operations)
+            if sp.enabled:
+                sp.add("operations", len(resolved.operations))
+                sp.add("races", len(streaming.races))
+                sp.add("evicted_accesses", streaming.evicted_accesses)
+        return OnTheFlyReport(
+            processor_count=resolved.processor_count,
+            model_name=resolved.model_name,
+            races=streaming.races,
+            first_races=streaming.first_races,
+            non_first_races=streaming.non_first_races,
+            evicted_accesses=streaming.evicted_accesses,
+        )
+    trace = (
+        build_trace(resolved)
+        if isinstance(resolved, ExecutionResult)
+        else resolved
+    )
+    if detector == "postmortem":
+        from .core.detector import PostMortemDetector
+
+        return PostMortemDetector().analyze(trace)
+    assert detector == "naive"
+    return NaiveDetector().analyze(trace)
+
+
+def detect(
+    source,
+    *,
+    detector: str = "postmortem",
+    profile=None,
+) -> ReportType:
+    """Run one detector variant on *source* (see module docstring).
+
+    Args:
+        source: a ``Trace``, an ``ExecutionResult``, or a trace-file
+            path (``str`` / ``os.PathLike``).
+        detector: ``"postmortem"`` (default), ``"naive"``, or
+            ``"onthefly"``.
+        profile: ``None`` (no profiling), a :class:`repro.obs.Profiler`
+            to record into, or a path — a fresh profiler is activated
+            for the call and written there as JSONL.
+
+    Returns:
+        The detector's report; all variants support ``format()`` and
+        ``to_json()``.
+    """
+    if detector not in DETECTOR_NAMES:
+        raise ValueError(
+            f"unknown detector {detector!r}; "
+            f"known: {', '.join(DETECTOR_NAMES)}"
+        )
+    if profile is None:
+        return _detect(source, detector)
+    if isinstance(profile, obs.Profiler):
+        with profile.activate(), obs.span("detect"):
+            return _detect(source, detector)
+    if isinstance(profile, (str, os.PathLike)):
+        profiler = obs.Profiler()
+        with profiler.activate(), obs.span("detect"):
+            report = _detect(source, detector)
+        obs.write_profile(
+            profiler, profile, meta={"command": "detect", "detector": detector}
+        )
+        return report
+    raise TypeError(
+        f"profile must be None, a Profiler, or a path, "
+        f"got {type(profile).__name__}"
+    )
+
+
+def report_from_json(payload: dict) -> ReportType:
+    """Rebuild any detector report from its ``to_json()`` payload,
+    dispatching on the payload's ``kind``."""
+    kind = payload.get("kind")
+    if kind == "postmortem":
+        return RaceReport.from_json(payload)
+    if kind == "naive":
+        return NaiveReport.from_json(payload)
+    if kind == "onthefly":
+        return OnTheFlyReport.from_json(payload)
+    raise ValueError(f"unknown report kind {kind!r}")
+
+
+__all__ = ["DETECTOR_NAMES", "detect", "report_from_json"]

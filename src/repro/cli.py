@@ -6,17 +6,25 @@ trace file instead; ``weakraces analyze`` runs the detector on a
 previously written trace file; ``weakraces check`` verifies Condition
 3.4 on an execution; ``weakraces hunt`` sweeps seeds x propagation
 policies (optionally across worker processes) for a racy execution;
-``weakraces models`` lists the memory models.
+``weakraces profile`` runs the pipeline under the :mod:`repro.obs`
+profiler and prints per-stage timings; ``weakraces models`` lists the
+memory models.
+
+Report-printing subcommands take ``--json`` for machine-readable
+output, and ``run``/``analyze``/``hunt`` take ``--profile FILE`` to
+write a JSONL pipeline profile alongside their normal output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
+from . import obs
 from .analysis.naive import NaiveDetector
-from .core.detector import PostMortemDetector
+from .api import DETECTOR_NAMES, detect
 from .core.scp import check_condition_34
 from .machine.models import ALL_MODEL_NAMES, make_model
 from .machine.program import Program
@@ -86,6 +94,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the affects chain for every race (why suppressed "
              "races were suppressed)",
     )
+    run_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the race report as JSON",
+    )
+    run_p.add_argument(
+        "--profile", metavar="FILE", dest="profile_path",
+        help="write a JSONL pipeline profile (see repro.obs)",
+    )
 
     trace_p = sub.add_parser("trace", help="simulate and write a trace file")
     trace_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
@@ -96,6 +112,14 @@ def _build_parser() -> argparse.ArgumentParser:
     an_p = sub.add_parser("analyze", help="analyze a trace file post-mortem")
     an_p.add_argument("tracefile")
     an_p.add_argument("--dot", metavar="FILE")
+    an_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the race report as JSON",
+    )
+    an_p.add_argument(
+        "--profile", metavar="FILE", dest="profile_path",
+        help="write a JSONL pipeline profile (see repro.obs)",
+    )
 
     chk_p = sub.add_parser(
         "check", help="verify Condition 3.4 on a simulated execution"
@@ -103,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     chk_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
     chk_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
     chk_p.add_argument("--seed", type=int, default=0)
+    chk_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the verdict as JSON",
+    )
 
     st_p = sub.add_parser(
         "static", help="compile-time (lockset) race analysis of a workload"
@@ -122,6 +150,10 @@ def _build_parser() -> argparse.ArgumentParser:
     rf_p.add_argument("source", help="assembly source file")
     rf_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
     rf_p.add_argument("--seed", type=int, default=0)
+    rf_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the race report as JSON",
+    )
 
     dis_p = sub.add_parser(
         "disasm", help="print a built-in workload as assembly text"
@@ -137,12 +169,20 @@ def _build_parser() -> argparse.ArgumentParser:
     rec_p.add_argument("output", help="recording file path")
     rec_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
     rec_p.add_argument("--seed", type=int, default=0)
+    rec_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the race report as JSON",
+    )
 
     rep_p = sub.add_parser(
         "replay", help="replay a recorded execution and re-run the detector"
     )
     rep_p.add_argument("workload", choices=sorted(WORKLOADS))
     rep_p.add_argument("recording", help="recording file path")
+    rep_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the race report as JSON",
+    )
 
     out_p = sub.add_parser(
         "outcomes",
@@ -216,6 +256,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-recording", metavar="FILE",
         help="write the first racy run's verified recording here",
     )
+    hunt_p.add_argument(
+        "--profile", metavar="FILE", dest="profile_path",
+        help="write a JSONL pipeline profile with per-stage timings "
+             "aggregated across all hunt jobs (see repro.obs)",
+    )
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run the detection pipeline under the repro.obs profiler "
+             "and print per-stage timings",
+        description=(
+            "Simulate a workload, run a detector on it, and report "
+            "where the time went: a span tree (simulate, trace.build, "
+            "hb1.build, races.find, ...) with wall time, per-stage "
+            "counters, and peak RSS."
+        ),
+    )
+    prof_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
+    prof_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument(
+        "--detector", default="postmortem", choices=DETECTOR_NAMES,
+        help="detector variant to profile (default %(default)s)",
+    )
+    prof_p.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="also write the profile as JSONL",
+    )
+    prof_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the profile as JSON instead of the summary tree",
+    )
 
     sub.add_parser("models", help="list memory models")
     return parser
@@ -231,11 +303,42 @@ def _run_workload(name: str, model_name: str, seed: int):
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    profile_path = getattr(args, "profile_path", None)
+    if not profile_path:
+        return _dispatch(args)
+    profiler = obs.Profiler()
+    with profiler.activate():
+        status = _dispatch(args)
+    obs.write_profile(profiler, profile_path, meta={"command": args.command})
+    print(f"profile written to {profile_path}", file=sys.stderr)
+    return status
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "models":
         for name in ALL_MODEL_NAMES:
             print(name)
         return 0
+
+    if args.command == "profile":
+        profiler = obs.Profiler()
+        with profiler.activate():
+            result = _run_workload(args.workload, args.model, args.seed)
+            report = detect(result, detector=args.detector)
+        if args.output:
+            obs.write_profile(profiler, args.output, meta={
+                "command": "profile",
+                "workload": args.workload,
+                "model": args.model,
+                "seed": args.seed,
+                "detector": args.detector,
+            })
+            print(f"profile written to {args.output}", file=sys.stderr)
+        if args.as_json:
+            print(json.dumps(profiler.to_json(), indent=2, sort_keys=True))
+        else:
+            print(profiler.summary())
+        return 0 if report.race_free else 1
 
     if args.command == "analyze":
         from .trace.validate import InvalidTraceError, require_valid_trace
@@ -245,12 +348,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except InvalidTraceError as exc:
             print(f"{args.tracefile}: {exc}", file=sys.stderr)
             return 2
-        report = PostMortemDetector().analyze(trace)
-        print(report.format())
+        report = detect(trace)
+        if args.as_json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(report.format())
         if args.dot:
             with open(args.dot, "w", encoding="utf-8") as fh:
                 fh.write(report.to_dot())
-            print(f"\nDOT graph written to {args.dot}")
+            if not args.as_json:
+                print(f"\nDOT graph written to {args.dot}")
         return 0 if report.race_free else 1
 
     if args.command == "disasm":
@@ -269,8 +376,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = run_program(program, make_model(args.model), seed=args.seed)
         if not result.completed:
             print("warning: execution hit the step bound", file=sys.stderr)
-        report = PostMortemDetector().analyze_execution(result)
-        print(report.format())
+        report = detect(result)
+        if args.as_json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(report.format())
         return 0 if report.race_free else 1
 
     if args.command == "record":
@@ -279,10 +389,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             WORKLOADS[args.workload](), make_model(args.model), seed=args.seed
         )
         recording.save(args.output)
-        report = PostMortemDetector().analyze_execution(result)
-        print(f"recorded {len(result.operations)} operations "
-              f"({args.model}, seed {args.seed}) to {args.output}")
-        print(report.format())
+        report = detect(result)
+        if args.as_json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(f"recorded {len(result.operations)} operations "
+                  f"({args.model}, seed {args.seed}) to {args.output}")
+            print(report.format())
         return 0 if report.race_free else 1
 
     if args.command == "replay":
@@ -299,16 +412,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ReplayError as exc:
             print(f"replay failed: {exc}", file=sys.stderr)
             return 2
-        report = PostMortemDetector().analyze_execution(result)
-        print(f"replayed {len(result.operations)} operations "
-              f"({recording.model_name})")
-        print(report.format())
+        report = detect(result)
+        if args.as_json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(f"replayed {len(result.operations)} operations "
+                  f"({recording.model_name})")
+            print(report.format())
         return 0 if report.race_free else 1
 
     if args.command == "hunt":
-        import json as _json
         from .analysis.hunting import hunt_races, policies_by_name
         program = WORKLOADS[args.workload]()
+        progress = None
+        if sys.stderr.isatty() and not args.as_json:
+            def progress(done: int, total: int, racy: int) -> None:
+                print(f"\rhunt: {done}/{total} executions, {racy} racy",
+                      end="", file=sys.stderr, flush=True)
         try:
             policies = (
                 policies_by_name(args.policies, program.processor_count)
@@ -323,14 +443,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 max_steps=args.max_steps,
                 jobs=args.jobs,
                 job_timeout=args.timeout,
+                progress=progress,
             )
         except ValueError as exc:
             print(f"hunt: {exc}", file=sys.stderr)
             return 2
+        finally:
+            if progress is not None:
+                print(file=sys.stderr)  # end the live status line
         if args.save_recording and result.recording is not None:
             result.recording.save(args.save_recording)
         if args.as_json:
-            print(_json.dumps(result.to_json(), indent=2, sort_keys=True))
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
         else:
             print(result.summary())
             print(
@@ -414,13 +538,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "check":
         report = check_condition_34(result)
-        print(report.summary())
-        print(f"  SCP cuts (per processor): {report.scp.cuts}")
-        print(f"  stale reads: {len(result.stale_reads)}")
+        if args.as_json:
+            payload = report.to_json()
+            payload["stale_reads"] = len(result.stale_reads)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+            print(f"  SCP cuts (per processor): {report.scp.cuts}")
+            print(f"  stale reads: {len(result.stale_reads)}")
         return 0 if report.ok else 1
 
     # command == "run"
-    report = PostMortemDetector().analyze_execution(result)
+    report = detect(result)
+    if args.as_json:
+        payload = report.to_json()
+        if args.naive:
+            payload = {
+                "postmortem": payload,
+                "naive": NaiveDetector().analyze(report.trace).to_json(),
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.dot:
+            with open(args.dot, "w", encoding="utf-8") as fh:
+                fh.write(report.to_dot())
+        return 0 if report.race_free else 1
     print(report.format())
     if args.naive:
         print()

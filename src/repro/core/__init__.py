@@ -14,7 +14,12 @@ from .detector import PostMortemDetector, detect
 from .explain import RaceExplanation, explain_race, explain_report
 from .hb1 import HappensBefore1
 from .hb1_vc import CyclicHB1Error, VectorClockHB1
-from .onthefly import OnTheFlyDetector, OnTheFlyRace, detect_on_the_fly
+from .onthefly import (
+    OnTheFlyDetector,
+    OnTheFlyRace,
+    OnTheFlyReport,
+    detect_on_the_fly,
+)
 from .onthefly_first import (
     FirstRaceOnTheFlyDetector,
     locate_first_races_on_the_fly,
@@ -44,6 +49,7 @@ __all__ = [
     "VectorClockHB1",
     "OnTheFlyDetector",
     "OnTheFlyRace",
+    "OnTheFlyReport",
     "detect_on_the_fly",
     "FirstRaceOnTheFlyDetector",
     "locate_first_races_on_the_fly",

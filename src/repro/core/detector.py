@@ -19,6 +19,9 @@ sequentially consistent execution.
 
 from __future__ import annotations
 
+import warnings
+
+from .. import obs
 from ..machine.simulator import ExecutionResult
 from ..trace.build import Trace, build_trace
 from .hb1 import HappensBefore1
@@ -32,9 +35,10 @@ class PostMortemDetector:
 
     def analyze(self, trace: Trace) -> RaceReport:
         """Run the full pipeline on a post-mortem trace."""
-        hb = HappensBefore1(trace)
-        races = find_races(trace, hb)
-        analysis = partition_races(trace, hb, races)
+        with obs.span("detect.postmortem"):
+            hb = HappensBefore1(trace)
+            races = find_races(trace, hb)
+            analysis = partition_races(trace, hb, races)
         return RaceReport(trace=trace, hb=hb, races=races, analysis=analysis)
 
     def analyze_execution(self, result: ExecutionResult) -> RaceReport:
@@ -43,12 +47,23 @@ class PostMortemDetector:
 
 
 def detect(trace_or_result) -> RaceReport:
-    """Convenience entry point accepting a Trace or ExecutionResult."""
-    detector = PostMortemDetector()
-    if isinstance(trace_or_result, Trace):
-        return detector.analyze(trace_or_result)
-    if isinstance(trace_or_result, ExecutionResult):
-        return detector.analyze_execution(trace_or_result)
-    raise TypeError(
-        f"expected Trace or ExecutionResult, got {type(trace_or_result).__name__}"
+    """Deprecated convenience path; use :func:`repro.detect`.
+
+    Kept (with its original Trace-or-ExecutionResult contract, so a
+    path still raises ``TypeError``) for callers that imported it from
+    ``repro.core.detector``; ``repro.detect`` accepts trace-file paths
+    and selects among detector variants.
+    """
+    warnings.warn(
+        "repro.core.detector.detect is deprecated; use repro.detect",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    if not isinstance(trace_or_result, (Trace, ExecutionResult)):
+        raise TypeError(
+            f"expected Trace or ExecutionResult, "
+            f"got {type(trace_or_result).__name__}"
+        )
+    from ..api import detect as unified_detect
+
+    return unified_detect(trace_or_result)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..graph import DiGraph, TransitiveClosure, is_acyclic
 from ..machine.operations import SyncRole
 from ..trace.build import Trace
@@ -38,7 +39,12 @@ class HappensBefore1:
         self.po_edges: List[Tuple[EventId, EventId]] = []
         self.so1_edges: List[Tuple[EventId, EventId]] = []
         self._closure: Optional[TransitiveClosure] = None
-        self._build()
+        with obs.span("hb1.build") as sp:
+            self._build()
+            if sp.enabled:
+                sp.add("events", self.trace.event_count)
+                sp.add("po_edges", len(self.po_edges))
+                sp.add("so1_edges", len(self.so1_edges))
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -78,7 +84,8 @@ class HappensBefore1:
     @property
     def closure(self) -> TransitiveClosure:
         if self._closure is None:
-            self._closure = TransitiveClosure(self.graph)
+            with obs.span("hb1.closure"):
+                self._closure = TransitiveClosure(self.graph)
         return self._closure
 
     def ordered(self, a: EventId, b: EventId) -> bool:

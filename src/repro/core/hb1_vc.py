@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from .. import obs
 from ..graph import CycleError, topological_sort
 from ..trace.build import Trace
 from ..trace.events import EventId
@@ -54,15 +55,21 @@ class VectorClockHB1:
 
         nproc = trace.processor_count
         self._clocks: Dict[EventId, List[int]] = {}
-        for eid in order:
-            clock = [0] * nproc
-            for pred in self.graph.predecessors(eid):
-                pred_clock = self._clocks[pred]
-                for i in range(nproc):
-                    if pred_clock[i] > clock[i]:
-                        clock[i] = pred_clock[i]
-            clock[eid.proc] = eid.pos + 1  # this event's own position
-            self._clocks[eid] = clock
+        with obs.span("hb1.vc_sweep") as sp:
+            joins = 0
+            for eid in order:
+                clock = [0] * nproc
+                for pred in self.graph.predecessors(eid):
+                    pred_clock = self._clocks[pred]
+                    for i in range(nproc):
+                        if pred_clock[i] > clock[i]:
+                            clock[i] = pred_clock[i]
+                    joins += 1
+                clock[eid.proc] = eid.pos + 1  # this event's own position
+                self._clocks[eid] = clock
+            if sp.enabled:
+                sp.add("events", len(order))
+                sp.add("clock_joins", joins)
 
     # ------------------------------------------------------------------
     def clock_of(self, eid: EventId) -> List[int]:

@@ -179,3 +179,83 @@ def detect_on_the_fly(
     detector = OnTheFlyDetector(processor_count, reader_history, writer_history)
     detector.process_all(operations)
     return detector.races
+
+
+@dataclass
+class OnTheFlyReport:
+    """What one streaming pass produced, in the shared report protocol.
+
+    Produced by ``repro.detect(result, detector="onthefly")``; races
+    are operation-seq pairs (the streaming detector works below the
+    event abstraction), split first / non-first by the online affects
+    approximation of :mod:`repro.core.onthefly_first`.
+    """
+
+    processor_count: int
+    model_name: str
+    races: List[OnTheFlyRace]
+    first_races: List[OnTheFlyRace]
+    non_first_races: List[OnTheFlyRace]
+    evicted_accesses: int = 0
+
+    @property
+    def race_free(self) -> bool:
+        return not self.races
+
+    def format(self) -> str:
+        lines = [
+            f"On-the-fly race report ({self.model_name} execution): "
+            f"{len(self.races)} race(s), "
+            f"{len(self.first_races)} classified first"
+        ]
+        for race in self.first_races:
+            lines.append(f"  first: <op{race.a}, op{race.b}> @ {race.addr}")
+        for race in self.non_first_races:
+            lines.append(
+                f"  non-first: <op{race.a}, op{race.b}> @ {race.addr}"
+            )
+        if self.evicted_accesses:
+            lines.append(
+                f"  ({self.evicted_accesses} access(es) evicted from the "
+                f"bounded history; races may have been missed)"
+            )
+        return "\n".join(lines)
+
+    # -- shared report protocol ----------------------------------------
+    def to_json(self) -> dict:
+        def rec(race: OnTheFlyRace) -> dict:
+            return {"a": race.a, "b": race.b, "addr": race.addr}
+
+        return {
+            "kind": "onthefly",
+            "format": 1,
+            "race_free": self.race_free,
+            "processor_count": self.processor_count,
+            "model": self.model_name,
+            "races": [rec(r) for r in self.races],
+            "first_races": [rec(r) for r in self.first_races],
+            "non_first_races": [rec(r) for r in self.non_first_races],
+            "evicted_accesses": self.evicted_accesses,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "OnTheFlyReport":
+        if payload.get("kind") != "onthefly":
+            raise ValueError(
+                f"expected an onthefly report payload, "
+                f"got kind {payload.get('kind')!r}"
+            )
+
+        def rec(record: dict) -> OnTheFlyRace:
+            return OnTheFlyRace(
+                a=record["a"], b=record["b"], addr=record["addr"]
+            )
+
+        return cls(
+            processor_count=payload["processor_count"],
+            model_name=payload.get("model", "unknown"),
+            races=[rec(r) for r in payload["races"]],
+            first_races=[rec(r) for r in payload["first_races"]],
+            non_first_races=[rec(r) for r in payload["non_first_races"]],
+            evicted_accesses=payload.get("evicted_accesses", 0),
+        )

@@ -25,6 +25,7 @@ prototype's first set against the post-mortem first partitions.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 from ..machine.operations import MemoryOperation
@@ -85,7 +86,19 @@ def locate_first_races_on_the_fly(
     reader_history: int = 4,
     writer_history: int = 1,
 ) -> Dict[str, List[OnTheFlyRace]]:
-    """One streaming pass; returns ``{"first": [...], "non_first": [...]}``."""
+    """One streaming pass; returns ``{"first": [...], "non_first": [...]}``.
+
+    .. deprecated::
+        Use ``repro.detect(result, detector="onthefly")``, which
+        returns an :class:`~repro.core.onthefly.OnTheFlyReport` in the
+        shared report protocol.
+    """
+    warnings.warn(
+        "locate_first_races_on_the_fly is deprecated; use "
+        "repro.detect(result, detector='onthefly')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     detector = FirstRaceOnTheFlyDetector(
         processor_count, reader_history, writer_history
     )

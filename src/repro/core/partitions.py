@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from .. import obs
 from ..graph import Condensation, DiGraph, TransitiveClosure, condensation
 from ..trace.build import Trace
 from ..trace.events import EventId
@@ -100,6 +101,26 @@ def partition_races(
     The doubly directed race edge makes both endpoints of a race
     mutually reachable, so each race lies in exactly one SCC.
     """
+    with obs.span("races.partition") as _sp:
+        analysis = _partition_races(trace, hb, races, gprime)
+        if _sp.enabled:
+            _sp.add("sccs", len(analysis.cond.components))
+            _sp.add("partitions", len(analysis.partitions))
+            _sp.add("first_partitions", len(analysis.first_partitions))
+            if analysis.cond.components:
+                _sp.add(
+                    "largest_scc",
+                    max(len(c) for c in analysis.cond.components),
+                )
+    return analysis
+
+
+def _partition_races(
+    trace: Trace,
+    hb: HappensBefore1,
+    races: List[EventRace],
+    gprime: Optional[DiGraph] = None,
+) -> PartitionAnalysis:
     gprime = gprime or build_augmented_graph(hb, races)
     cond = condensation(gprime)
 

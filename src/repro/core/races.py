@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..trace.build import Trace
 from ..trace.events import ComputationEvent, EventId, SyncEvent
 from .hb1 import HappensBefore1
@@ -76,6 +77,14 @@ def find_races(trace: Trace, hb: Optional[HappensBefore1] = None) -> List[EventR
     :class:`HappensBefore1` to avoid rebuilding the relation.
     """
     hb = hb or HappensBefore1(trace)
+    with obs.span("races.find") as _sp:
+        races = _find_races(trace, hb, _sp)
+    return races
+
+
+def _find_races(
+    trace: Trace, hb: HappensBefore1, _sp
+) -> List[EventRace]:
     readers, writers = _accesses_by_location(trace)
 
     # Hot path: for each location, every writer x (writer or reader)
@@ -135,6 +144,12 @@ def find_races(trace: Trace, hb: Optional[HappensBefore1] = None) -> List[EventR
             )
         )
     races.sort(key=lambda race: (race.a, race.b))
+    if _sp.enabled:
+        # pairs_tested counts distinct conflicting pairs whose ordering
+        # was actually queried; pairs_reported is the races among them
+        _sp.add("pairs_tested", len(racing) + len(settled_ordered))
+        _sp.add("pairs_reported", len(races))
+        _sp.add("data_races", sum(1 for r in races if r.is_data_race))
     return races
 
 

@@ -20,6 +20,26 @@ from .hb1 import HappensBefore1
 from .partitions import PartitionAnalysis, RacePartition
 from .races import EventRace
 
+REPORT_FORMAT = 1
+
+
+def _race_record(race: EventRace) -> Dict:
+    return {
+        "a": [race.a.proc, race.a.pos],
+        "b": [race.b.proc, race.b.pos],
+        "locations": list(race.locations),
+        "is_data_race": race.is_data_race,
+    }
+
+
+def _race_from_record(record: Dict) -> EventRace:
+    return EventRace(
+        a=EventId(*record["a"]),
+        b=EventId(*record["b"]),
+        locations=tuple(record["locations"]),
+        is_data_race=record["is_data_race"],
+    )
+
 
 @dataclass
 class RaceReport:
@@ -117,6 +137,73 @@ class RaceReport:
             for race in suppressed:
                 lines.append(f"  {race.describe(self.trace)}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # The shared report protocol: every detector report serializes with
+    # ``to_json`` and reconstructs with ``from_json`` (hunt artifacts
+    # and ``weakraces ... --json`` rely on this being uniform).
+    def to_json(self) -> Dict:
+        """The full report as one JSON document, trace included."""
+        from ..trace.tracefile import trace_to_json
+
+        race_index = {race: i for i, race in enumerate(self.races)}
+        return {
+            "kind": "postmortem",
+            "format": REPORT_FORMAT,
+            "race_free": self.race_free,
+            "trace": trace_to_json(self.trace),
+            "races": [_race_record(race) for race in self.races],
+            "partitions": [
+                {
+                    "component_index": p.component_index,
+                    "is_first": p.is_first,
+                    "events": sorted(
+                        [e.proc, e.pos] for e in p.events
+                    ),
+                    "races": [race_index[race] for race in p.races],
+                }
+                for p in self.analysis.partitions
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "RaceReport":
+        """Rebuild a report from :meth:`to_json` output.
+
+        The trace, races, and partition structure are restored from the
+        payload verbatim; the derived graphs (hb1, G', condensation)
+        are recomputed from the restored trace, so the returned report
+        supports the same queries as the original.  Symbol names are
+        not serialized — a restored report labels locations ``@addr``.
+        """
+        from ..graph import condensation
+        from ..trace.tracefile import trace_from_json
+        from .augmented import build_augmented_graph
+
+        if payload.get("kind") != "postmortem":
+            raise ValueError(
+                f"expected a postmortem report payload, "
+                f"got kind {payload.get('kind')!r}"
+            )
+        trace = trace_from_json(payload["trace"])
+        races = [_race_from_record(r) for r in payload["races"]]
+        hb = HappensBefore1(trace)
+        gprime = build_augmented_graph(hb, races)
+        partitions = [
+            RacePartition(
+                component_index=record["component_index"],
+                races=[races[i] for i in record["races"]],
+                events={EventId(p, pos) for p, pos in record["events"]},
+                is_first=record["is_first"],
+            )
+            for record in payload["partitions"]
+        ]
+        analysis = PartitionAnalysis(
+            gprime=gprime,
+            cond=condensation(gprime),
+            partitions=partitions,
+        )
+        return cls(trace=trace, hb=hb, races=races, analysis=analysis)
 
     # ------------------------------------------------------------------
     def to_dot(self, include_partitions: bool = True) -> str:

@@ -121,6 +121,30 @@ class Condition34Report:
             f"unaccounted={len(self.unaccounted_races)})"
         )
 
+    def to_json(self) -> dict:
+        """Machine-readable verdict (``weakraces check --json``)."""
+        def race(r: OpRace) -> dict:
+            return {
+                "a": r.a, "b": r.b, "addr": r.addr,
+                "data_race": r.is_data_race,
+            }
+        return {
+            "kind": "condition34",
+            "ok": self.ok,
+            "clause1_ok": self.clause1_ok,
+            "clause2_ok": self.clause2_ok,
+            "data_race_free": self.data_race_free,
+            "no_stale_reads": self.no_stale_reads,
+            "scp": {
+                "cuts": list(self.scp.cuts),
+                "size": self.scp.size,
+                "whole_execution": self.scp.is_whole_execution,
+            },
+            "op_races": [race(r) for r in self.op_races],
+            "data_races_in_scp": [race(r) for r in self.data_races_in_scp],
+            "unaccounted_races": [race(r) for r in self.unaccounted_races],
+        }
+
 
 def check_condition_34(result: ExecutionResult) -> Condition34Report:
     """Verify both clauses of Condition 3.4 against ground truth.

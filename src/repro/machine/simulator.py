@@ -11,6 +11,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from .memory import MemorySystem
 from .models.base import MemoryModel
 from .operations import MemoryOperation
@@ -146,6 +147,16 @@ class Simulator:
 
     def run(self, max_steps: int = 200_000) -> ExecutionResult:
         """Simulate until all processors halt or *max_steps* elapse."""
+        with obs.span("simulate") as sp:
+            result = self._run(max_steps)
+            if sp.enabled:
+                sp.add("steps", result.steps)
+                sp.add("operations", len(result.operations))
+                sp.add("flushes", result.flush_count)
+                sp.add("propagated_writes", result.propagated_writes)
+        return result
+
+    def _run(self, max_steps: int) -> ExecutionResult:
         memory = MemorySystem(
             size=max(self.program.memory_size, 1),
             processor_count=self.program.processor_count,

@@ -1,0 +1,44 @@
+"""repro.obs — pipeline observability: spans, counters, profiles.
+
+The hot path calls :func:`span`/:func:`count` (near-zero-cost no-ops
+until a :class:`Profiler` is activated); CLI/API entry points activate
+a profiler and export JSONL via :mod:`repro.obs.export`.  See
+``docs/detection_pipeline.md`` ("Profiling the pipeline") for the span
+names and the file schema.
+"""
+
+from .profiler import (
+    NULL_SPAN,
+    AggregateRecord,
+    Profiler,
+    Span,
+    SpanRecord,
+    active,
+    aggregate_records,
+    count,
+    enabled,
+    span,
+)
+from .export import (
+    PROFILE_FORMAT,
+    read_profile,
+    validate_profile,
+    write_profile,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "AggregateRecord",
+    "Profiler",
+    "Span",
+    "SpanRecord",
+    "active",
+    "aggregate_records",
+    "count",
+    "enabled",
+    "span",
+    "PROFILE_FORMAT",
+    "read_profile",
+    "validate_profile",
+    "write_profile",
+]

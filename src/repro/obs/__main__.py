@@ -1,0 +1,7 @@
+"""``python -m repro.obs FILE...`` — validate profile JSONL files."""
+
+import sys
+
+from .export import main
+
+sys.exit(main())

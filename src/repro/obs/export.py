@@ -1,0 +1,168 @@
+"""Profile export: the JSONL schema, plus read-back and validation.
+
+A profile file is JSON-lines:
+
+* line 1 — a meta record::
+
+      {"t": "meta", "format": 1, "command": "...", ...}
+
+* then one record per span, depth-first (``"t": "span"`` — see
+  :meth:`repro.obs.profiler.SpanRecord.to_dict`: ``name``, ``path``,
+  ``depth``, ``start_sec``, ``dur_sec``, ``counters``,
+  ``peak_rss_kb``);
+
+* optionally one ``{"t": "counters", "counters": {...}}`` record with
+  the profiler's top-level counters;
+
+* optionally ``{"t": "agg", ...}`` records — per-span-path totals
+  aggregated across fork workers (``path``, ``count``, ``total_sec``,
+  ``min_sec``, ``max_sec``, ``counters``, ``peak_rss_kb``).
+
+``python -m repro.obs.export FILE...`` validates files against this
+schema (the CI profile-smoke step uses it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .profiler import Profiler
+
+PROFILE_FORMAT = 1
+
+_SPAN_KEYS = {"name", "path", "depth", "start_sec", "dur_sec", "counters"}
+_AGG_KEYS = {"path", "count", "total_sec", "min_sec", "max_sec", "counters"}
+
+
+def write_profile(
+    profiler: Profiler,
+    path: Union[str, Path],
+    meta: Optional[dict] = None,
+) -> None:
+    """Write *profiler* to *path* in the JSONL schema above."""
+    path = Path(path)
+    header = {"t": "meta", "format": PROFILE_FORMAT}
+    if meta:
+        header.update(meta)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in profiler.to_records():
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        if profiler.counters:
+            fh.write(
+                json.dumps(
+                    {"t": "counters", "counters": dict(profiler.counters)},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        for _, agg in sorted(profiler.aggregates.items()):
+            fh.write(json.dumps(agg.to_dict(), sort_keys=True) + "\n")
+
+
+def read_profile(path: Union[str, Path]) -> Dict[str, list]:
+    """Load a profile file into ``{"meta": ..., "spans": [...],
+    "counters": {...}, "aggregates": [...]}``."""
+    path = Path(path)
+    meta: Optional[dict] = None
+    spans: List[dict] = []
+    aggregates: List[dict] = []
+    counters: Dict[str, int] = {}
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("t")
+            if kind == "meta":
+                meta = record
+            elif kind == "span":
+                spans.append(record)
+            elif kind == "agg":
+                aggregates.append(record)
+            elif kind == "counters":
+                counters.update(record.get("counters", {}))
+    return {
+        "meta": meta,
+        "spans": spans,
+        "counters": counters,
+        "aggregates": aggregates,
+    }
+
+
+def validate_profile(path: Union[str, Path]) -> List[str]:
+    """Check *path* against the schema; returns problems (empty = ok)."""
+    problems: List[str] = []
+    try:
+        with Path(path).open("r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    if not lines:
+        return ["empty profile file"]
+    try:
+        records = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON: {exc}"]
+    meta = records[0]
+    if meta.get("t") != "meta":
+        problems.append("first record is not a meta record")
+    elif meta.get("format") != PROFILE_FORMAT:
+        problems.append(f"unsupported format {meta.get('format')!r}")
+    for i, record in enumerate(records[1:], start=2):
+        kind = record.get("t")
+        if kind == "span":
+            missing = _SPAN_KEYS - record.keys()
+            if missing:
+                problems.append(
+                    f"line {i}: span missing {sorted(missing)}"
+                )
+            elif record["dur_sec"] < 0:
+                problems.append(f"line {i}: negative span duration")
+        elif kind == "agg":
+            missing = _AGG_KEYS - record.keys()
+            if missing:
+                problems.append(f"line {i}: agg missing {sorted(missing)}")
+        elif kind == "counters":
+            if not isinstance(record.get("counters"), dict):
+                problems.append(f"line {i}: counters record without dict")
+        elif kind == "meta":
+            problems.append(f"line {i}: duplicate meta record")
+        else:
+            problems.append(f"line {i}: unknown record type {kind!r}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate profile files given on the command line."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="validate pipeline profile JSONL files",
+    )
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args(argv)
+    status = 0
+    for name in args.files:
+        problems = validate_profile(name)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{name}: {problem}")
+        else:
+            loaded = read_profile(name)
+            print(
+                f"{name}: ok ({len(loaded['spans'])} span(s), "
+                f"{len(loaded['aggregates'])} aggregate(s))"
+            )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    import sys
+
+    sys.exit(main())

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..machine.operations import MemoryOperation
 from ..machine.program import SymbolTable
 from ..machine.simulator import ExecutionResult
@@ -124,20 +125,31 @@ class TraceBuilder:
 
 def build_trace(result: ExecutionResult) -> Trace:
     """Instrument a simulated execution into a post-mortem trace."""
-    memory_size = 1
-    if result.symbols is not None:
-        memory_size = max(result.symbols.size, 1)
-    elif result.operations:
-        memory_size = max(op.addr for op in result.operations) + 1
-    builder = TraceBuilder(
-        processor_count=result.processor_count,
-        memory_size=memory_size,
-        symbols=result.symbols,
-        model_name=result.model_name,
-    )
-    for op in result.operations:
-        builder.add_operation(op)
-    return builder.finish()
+    with obs.span("trace.build") as sp:
+        memory_size = 1
+        if result.symbols is not None:
+            memory_size = max(result.symbols.size, 1)
+        elif result.operations:
+            memory_size = max(op.addr for op in result.operations) + 1
+        builder = TraceBuilder(
+            processor_count=result.processor_count,
+            memory_size=memory_size,
+            symbols=result.symbols,
+            model_name=result.model_name,
+        )
+        for op in result.operations:
+            builder.add_operation(op)
+        trace = builder.finish()
+        if sp.enabled:
+            sp.add("operations", len(result.operations))
+            sp.add("events", trace.event_count)
+            # every data operation merges its address into an open
+            # computation event's READ or WRITE bit-vector
+            sp.add(
+                "bitvector_merges",
+                sum(e.op_count for e in trace.computation_events()),
+            )
+    return trace
 
 
 def event_of_op(trace: Trace, op_seq: int) -> Optional[EventId]:

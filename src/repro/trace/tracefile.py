@@ -75,6 +75,57 @@ def _event_from_record(record: Dict) -> Event:
     raise TraceFormatError(f"unknown event record type {record.get('t')!r}")
 
 
+def trace_to_json(trace: Trace) -> Dict:
+    """The whole trace as one JSON document (used by report
+    serialization; the trace *file* format stays JSON-lines)."""
+    return {
+        "format": FORMAT_VERSION,
+        "processor_count": trace.processor_count,
+        "memory_size": trace.memory_size,
+        "model": trace.model_name,
+        "events": [
+            _event_record(event)
+            for proc_events in trace.events
+            for event in proc_events
+        ],
+        "sync_order": {
+            str(addr): [[eid.proc, eid.pos] for eid in order]
+            for addr, order in trace.sync_order.items()
+        },
+    }
+
+
+def trace_from_json(payload: Dict) -> Trace:
+    """Inverse of :func:`trace_to_json` (symbols are not serialized)."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format {payload.get('format')!r}"
+        )
+    processor_count = payload["processor_count"]
+    events: List[List[Event]] = [[] for _ in range(processor_count)]
+    for record in payload["events"]:
+        event = _event_from_record(record)
+        proc_events = events[event.eid.proc]
+        if event.eid.pos != len(proc_events):
+            raise TraceFormatError(
+                f"event {event.eid} out of order "
+                f"(expected pos {len(proc_events)})"
+            )
+        proc_events.append(event)
+    sync_order: Dict[int, List[EventId]] = {
+        int(addr_text): [EventId(p, i) for p, i in pairs]
+        for addr_text, pairs in payload.get("sync_order", {}).items()
+    }
+    return Trace(
+        processor_count=processor_count,
+        memory_size=payload["memory_size"],
+        events=events,
+        sync_order=sync_order,
+        symbols=None,
+        model_name=payload.get("model", "unknown"),
+    )
+
+
 def write_trace(trace: Trace, path: Union[str, Path]) -> None:
     """Serialize *trace* to a JSON-lines file at *path*."""
     path = Path(path)

@@ -1,0 +1,160 @@
+"""The observability layer: spans, counters, aggregation, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_SPAN,
+    Profiler,
+    aggregate_records,
+    read_profile,
+    validate_profile,
+    write_profile,
+)
+
+
+class TestDisabled:
+    def test_span_is_shared_null_handle(self):
+        assert obs.active() is None
+        assert not obs.enabled()
+        assert obs.span("anything") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with obs.span("x") as sp:
+            assert not sp.enabled
+            sp.add("counter", 5)  # must not raise, must not record
+
+    def test_count_is_noop(self):
+        obs.count("nothing", 3)  # no active profiler: silently dropped
+
+
+class TestRecording:
+    def test_nesting_builds_paths_and_depths(self):
+        prof = Profiler()
+        with prof.activate():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+            with obs.span("second"):
+                pass
+        assert [s.path for s in prof.spans] == ["outer", "second"]
+        (inner,) = prof.spans[0].children
+        assert inner.path == "outer/inner"
+        assert inner.depth == 1
+        assert prof.spans[0].duration >= inner.duration >= 0.0
+
+    def test_counters_attach_to_innermost_open_span(self):
+        prof = Profiler()
+        with prof.activate():
+            with obs.span("stage") as sp:
+                assert sp.enabled
+                sp.add("events", 3)
+                sp.add("events", 2)
+                obs.count("joins", 7)
+            obs.count("toplevel")
+        assert prof.spans[0].counters == {"events": 5, "joins": 7}
+        assert prof.counters == {"toplevel": 1}
+
+    def test_activation_restores_previous_profiler(self):
+        outer, inner = Profiler(), Profiler()
+        with outer.activate():
+            assert obs.active() is outer
+            with inner.activate():
+                assert obs.active() is inner
+            assert obs.active() is outer
+        assert obs.active() is None
+
+    def test_activation_restores_on_exception(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError):
+            with prof.activate():
+                with obs.span("doomed"):
+                    raise RuntimeError("boom")
+        assert obs.active() is None
+        # the span was still closed with a duration
+        assert prof.spans[0].duration >= 0.0
+        assert prof._stack == []
+
+    def test_peak_rss_captured_on_linux(self):
+        prof = Profiler()
+        with prof.activate(), obs.span("s"):
+            pass
+        assert prof.spans[0].peak_rss_kb is None \
+            or prof.spans[0].peak_rss_kb > 0
+
+
+class TestAggregation:
+    def _records(self, *durs):
+        prof = Profiler()
+        with prof.activate():
+            for dur in durs:
+                with obs.span("job") as sp:
+                    sp.add("executions", 1)
+        records = prof.to_records()
+        # overwrite timings deterministically for the assertion
+        for record, dur in zip(records, durs):
+            record["dur_sec"] = dur
+        return records
+
+    def test_fold_across_workers(self):
+        agg = aggregate_records(
+            [self._records(0.1, 0.3), self._records(0.2)]
+        )
+        job = agg["job"]
+        assert job.count == 3
+        assert job.total_sec == pytest.approx(0.6)
+        assert job.min_sec == pytest.approx(0.1)
+        assert job.max_sec == pytest.approx(0.3)
+        assert job.counters == {"executions": 3}
+
+    def test_add_aggregates_merges(self):
+        prof = Profiler()
+        prof.add_aggregates(aggregate_records([self._records(0.1)]))
+        prof.add_aggregates(aggregate_records([self._records(0.4)]))
+        job = prof.aggregates["job"]
+        assert job.count == 2
+        assert job.max_sec == pytest.approx(0.4)
+        assert any(line.startswith("aggregated")
+                   for line in prof.summary().splitlines())
+
+
+class TestExport:
+    def _profiled(self):
+        prof = Profiler()
+        with prof.activate():
+            with obs.span("detect") as sp:
+                sp.add("races", 2)
+                with obs.span("hb1.build"):
+                    pass
+        return prof
+
+    def test_to_json_shape(self):
+        doc = self._profiled().to_json()
+        assert doc["format"] == 1
+        assert [s["path"] for s in doc["spans"]] == \
+            ["detect", "detect/hb1.build"]
+        assert doc["spans"][0]["counters"] == {"races": 2}
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_write_read_validate_roundtrip(self, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        write_profile(self._profiled(), path, meta={"command": "test"})
+        doc = read_profile(path)
+        assert doc["meta"]["command"] == "test"
+        assert doc["meta"]["format"] == 1
+        assert [s["path"] for s in doc["spans"]] == \
+            ["detect", "detect/hb1.build"]
+        assert validate_profile(path) == []
+
+    def test_validate_flags_garbage(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"t": "span"}\nnot json\n', encoding="utf-8")
+        problems = validate_profile(path)
+        assert problems  # missing meta line, bad JSON, missing fields
+
+    def test_summary_handles_empty_profile(self):
+        assert Profiler().summary() == "(empty profile)"
