@@ -8,7 +8,11 @@ scaling assertion only applies on machines that actually have 4 cores
 to scale onto; on smaller machines the numbers are still reported.
 """
 
+import argparse
+import json
 import os
+import sys
+import time
 
 import pytest
 
@@ -16,8 +20,15 @@ from conftest import emit
 from repro.analysis.hunting import hunt_races
 from repro.machine.models import make_model
 from repro.programs.kernels import racy_counter_program
+from repro.programs.workqueue import buggy_workqueue_program
 
 TRIES = 96
+
+# Pre-overhaul serial hunt throughput on the acceptance workload
+# (workqueue-buggy/WO, tries=30), measured at commit 069c0c4.  The
+# quick mode reports its speedup against this number.
+BASELINE_COMMIT = "069c0c4"
+BASELINE_SERIAL_TRIES_PER_SEC = 75.10
 
 
 def _available_cores() -> int:
@@ -72,3 +83,125 @@ def test_parallel_scaling(benchmark):
             f"expected >1.5x at 4 workers on {cores} cores, got "
             f"{rates[4] / rates[1]:.2f}x"
         )
+
+
+def _workqueue_hunt(jobs: int, trace_cache: bool = True):
+    return hunt_races(
+        buggy_workqueue_program(),
+        lambda: make_model("WO"),
+        tries=30,
+        jobs=jobs,
+        trace_cache=trace_cache,
+    )
+
+
+@pytest.mark.parametrize("cache", [True, False], ids=["cache", "no-cache"])
+def test_workqueue_hunt_throughput(benchmark, cache):
+    """The acceptance workload: serial workqueue-buggy/WO hunt."""
+    result = benchmark(lambda: _workqueue_hunt(1, trace_cache=cache))
+    emit(
+        benchmark,
+        f"Workqueue hunt throughput (serial, cache={'on' if cache else 'off'})",
+        [
+            f"{result.tries} executions in {result.elapsed:.3f}s -> "
+            f"{result.executions_per_second:.0f} exec/s; "
+            f"{result.trace_cache_hits} trace-cache hit(s); "
+            f"baseline {BASELINE_SERIAL_TRIES_PER_SEC:.1f} exec/s "
+            f"at {BASELINE_COMMIT}",
+        ],
+    )
+
+
+# --- quick mode -------------------------------------------------------
+#
+# ``PYTHONPATH=src python benchmarks/bench_hunting.py -o BENCH_hunting.json``
+# runs a self-contained smoke (no pytest-benchmark) and writes a JSON
+# summary: serial and 4-worker tries/sec on the acceptance workload,
+# the trace-cache hit rate, and the speedup over the recorded baseline.
+# CI runs this on every push and uploads the file as an artifact.
+
+
+def _best_rate(jobs: int, tries: int, repeats: int, trace_cache: bool = True):
+    """Best-of-N throughput measurement (first iteration pays numpy /
+    fork warmup; the max is the stable figure)."""
+    best = None
+    last = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        last = hunt_races(
+            buggy_workqueue_program(),
+            lambda: make_model("WO"),
+            tries=tries,
+            jobs=jobs,
+            trace_cache=trace_cache,
+        )
+        elapsed = time.perf_counter() - start
+        rate = tries / elapsed if elapsed > 0 else float("inf")
+        best = rate if best is None else max(best, rate)
+    return best, last
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Quick hunt-throughput smoke (writes BENCH_hunting.json)"
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_hunting.json",
+        help="path of the JSON summary to write",
+    )
+    parser.add_argument(
+        "--tries", type=int, default=30,
+        help="executions per hunt (default matches the baseline run)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="measurement repeats; the best rate is reported",
+    )
+    args = parser.parse_args(argv)
+
+    serial_rate, serial = _best_rate(1, args.tries, args.repeats)
+    parallel_rate, parallel_result = _best_rate(4, args.tries, args.repeats)
+    nocache_rate, _ = _best_rate(1, args.tries, args.repeats, trace_cache=False)
+
+    payload = {
+        "workload": "workqueue-buggy/WO",
+        "tries": args.tries,
+        "repeats": args.repeats,
+        "serial_tries_per_sec": round(serial_rate, 2),
+        "parallel4_tries_per_sec": round(parallel_rate, 2),
+        "serial_no_cache_tries_per_sec": round(nocache_rate, 2),
+        "trace_cache_hits": serial.trace_cache_hits,
+        "trace_cache_hit_rate": round(
+            serial.trace_cache_hits / args.tries, 3
+        ),
+        "racy_runs": serial.racy_runs,
+        "clean_runs": serial.clean_runs,
+        "baseline_commit": BASELINE_COMMIT,
+        "baseline_serial_tries_per_sec": BASELINE_SERIAL_TRIES_PER_SEC,
+        "serial_speedup_vs_baseline": round(
+            serial_rate / BASELINE_SERIAL_TRIES_PER_SEC, 2
+        ),
+    }
+    # determinism cross-check rides along with the smoke
+    assert parallel_result.stats() == serial.stats(), (
+        "parallel hunt statistics diverged from serial"
+    )
+
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"workqueue-buggy/WO, tries={args.tries}:")
+    print(f"  serial      {serial_rate:8.2f} tries/sec "
+          f"({payload['serial_speedup_vs_baseline']:.2f}x baseline "
+          f"{BASELINE_SERIAL_TRIES_PER_SEC:.2f} at {BASELINE_COMMIT})")
+    print(f"  no cache    {nocache_rate:8.2f} tries/sec")
+    print(f"  jobs=4      {parallel_rate:8.2f} tries/sec")
+    print(f"  cache hits  {serial.trace_cache_hits}/{args.tries} "
+          f"({payload['trace_cache_hit_rate']:.0%})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -214,6 +214,8 @@ def _clone_memory(m: MemorySystem) -> MemorySystem:
     out._pending = []  # SC never buffers
     out.flush_count = m.flush_count
     out.propagated_writes = m.propagated_writes
+    out._delivery_log = None  # exploration never records deliveries
+    out.deliveries_logged = 0
     return out
 
 

@@ -115,6 +115,11 @@ class HuntResult:
     jobs: int = 1
     elapsed: float = 0.0
     stage_profile: Optional[Dict[str, dict]] = None
+    # Analyses served from the per-worker trace cache.  Like jobs and
+    # elapsed, this depends on how jobs landed on workers (each worker
+    # caches independently), so it belongs to the run metadata in
+    # to_json(), never to the deterministic stats()/summary() contract.
+    trace_cache_hits: int = 0
 
     @property
     def found(self) -> bool:
@@ -159,6 +164,7 @@ class HuntResult:
         payload["jobs"] = self.jobs
         payload["elapsed_sec"] = round(self.elapsed, 6)
         payload["executions_per_sec"] = round(self.executions_per_second, 1)
+        payload["trace_cache_hits"] = self.trace_cache_hits
         if self.stage_profile is not None:
             payload["stage_profile"] = self.stage_profile
         return payload
@@ -211,6 +217,7 @@ def hunt_races(
     jobs: int = 1,
     job_timeout: Optional[float] = None,
     progress: Optional[Callable[[int, int, int], None]] = None,
+    trace_cache: bool = True,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -240,6 +247,13 @@ def hunt_races(
         progress: optional callback invoked after every completed job
             as ``progress(done, total, racy_so_far)`` (the CLI uses it
             for a live status line).
+        trace_cache: serve repeated analyses from a per-worker cache
+            keyed by the canonical trace fingerprint (the detector is a
+            pure function of the trace, so hits are exact).  Hit counts
+            surface in ``HuntResult.trace_cache_hits`` and the
+            ``trace_cache_hits`` obs counter.  Disable to force every
+            execution through the full pipeline (e.g. when profiling
+            detector stages).
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -264,4 +278,5 @@ def hunt_races(
         jobs=jobs,
         job_timeout=job_timeout,
         progress=progress,
+        trace_cache=trace_cache,
     )

@@ -80,6 +80,8 @@ def _clone_weak_memory(m: MemorySystem) -> MemorySystem:
     ]
     out.flush_count = m.flush_count
     out.propagated_writes = m.propagated_writes
+    out._delivery_log = None  # enumeration never records deliveries
+    out.deliveries_logged = 0
     return out
 
 

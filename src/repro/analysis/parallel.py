@@ -41,7 +41,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..machine.models.base import MemoryModel
@@ -53,17 +53,30 @@ from ..machine.replay import (
     replay_execution,
     verify_recording,
 )
+from ..trace.build import build_trace
+from ..trace.fingerprint import trace_fingerprint
 from .hunting import HuntResult, JobFailure, PolicyFactory
 
 ProgressCallback = Callable[[int, int, int], None]
 
 
-def _analyze(execution):
+def _analyze(source):
     """Route report construction through the unified entry point
     (imported lazily: repro.api itself imports this package)."""
     from ..api import detect
 
-    return detect(execution)
+    return detect(source)
+
+
+# Per-process analysis cache: trace fingerprint -> (racy, report
+# digest).  The detector is a pure function of the trace (see
+# repro.trace.fingerprint), so seeds that collapse to an identical
+# trace need analyzing once.  Workers fork after run_hunt clears it,
+# so each worker accumulates its own cache over the jobs it drains;
+# merged *statistics* stay worker-count-independent because a cache
+# hit returns the exact result the analysis would have produced.
+_TRACE_CACHE: Dict[str, Tuple[bool, str]] = {}
+_TRACE_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -101,6 +114,7 @@ class JobOutcome:
     execution: Optional[object] = None
     report: Optional[object] = None
     profile: Optional[List[dict]] = None  # flat span records, if profiled
+    cache_hit: bool = False  # analysis served from the trace cache
 
 
 def plan_jobs(tries: int, policy_names: Sequence[str]) -> List[HuntJob]:
@@ -163,6 +177,7 @@ class _HuntState:
         max_steps: int,
         job_timeout: Optional[float],
         profile: bool = False,
+        trace_cache: bool = True,
     ) -> None:
         self.program = program
         self.model_factory = model_factory
@@ -170,6 +185,7 @@ class _HuntState:
         self.max_steps = max_steps
         self.job_timeout = job_timeout
         self.profile = profile
+        self.trace_cache = trace_cache
 
 
 def _execute_job(
@@ -187,6 +203,8 @@ def _execute_job(
             sp.add("executions", 1)
             if outcome.status == "racy":
                 sp.add("racy", 1)
+            if outcome.cache_hit:
+                sp.add("trace_cache_hits", 1)
     outcome.profile = profiler.to_records()
     return outcome
 
@@ -205,24 +223,43 @@ def _execute_job_inner(
                 propagation=factory(),
                 max_steps=state.max_steps,
             )
-            report = _analyze(execution)
+            report = None
+            cache_hit = False
+            if state.trace_cache:
+                trace = build_trace(execution)
+                fingerprint = trace_fingerprint(trace)
+                cached = _TRACE_CACHE.get(fingerprint)
+                if cached is None:
+                    report = _analyze(trace)
+                    racy = not report.race_free
+                    digest = report.format() if racy else ""
+                    if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+                        _TRACE_CACHE.clear()
+                    _TRACE_CACHE[fingerprint] = (racy, digest)
+                else:
+                    cache_hit = True
+                    racy, digest = cached
+            else:
+                report = _analyze(execution)
+                racy = not report.race_free
+                digest = report.format() if racy else ""
     except Exception as exc:  # isolated, recorded by the merge
         return JobOutcome(
             job=job, status="error",
             error=f"{type(exc).__name__}: {exc}",
         )
-    racy = not report.race_free
     outcome = JobOutcome(
         job=job,
         status="racy" if racy else "clean",
         completed=execution.completed,
         operations=len(execution.operations),
         recording=recording if racy else None,
-        report_digest=report.format() if racy else "",
+        report_digest=digest if racy else "",
+        cache_hit=cache_hit,
     )
     if keep_execution:
         outcome.execution = execution
-        outcome.report = report
+        outcome.report = report  # None on a cache hit; merge re-analyzes
     return outcome
 
 
@@ -325,7 +362,12 @@ def _attach_first(
         # In-process job: we hold the original execution; check the
         # recording reproduces it exactly before advertising replay.
         result.first_racy = first.execution
-        result.first_report = first.report
+        # A cache hit skipped the job-level report; build it now (once,
+        # for the one execution handed to the user).
+        result.first_report = (
+            first.report if first.report is not None
+            else _analyze(first.execution)
+        )
         result.recording_verified = verify_recording(
             state.program,
             state.model_factory(),
@@ -393,6 +435,8 @@ def merge_outcomes(
             continue
         if not outcome.completed:
             result.step_bound_runs += 1
+        if outcome.cache_hit:
+            result.trace_cache_hits += 1
         racy = outcome.status == "racy"
         p_racy, p_total = result.per_policy.get(job.policy_name, (0, 0))
         result.per_policy[job.policy_name] = (p_racy + racy, p_total + 1)
@@ -424,6 +468,7 @@ def run_hunt(
     jobs: int = 1,
     job_timeout: Optional[float] = None,
     progress: Optional[ProgressCallback] = None,
+    trace_cache: bool = True,
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
@@ -447,7 +492,12 @@ def run_hunt(
     job_plan = plan_jobs(tries, [name for name, _ in policy_list])
     profiling = obs.enabled()
     state = _HuntState(program, model_factory, policy_list,
-                       max_steps, job_timeout, profile=profiling)
+                       max_steps, job_timeout, profile=profiling,
+                       trace_cache=trace_cache)
+    # Start every hunt cold so hit counts describe this hunt alone and
+    # memory is bounded; workers inherit the empty cache through fork
+    # and each fills its own over the jobs it drains.
+    _TRACE_CACHE.clear()
     workers = min(jobs, len(job_plan))
     if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
         workers = 1  # factories may be closures; spawn cannot ship them

@@ -261,6 +261,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL pipeline profile with per-stage timings "
              "aggregated across all hunt jobs (see repro.obs)",
     )
+    hunt_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-worker trace-fingerprint analysis cache "
+             "(every execution runs the full detection pipeline)",
+    )
 
     prof_p = sub.add_parser(
         "profile",
@@ -444,6 +449,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 job_timeout=args.timeout,
                 progress=progress,
+                trace_cache=not args.no_cache,
             )
         except ValueError as exc:
             print(f"hunt: {exc}", file=sys.stderr)
@@ -457,9 +463,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(json.dumps(result.to_json(), indent=2, sort_keys=True))
         else:
             print(result.summary())
+            cache_note = (
+                f", {result.trace_cache_hits} trace-cache hit(s)"
+                if result.trace_cache_hits else ""
+            )
             print(
                 f"({result.jobs} worker(s), {result.elapsed:.2f}s, "
-                f"{result.executions_per_second:.0f} executions/sec)"
+                f"{result.executions_per_second:.0f} executions/sec"
+                f"{cache_note})"
             )
             if args.save_recording and result.recording is not None:
                 print(f"recording written to {args.save_recording}")

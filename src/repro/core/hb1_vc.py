@@ -7,6 +7,15 @@ topological sweep: ``a hb1 b`` iff ``clock(a) <= clock(b)`` pointwise
 with ``a != b`` (per-processor components count events issued).  That
 is O(V·P) space instead of O(V²/64) and answers queries in O(P).
 
+The clocks live in a V×P ``int64`` numpy matrix (one row per event in
+topological order) when numpy is available: each event's row is the
+``np.maximum`` join of its predecessors' rows — one vectorized call per
+edge instead of a Python component loop — and the matrix doubles as the
+input to the batched race sweep in :mod:`repro.core.races`, which
+tests whole candidate-pair arrays against it at once.  Without numpy
+the original pure-Python sweep is used and queries fall back to the
+per-pair epoch test.
+
 Vector clocks require an *acyclic* hb1 — true for every execution our
 simulator produces (its sync operations are sequentially consistent)
 but not guaranteed by the paper for arbitrary weak machines (§3.1).
@@ -18,13 +27,18 @@ equality on every acyclic trace.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .. import obs
 from ..graph import CycleError, topological_sort
 from ..trace.build import Trace
 from ..trace.events import EventId
 from .hb1 import HappensBefore1
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 
 class CyclicHB1Error(ValueError):
@@ -36,12 +50,14 @@ class VectorClockHB1:
 
     Exposes the same ``ordered`` / ``unordered`` query interface as
     :class:`HappensBefore1` so the two are interchangeable for race
-    detection on acyclic traces.
+    detection on acyclic traces.  Pass a prebuilt ``base`` relation to
+    reuse its graph instead of rebuilding po/so1 edges.
     """
 
-    def __init__(self, trace: Trace) -> None:
+    def __init__(self, trace: Trace, base: Optional[HappensBefore1] = None) -> None:
         self.trace = trace
-        base = HappensBefore1(trace)
+        if base is None:
+            base = HappensBefore1(trace)
         self.graph = base.graph
         self.po_edges = base.po_edges
         self.so1_edges = base.so1_edges
@@ -55,25 +71,65 @@ class VectorClockHB1:
 
         nproc = trace.processor_count
         self._clocks: Dict[EventId, List[int]] = {}
+        self._matrix = None
+        self._row_of: Dict[EventId, int] = {}
         with obs.span("hb1.vc_sweep") as sp:
-            joins = 0
-            for eid in order:
-                clock = [0] * nproc
-                for pred in self.graph.predecessors(eid):
-                    pred_clock = self._clocks[pred]
-                    for i in range(nproc):
-                        if pred_clock[i] > clock[i]:
-                            clock[i] = pred_clock[i]
-                    joins += 1
-                clock[eid.proc] = eid.pos + 1  # this event's own position
-                self._clocks[eid] = clock
+            if _np is not None:
+                joins = self._sweep_matrix(order, nproc)
+            else:  # pragma: no cover - exercised via forced fallback tests
+                joins = self._sweep_python(order, nproc)
             if sp.enabled:
                 sp.add("events", len(order))
                 sp.add("clock_joins", joins)
 
+    def _sweep_matrix(self, order: List[EventId], nproc: int) -> int:
+        """Clock matrix sweep: row i is event order[i]'s vector clock."""
+        row_of = self._row_of
+        for i, eid in enumerate(order):
+            row_of[eid] = i
+        matrix = _np.zeros((max(len(order), 1), nproc), dtype=_np.int64)
+        predecessors = self.graph.predecessors
+        maximum = _np.maximum
+        joins = 0
+        for i, eid in enumerate(order):
+            row = matrix[i]
+            for pred in predecessors(eid):
+                maximum(row, matrix[row_of[pred]], out=row)
+                joins += 1
+            row[eid.proc] = eid.pos + 1  # this event's own position
+        self._matrix = matrix
+        return joins
+
+    def _sweep_python(self, order: List[EventId], nproc: int) -> int:
+        joins = 0
+        for eid in order:
+            clock = [0] * nproc
+            for pred in self.graph.predecessors(eid):
+                pred_clock = self._clocks[pred]
+                for i in range(nproc):
+                    if pred_clock[i] > clock[i]:
+                        clock[i] = pred_clock[i]
+                joins += 1
+            clock[eid.proc] = eid.pos + 1  # this event's own position
+            self._clocks[eid] = clock
+        return joins
+
     # ------------------------------------------------------------------
+    @property
+    def clock_matrix(self):
+        """The V×P int64 clock matrix in topological row order (None
+        when numpy is unavailable; see :attr:`row_index`)."""
+        return self._matrix
+
+    @property
+    def row_index(self) -> Dict[EventId, int]:
+        """EventId -> row of :attr:`clock_matrix`."""
+        return self._row_of
+
     def clock_of(self, eid: EventId) -> List[int]:
         """The event's vector clock (do not mutate)."""
+        if self._matrix is not None:
+            return self._matrix[self._row_of[eid]].tolist()
         return self._clocks[eid]
 
     def ordered(self, a: EventId, b: EventId) -> bool:
@@ -82,6 +138,8 @@ class VectorClockHB1:
         full comparison is redundant)."""
         if a == b:
             return False
+        if self._matrix is not None:
+            return bool(self._matrix[self._row_of[b], a.proc] >= a.pos + 1)
         return self._clocks[b][a.proc] >= self._clocks[a][a.proc]
 
     def unordered(self, a: EventId, b: EventId) -> bool:

@@ -57,6 +57,20 @@ class PartitionAnalysis:
     cond: Condensation
     partitions: List[RacePartition]
 
+    def __post_init__(self) -> None:
+        # Plain attributes, not dataclass fields: neither the closure
+        # cache nor the race index belongs in __init__/repr/eq.
+        self._closure_cache: Optional[TransitiveClosure] = None
+        # Each race lies in exactly one partition (the doubly directed
+        # race edge puts both endpoints in one SCC), so a prebuilt
+        # index answers partition_of in O(1) instead of scanning every
+        # partition's race list.
+        self._race_to_partition: Dict[EventRace, RacePartition] = {
+            race: partition
+            for partition in self.partitions
+            for race in partition.races
+        }
+
     @property
     def first_partitions(self) -> List[RacePartition]:
         return [p for p in self.partitions if p.is_first]
@@ -70,10 +84,10 @@ class PartitionAnalysis:
         return [p for p in self.partitions if not p.is_first]
 
     def partition_of(self, race: EventRace) -> RacePartition:
-        for partition in self.partitions:
-            if race in partition.races:
-                return partition
-        raise KeyError(f"race {race} not in any partition")
+        partition = self._race_to_partition.get(race)
+        if partition is None:
+            raise KeyError(f"race {race} not in any partition")
+        return partition
 
     def precedes(self, p1: RacePartition, p2: RacePartition) -> bool:
         """Definition 4.1: Part1 P Part2 iff a G' path leads from an
@@ -81,8 +95,6 @@ class PartitionAnalysis:
         if p1.component_index == p2.component_index:
             return False
         return self._dag_closure().ordered(p1.component_index, p2.component_index)
-
-    _closure_cache: Optional[TransitiveClosure] = None
 
     def _dag_closure(self) -> TransitiveClosure:
         if self._closure_cache is None:

@@ -138,12 +138,11 @@ class TransitiveClosure:
         out: Set[Hashable] = set()
         if self._small:
             bits = self._rows_int[i]
-            idx = 0
+            nodes = self._nodes
             while bits:
-                if bits & 1:
-                    out.add(self._nodes[idx])
-                bits >>= 1
-                idx += 1
+                low = bits & -bits
+                out.add(nodes[low.bit_length() - 1])
+                bits ^= low
             return out
         row = self._rows_np[i]
         for word_index, word in enumerate(row):

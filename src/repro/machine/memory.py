@@ -20,7 +20,7 @@ Ground truth kept for verification (never exposed to the detector):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from .models.base import MemoryModel
 from .operations import SyncRole
@@ -83,9 +83,13 @@ class MemorySystem:
             fresh_views() for _ in range(processor_count)
         ]
         self._pending: List[PendingWrite] = []
+        # voluntary-delivery log: (seq, reader) per propagate() call,
+        # drained by the recorder between steps.  None = logging off.
+        self._delivery_log: Optional[List[Tuple[int, int]]] = None
         # counters
         self.flush_count = 0
         self.propagated_writes = 0
+        self.deliveries_logged = 0
 
     # ------------------------------------------------------------------
     # reads
@@ -200,6 +204,26 @@ class MemorySystem:
         if not pw.remaining:
             self._pending.remove(pw)
         self.propagated_writes += 1
+        if self._delivery_log is not None:
+            self._delivery_log.append((pw.seq, reader))
+            self.deliveries_logged += 1
+
+    def enable_delivery_log(self) -> None:
+        """Start logging voluntary deliveries (recorder hook).
+
+        Every delivery is a :meth:`propagate` call — flushes bypass it —
+        so the log is exactly the voluntary deliveries since the last
+        :meth:`drain_deliveries`, in delivery order.
+        """
+        if self._delivery_log is None:
+            self._delivery_log = []
+
+    def drain_deliveries(self) -> List[Tuple[int, int]]:
+        """Return and reset the voluntary-delivery log (enables it if
+        needed, so the first drain arms the log for subsequent steps)."""
+        log = self._delivery_log
+        self._delivery_log = []
+        return log if log is not None else []
 
     def pending_writes(self) -> List[PendingWrite]:
         """The current buffer contents (policy hook; do not mutate)."""

@@ -52,20 +52,23 @@ class Processor:
         self.stall_cycles = 0
         self.cycles = 0
         self.instructions_executed = 0
+        # Handlers resolved once per instruction at construction; the
+        # hot step loop then runs dict-lookup-free.
+        self._code = thread.instructions
+        self._handlers = [_DISPATCH[i.opcode] for i in thread.instructions]
 
     # ------------------------------------------------------------------
     def step(self, memory: MemorySystem, recorder: Recorder) -> None:
         """Execute the instruction at ``pc`` (a no-op when halted)."""
         if self.halted:
             return
-        if not 0 <= self.pc < len(self.thread):
+        pc = self.pc
+        if not 0 <= pc < len(self._code):
             self.halted = True
             return
-        instr = self.thread.instructions[self.pc]
         self.instructions_executed += 1
         self.cycles += 1  # base issue cycle; stalls are added separately
-        handler = _DISPATCH[instr.opcode]
-        handler(self, instr, memory, recorder)
+        self._handlers[pc](self, self._code[pc], memory, recorder)
 
     # ------------------------------------------------------------------
     # operand helpers

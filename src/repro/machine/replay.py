@@ -82,30 +82,31 @@ class _RecordingScheduler(Scheduler):
 
 
 class _RecordingPropagation(PropagationPolicy):
-    """Wraps a policy; infers this step's deliveries by diffing the
-    pending-write remaining-reader sets around the inner step.  Flushes
-    happen inside processor steps, never here, so the diff is exactly
-    the voluntary deliveries."""
+    """Wraps a policy; captures this step's deliveries by draining the
+    memory system's voluntary-delivery log after the inner step —
+    O(deliveries) per step, where the old snapshot-diff was
+    O(pending x readers).  Flushes happen inside processor steps, never
+    here, so the drained log is exactly the voluntary deliveries.
+
+    The drained entries are sorted by ``(seq, reader)``, which is the
+    order the diff-based recorder emitted (increasing pending seq, then
+    sorted readers), keeping recording files byte-identical across the
+    two implementations."""
 
     def __init__(
         self, inner: PropagationPolicy, recording: ExecutionRecording
     ) -> None:
         self.inner = inner
         self.recording = recording
+        self._armed = False
 
     def step(self, memory: MemorySystem, rng: random.Random) -> None:
-        before = {
-            pw.seq: set(pw.remaining) for pw in memory.pending_writes()
-        }
+        if not self._armed:
+            memory.enable_delivery_log()
+            self._armed = True
         self.inner.step(memory, rng)
-        after = {
-            pw.seq: set(pw.remaining) for pw in memory.pending_writes()
-        }
-        delivered: List[Tuple[int, int]] = []
-        for seq, readers in before.items():
-            now = after.get(seq, set())
-            for reader in sorted(readers - now):
-                delivered.append((seq, reader))
+        delivered = memory.drain_deliveries()
+        delivered.sort()
         self.recording.deliveries.append(delivered)
 
 

@@ -41,7 +41,10 @@ class RandomScheduler(Scheduler):
     """Uniformly random choice each step (fair with probability 1)."""
 
     def pick(self, runnable: Sequence[int], rng: random.Random) -> int:
-        return rng.choice(list(runnable))
+        # rng.choice indexes the sequence directly; copying it per pick
+        # (the old list(runnable)) only added hot-loop allocation and
+        # consumes the identical RNG draw either way.
+        return rng.choice(runnable)
 
 
 class BurstScheduler(Scheduler):
@@ -61,7 +64,7 @@ class BurstScheduler(Scheduler):
         if self._current in runnable and self._left > 0:
             self._left -= 1
             return self._current
-        self._current = rng.choice(list(runnable))
+        self._current = rng.choice(runnable)
         self._left = rng.randint(self.min_burst, self.max_burst) - 1
         return self._current
 

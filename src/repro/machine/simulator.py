@@ -70,6 +70,7 @@ class ExecutionResult:
     propagated_writes: int
     symbols: Optional[SymbolTable] = None
     per_proc: List[List[MemoryOperation]] = field(default_factory=list)
+    deliveries_logged: int = 0
 
     def __post_init__(self) -> None:
         if not self.per_proc:
@@ -154,6 +155,8 @@ class Simulator:
                 sp.add("operations", len(result.operations))
                 sp.add("flushes", result.flush_count)
                 sp.add("propagated_writes", result.propagated_writes)
+                if result.deliveries_logged:
+                    sp.add("deliveries_logged", result.deliveries_logged)
         return result
 
     def _run(self, max_steps: int) -> ExecutionResult:
@@ -169,16 +172,24 @@ class Simulator:
         ]
         recorder = _Recorder()
         steps = 0
-        while steps < max_steps:
-            runnable = [p.pid for p in processors if not p.halted]
-            if not runnable:
-                break
-            self.propagation.step(memory, self.rng)
-            pid = self.scheduler.pick(runnable, self.rng)
-            processors[pid].step(memory, recorder)
+        # The runnable set is maintained incrementally: only the stepped
+        # processor can halt, so a per-iteration rebuild is pure waste on
+        # the hot loop.  list.remove keeps pid order, which the RNG-
+        # driven schedulers depend on for reproducibility.
+        runnable = [p.pid for p in processors if not p.halted]
+        rng = self.rng
+        propagation_step = self.propagation.step
+        scheduler_pick = self.scheduler.pick
+        while steps < max_steps and runnable:
+            propagation_step(memory, rng)
+            pid = scheduler_pick(runnable, rng)
+            proc = processors[pid]
+            proc.step(memory, recorder)
+            if proc.halted:
+                runnable.remove(pid)
             steps += 1
 
-        completed = all(p.halted for p in processors)
+        completed = not runnable
         stats = [
             ProcessorStats(
                 cycles=p.cycles,
@@ -201,6 +212,7 @@ class Simulator:
             flush_count=memory.flush_count,
             propagated_writes=memory.propagated_writes,
             symbols=self.program.symbols,
+            deliveries_logged=memory.deliveries_logged,
         )
 
 

@@ -18,6 +18,7 @@ from .events import (
     conflicting_locations,
     involves_data,
 )
+from .fingerprint import trace_fingerprint
 from .tracefile import TraceFormatError, read_trace, write_trace
 from .validate import InvalidTraceError, require_valid_trace, validate_trace
 
@@ -43,4 +44,5 @@ __all__ = [
     "validate_trace",
     "read_trace",
     "write_trace",
+    "trace_fingerprint",
 ]

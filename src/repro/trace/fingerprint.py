@@ -1,0 +1,60 @@
+"""Canonical trace fingerprints for analysis caching.
+
+The post-mortem detector is a pure function of the trace: the report it
+produces (races, partitions, even the formatted text) depends only on
+what section 4.1's instrumentation records — per-processor event
+streams and per-location synchronization order.  Many hunt attempts
+whose seeds differ only in scheduler noise collapse to the *same*
+trace, so a stable fingerprint over exactly the detector-visible
+content lets repeated analyses be served from a cache (see
+:mod:`repro.analysis.parallel`).
+
+Ground-truth fields the detector never consumes (operation sequence
+numbers, staleness annotations) are deliberately excluded: two
+executions that interleaved differently but produced identical event
+structure fingerprint identically, which is precisely when their
+reports coincide.  Model name, processor count and memory size are
+included — they are part of the trace and appear in reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .build import Trace
+from .events import SyncEvent
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """A stable hex digest of the detector-visible trace content.
+
+    Equal fingerprints imply equal analysis results; the converse is
+    not promised (hash collisions aside, label differences that do not
+    change the report still change the fingerprint — e.g. symbols are
+    excluded, model name is not).
+    """
+    h = hashlib.blake2b(digest_size=20)
+    update = h.update
+    update(
+        f"{trace.processor_count}|{trace.memory_size}|"
+        f"{trace.model_name}".encode()
+    )
+    for proc_events in trace.events:
+        update(b"\np")
+        for event in proc_events:
+            if isinstance(event, SyncEvent):
+                update(
+                    f"S{event.addr},{event.op_kind.value},"
+                    f"{event.role.value},{event.value},"
+                    f"{event.order_pos};".encode()
+                )
+            else:
+                update(
+                    f"C{event.reads.to_hex()},"
+                    f"{event.writes.to_hex()};".encode()
+                )
+    for addr in sorted(trace.sync_order):
+        update(f"\no{addr}:".encode())
+        for eid in trace.sync_order[addr]:
+            update(f"{eid.proc}.{eid.pos};".encode())
+    return h.hexdigest()

@@ -1,0 +1,107 @@
+"""Canonical trace fingerprints (repro.trace.fingerprint).
+
+The fingerprint must be stable over exactly the detector-visible trace
+content: identical executions fingerprint identically (that is the
+cache key contract), ground-truth fields the detector never reads must
+not affect it, and any change to events, sync order, or trace header
+must."""
+
+from dataclasses import replace
+
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs import buggy_workqueue_program, racy_counter_program
+from repro.trace import trace_fingerprint
+from repro.trace.bitvector import BitVector
+from repro.trace.build import Trace, build_trace
+from repro.trace.events import ComputationEvent, SyncEvent
+
+
+def _trace(seed=0, model="WO", build=buggy_workqueue_program):
+    return build_trace(run_program(build(), make_model(model), seed=seed))
+
+
+def _clone_event(e):
+    if isinstance(e, SyncEvent):
+        return replace(e)
+    assert isinstance(e, ComputationEvent)
+    return ComputationEvent(
+        eid=e.eid,
+        reads=BitVector.from_hex(e.reads.to_hex()),
+        writes=BitVector.from_hex(e.writes.to_hex()),
+        op_seqs=list(e.op_seqs),
+    )
+
+
+def _clone(trace: Trace) -> Trace:
+    """A structural copy with fresh event objects (EventIds are
+    immutable and safely shared)."""
+    return Trace(
+        processor_count=trace.processor_count,
+        memory_size=trace.memory_size,
+        events=[[_clone_event(e) for e in events] for events in trace.events],
+        sync_order={a: list(o) for a, o in trace.sync_order.items()},
+        symbols=trace.symbols,
+        model_name=trace.model_name,
+    )
+
+
+def test_same_execution_same_fingerprint():
+    assert trace_fingerprint(_trace(3)) == trace_fingerprint(_trace(3))
+
+
+def test_different_seeds_usually_differ():
+    prints = {trace_fingerprint(_trace(seed)) for seed in range(8)}
+    assert len(prints) > 1
+
+
+def test_different_programs_differ():
+    a = trace_fingerprint(_trace(0, build=buggy_workqueue_program))
+    b = trace_fingerprint(
+        _trace(0, build=lambda: racy_counter_program(3, 3))
+    )
+    assert a != b
+
+
+def test_model_name_is_part_of_the_fingerprint():
+    trace = _trace(0)
+    renamed = _clone(trace)
+    renamed.model_name = "other-model"
+    assert trace_fingerprint(trace) != trace_fingerprint(renamed)
+
+
+def test_ground_truth_fields_are_excluded():
+    """Operation seqs are simulator ground truth, never consumed by the
+    detector; scrambling them must not change the fingerprint."""
+    trace = _trace(0)
+    scrambled = _clone(trace)
+    for events in scrambled.events:
+        for event in events:
+            if event.is_sync:
+                event.seq = event.seq + 1000
+            else:
+                event.op_seqs = [s + 1000 for s in event.op_seqs]
+    assert trace_fingerprint(trace) == trace_fingerprint(scrambled)
+
+
+def test_sync_value_changes_the_fingerprint():
+    trace = _trace(0)
+    mutated = _clone(trace)
+    for events in mutated.events:
+        for event in events:
+            if event.is_sync:
+                event.value += 7
+                break
+    assert trace_fingerprint(trace) != trace_fingerprint(mutated)
+
+
+def test_sync_order_changes_the_fingerprint():
+    trace = _trace(0)
+    mutated = _clone(trace)
+    for addr, order in mutated.sync_order.items():
+        if len(order) >= 2:
+            order[0], order[1] = order[1], order[0]
+            break
+    else:  # pragma: no cover - workqueue always has lock traffic
+        raise AssertionError("expected a sync order with >= 2 events")
+    assert trace_fingerprint(trace) != trace_fingerprint(mutated)
