@@ -118,7 +118,10 @@ def test_workqueue_hunt_throughput(benchmark, cache):
 # runs a self-contained smoke (no pytest-benchmark) and writes a JSON
 # summary: serial and 4-worker tries/sec on the acceptance workload,
 # the trace-cache hit rate, and the speedup over the recorded baseline.
-# CI runs this on every push and uploads the file as an artifact.
+# CI runs this on every push (``--quick --compare BENCH_hunting.json``:
+# fail on >20% serial regression against the committed numbers,
+# ``--events hunt-events.jsonl``: write an event log to upload as an
+# artifact) and uploads the summary.
 
 
 def _best_rate(jobs: int, tries: int, repeats: int, trace_cache: bool = True):
@@ -157,7 +160,34 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=3,
         help="measurement repeats; the best rate is reported",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI preset: keep the default tries but drop to 2 repeats",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE.json",
+        help="compare serial throughput against a committed summary "
+             "(e.g. BENCH_hunting.json) and fail on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20, metavar="FRAC",
+        help="allowed fractional serial-throughput drop vs --compare "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--events", metavar="FILE", dest="events_path",
+        help="also run one untimed hunt with a JSONL event log "
+             "written here (the CI artifact)",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        args.repeats = min(args.repeats, 2)
+
+    committed = None
+    if args.compare:
+        # Read before measuring/writing: -o may overwrite the baseline.
+        with open(args.compare) as fh:
+            committed = json.load(fh)
 
     serial_rate, serial = _best_rate(1, args.tries, args.repeats)
     parallel_rate, parallel_result = _best_rate(4, args.tries, args.repeats)
@@ -200,6 +230,48 @@ def main(argv=None) -> int:
     print(f"  cache hits  {serial.trace_cache_hits}/{args.tries} "
           f"({payload['trace_cache_hit_rate']:.0%})")
     print(f"wrote {args.output}")
+
+    if args.events_path:
+        from repro.obs.events import HuntEventLog
+        log = HuntEventLog(args.events_path, meta={
+            "workload": "workqueue-buggy", "model": "WO",
+            "tries": args.tries, "jobs": 1, "source": "bench_hunting",
+        })
+        bench_run = hunt_races(
+            buggy_workqueue_program(),
+            lambda: make_model("WO"),
+            tries=args.tries,
+            jobs=1,
+            on_outcome=log.on_outcome,
+        )
+        log.write_summary({
+            "tries": bench_run.tries,
+            "racy_runs": bench_run.racy_runs,
+            "elapsed_sec": round(bench_run.elapsed, 6),
+            "executions_per_sec": round(
+                bench_run.executions_per_second, 1
+            ),
+        })
+        log.close()
+        print(f"wrote {args.events_path} ({bench_run.tries} try records)")
+
+    if committed is not None:
+        committed_rate = committed["serial_tries_per_sec"]
+        floor = committed_rate * (1.0 - args.max_regression)
+        verdict = "OK" if serial_rate >= floor else "REGRESSION"
+        print(
+            f"regression guard: serial {serial_rate:.2f} vs committed "
+            f"{committed_rate:.2f} tries/sec "
+            f"(floor {floor:.2f} at -{args.max_regression:.0%}): {verdict}"
+        )
+        if serial_rate < floor:
+            print(
+                f"FAIL: serial throughput regressed "
+                f"{1 - serial_rate / committed_rate:.1%} "
+                f"(> {args.max_regression:.0%} allowed)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

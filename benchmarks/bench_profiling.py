@@ -2,8 +2,10 @@
 
 The instrumentation contract (see ``repro.obs``) is that the hot path
 pays one attribute load and one ``None`` check per pipeline *stage*
-when no profiler is active.  This bench verifies that contract on the
-hunt workload two ways:
+when no profiler is active — and the telemetry layer
+(``repro.obs.metrics`` / ``repro.obs.events``) pays one registry
+lookup per *hunt*, nothing per job, when disabled.  This bench
+verifies that contract on the hunt workload two ways:
 
 * **accounting** — count every ``obs.span``/``obs.count``/
   ``obs.enabled`` call the workload makes, microbenchmark the per-call
@@ -48,9 +50,14 @@ def _best_of(fn, runs: int = 3) -> float:
 
 def _count_disabled_calls() -> dict:
     """Run the workload with counting wrappers around the hot-path
-    primitives (still disabled: no profiler is active)."""
-    calls = {"span": 0, "count": 0, "enabled": 0}
-    real = {"span": obs.span, "count": obs.count, "enabled": obs.enabled}
+    primitives (still disabled: no profiler or metrics registry is
+    active).  ``metrics_active`` counts the metrics layer's one
+    registry lookup per hunt (see repro.analysis.parallel.run_hunt)."""
+    calls = {"span": 0, "count": 0, "enabled": 0, "metrics_active": 0}
+    real = {
+        "span": obs.span, "count": obs.count, "enabled": obs.enabled,
+        "metrics_active": obs.metrics.active,
+    }
 
     def span(name):
         calls["span"] += 1
@@ -64,13 +71,19 @@ def _count_disabled_calls() -> dict:
         calls["enabled"] += 1
         return real["enabled"]()
 
+    def metrics_active():
+        calls["metrics_active"] += 1
+        return real["metrics_active"]()
+
     obs.span, obs.count, obs.enabled = span, count, enabled
+    obs.metrics.active = metrics_active
     try:
         _workload()
     finally:
         obs.span, obs.count, obs.enabled = (
             real["span"], real["count"], real["enabled"],
         )
+        obs.metrics.active = real["metrics_active"]
     return calls
 
 
@@ -81,6 +94,7 @@ def _per_call_disabled_cost() -> dict:
         ("span", lambda: obs.span("bench")),
         ("count", lambda: obs.count("bench")),
         ("enabled", obs.enabled),
+        ("metrics_active", obs.metrics.active),
     ):
         start = time.perf_counter()
         for _ in range(MICRO_REPS):
@@ -91,6 +105,7 @@ def _per_call_disabled_cost() -> dict:
 
 def test_disabled_overhead_under_budget(benchmark):
     assert obs.active() is None, "bench requires profiling off"
+    assert obs.metrics.active() is None, "bench requires metrics off"
     calls = _count_disabled_calls()
     per_call = _per_call_disabled_cost()
     t_work = _best_of(_workload)
@@ -104,7 +119,8 @@ def test_disabled_overhead_under_budget(benchmark):
             f"workload: racy_counter hunt, {TRIES} executions, "
             f"{t_work * 1000:.1f}ms",
             f"primitive calls: span={calls['span']}, "
-            f"count={calls['count']}, enabled={calls['enabled']}",
+            f"count={calls['count']}, enabled={calls['enabled']}, "
+            f"metrics.active={calls['metrics_active']}",
             f"per-call cost: span={per_call['span'] * 1e9:.0f}ns, "
             f"count={per_call['count'] * 1e9:.0f}ns, "
             f"enabled={per_call['enabled'] * 1e9:.0f}ns",

@@ -25,7 +25,7 @@ pipeline via ``profile=`` (see :mod:`repro.obs`).
 """
 
 from . import obs
-from .api import DETECTOR_NAMES, detect, report_from_json
+from .api import DETECTOR_NAMES, detect, explain, report_from_json
 from .analysis import (
     DetectionSummary,
     ExplorationResult,
@@ -47,12 +47,15 @@ from .core import (
     OnTheFlyReport,
     PartitionAnalysis,
     PostMortemDetector,
+    ProvenanceReport,
     RacePartition,
+    RaceProvenance,
     RaceReport,
     SCPrefix,
     check_condition_34,
     detect_on_the_fly,
     explain_race,
+    explain_races,
     explain_report,
     extract_scp,
     find_op_races,
@@ -104,6 +107,10 @@ __all__ = [
     "find_sc_witness",
     "is_sequentially_consistent",
     "trace_overhead",
+    "explain",
+    "ProvenanceReport",
+    "RaceProvenance",
+    "explain_races",
     "Condition34Report",
     "EventRace",
     "HappensBefore1",

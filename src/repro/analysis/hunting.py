@@ -86,11 +86,19 @@ def policies_by_name(
 
 @dataclass(frozen=True)
 class JobFailure:
-    """One hunt job that crashed or timed out instead of completing."""
+    """One hunt job that crashed or timed out instead of completing.
+
+    ``traceback`` carries the worker's full traceback text.  It stays
+    out of :meth:`HuntResult.stats` (whose output is a deterministic
+    function of the job set — tracebacks embed file paths and line
+    numbers) but rides on :meth:`HuntResult.to_json` so ``weakraces
+    hunt --json`` surfaces what actually went wrong.
+    """
 
     seed: int
     policy: str
     error: str
+    traceback: str = ""
 
 
 @dataclass
@@ -165,6 +173,13 @@ class HuntResult:
         payload["elapsed_sec"] = round(self.elapsed, 6)
         payload["executions_per_sec"] = round(self.executions_per_second, 1)
         payload["trace_cache_hits"] = self.trace_cache_hits
+        # stats() keeps failures deterministic; the JSON view adds the
+        # worker tracebacks so crashes are debuggable from the output.
+        payload["failures"] = [
+            {"seed": f.seed, "policy": f.policy, "error": f.error,
+             "traceback": f.traceback}
+            for f in self.failures
+        ]
         if self.stage_profile is not None:
             payload["stage_profile"] = self.stage_profile
         return payload
@@ -218,6 +233,8 @@ def hunt_races(
     job_timeout: Optional[float] = None,
     progress: Optional[Callable[[int, int, int], None]] = None,
     trace_cache: bool = True,
+    on_outcome: Optional[Callable[[object], None]] = None,
+    metrics=None,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -254,6 +271,13 @@ def hunt_races(
             ``trace_cache_hits`` obs counter.  Disable to force every
             execution through the full pipeline (e.g. when profiling
             detector stages).
+        on_outcome: optional observer invoked with each
+            :class:`repro.analysis.parallel.JobOutcome` as it
+            completes, in completion order (e.g.
+            ``repro.obs.events.HuntEventLog(...).on_outcome``).
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry` to
+            fold per-job telemetry into; defaults to whatever registry
+            ``repro.obs.metrics.collect`` has made active, if any.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -279,4 +303,6 @@ def hunt_races(
         job_timeout=job_timeout,
         progress=progress,
         trace_cache=trace_cache,
+        on_outcome=on_outcome,
+        metrics=metrics,
     )

@@ -39,6 +39,7 @@ import multiprocessing
 import signal
 import threading
 import time
+import traceback as _tb
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -58,6 +59,9 @@ from ..trace.fingerprint import trace_fingerprint
 from .hunting import HuntResult, JobFailure, PolicyFactory
 
 ProgressCallback = Callable[[int, int, int], None]
+#: Observer hook: called with each JobOutcome as it completes, plus the
+#: running (done, total, racy) tallies the progress callback sees.
+OutcomeObserver = Callable[["JobOutcome", int, int, int], None]
 
 
 def _analyze(source):
@@ -69,13 +73,13 @@ def _analyze(source):
 
 
 # Per-process analysis cache: trace fingerprint -> (racy, report
-# digest).  The detector is a pure function of the trace (see
-# repro.trace.fingerprint), so seeds that collapse to an identical
+# digest, race count).  The detector is a pure function of the trace
+# (see repro.trace.fingerprint), so seeds that collapse to an identical
 # trace need analyzing once.  Workers fork after run_hunt clears it,
 # so each worker accumulates its own cache over the jobs it drains;
 # merged *statistics* stay worker-count-independent because a cache
 # hit returns the exact result the analysis would have produced.
-_TRACE_CACHE: Dict[str, Tuple[bool, str]] = {}
+_TRACE_CACHE: Dict[str, Tuple[bool, str, int]] = {}
 _TRACE_CACHE_MAX = 4096
 
 
@@ -115,6 +119,10 @@ class JobOutcome:
     report: Optional[object] = None
     profile: Optional[List[dict]] = None  # flat span records, if profiled
     cache_hit: bool = False  # analysis served from the trace cache
+    duration: float = 0.0  # wall-clock seconds spent on this job
+    fingerprint: str = ""  # canonical trace fingerprint ("" = cache off)
+    race_count: int = 0  # races the analysis reported
+    traceback: str = ""  # full traceback when status == "error"
 
 
 def plan_jobs(tries: int, policy_names: Sequence[str]) -> List[HuntJob]:
@@ -194,8 +202,11 @@ def _execute_job(
     """Run one job; with profiling on, record it into a job-local
     profiler whose flat span records ride back on the outcome (cheap
     to pickle, aggregated by the parent across workers)."""
+    begin = time.perf_counter()
     if not state.profile:
-        return _execute_job_inner(state, job, keep_execution)
+        outcome = _execute_job_inner(state, job, keep_execution)
+        outcome.duration = time.perf_counter() - begin
+        return outcome
     profiler = obs.Profiler()
     with profiler.activate():
         with obs.span("hunt.job") as sp:
@@ -206,6 +217,7 @@ def _execute_job(
             if outcome.cache_hit:
                 sp.add("trace_cache_hits", 1)
     outcome.profile = profiler.to_records()
+    outcome.duration = time.perf_counter() - begin
     return outcome
 
 
@@ -225,6 +237,7 @@ def _execute_job_inner(
             )
             report = None
             cache_hit = False
+            fingerprint = ""
             if state.trace_cache:
                 trace = build_trace(execution)
                 fingerprint = trace_fingerprint(trace)
@@ -233,20 +246,23 @@ def _execute_job_inner(
                     report = _analyze(trace)
                     racy = not report.race_free
                     digest = report.format() if racy else ""
+                    race_count = len(report.races)
                     if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
                         _TRACE_CACHE.clear()
-                    _TRACE_CACHE[fingerprint] = (racy, digest)
+                    _TRACE_CACHE[fingerprint] = (racy, digest, race_count)
                 else:
                     cache_hit = True
-                    racy, digest = cached
+                    racy, digest, race_count = cached
             else:
                 report = _analyze(execution)
                 racy = not report.race_free
                 digest = report.format() if racy else ""
+                race_count = len(report.races)
     except Exception as exc:  # isolated, recorded by the merge
         return JobOutcome(
             job=job, status="error",
             error=f"{type(exc).__name__}: {exc}",
+            traceback=_tb.format_exc(),
         )
     outcome = JobOutcome(
         job=job,
@@ -256,6 +272,8 @@ def _execute_job_inner(
         recording=recording if racy else None,
         report_digest=digest if racy else "",
         cache_hit=cache_hit,
+        fingerprint=fingerprint,
+        race_count=race_count,
     )
     if keep_execution:
         outcome.execution = execution
@@ -298,6 +316,7 @@ def _run_serial(
     jobs: List[HuntJob],
     stop_at_first: bool,
     progress: Optional[ProgressCallback] = None,
+    observe: Optional[OutcomeObserver] = None,
 ) -> List[JobOutcome]:
     outcomes: List[JobOutcome] = []
     racy = 0
@@ -305,6 +324,8 @@ def _run_serial(
         outcome = _execute_job(state, job, keep_execution=True)
         outcomes.append(outcome)
         racy += outcome.status == "racy"
+        if observe is not None:
+            observe(outcome, len(outcomes), len(jobs), racy)
         if progress is not None:
             progress(len(outcomes), len(jobs), racy)
         if stop_at_first and outcome.status == "racy":
@@ -318,6 +339,7 @@ def _run_parallel(
     stop_at_first: bool,
     workers: int,
     progress: Optional[ProgressCallback] = None,
+    observe: Optional[OutcomeObserver] = None,
 ) -> List[JobOutcome]:
     ctx = multiprocessing.get_context("fork")
     stop_at = ctx.Value("i", -1) if stop_at_first else None
@@ -336,6 +358,8 @@ def _run_parallel(
         ):
             outcomes.append(outcome)
             racy += outcome.status == "racy"
+            if observe is not None:
+                observe(outcome, len(outcomes), len(jobs), racy)
             if progress is not None:
                 progress(len(outcomes), len(jobs), racy)
             if stop_at is not None and outcome.status == "racy":
@@ -430,7 +454,8 @@ def merge_outcomes(
         if outcome.status == "error":
             result.failures.append(
                 JobFailure(seed=job.seed, policy=job.policy_name,
-                           error=outcome.error)
+                           error=outcome.error,
+                           traceback=outcome.traceback)
             )
             continue
         if not outcome.completed:
@@ -454,6 +479,41 @@ def merge_outcomes(
 
 
 # ----------------------------------------------------------------------
+# telemetry folding (parent-side, one call per completed job)
+# ----------------------------------------------------------------------
+
+def _fold_outcome_metrics(
+    registry, outcome: JobOutcome, done: int, total: int, racy: int,
+    elapsed: float,
+) -> None:
+    """Update the hunt metric family (see the table in
+    :mod:`repro.obs.metrics`) for one completed job.  Runs in the
+    parent only, so gauge last-wins semantics are safe."""
+    registry.counter(
+        "hunt_tries_total", "hunt jobs by policy and outcome",
+        labels=("policy", "status"),
+    ).inc(policy=outcome.job.policy_name, status=outcome.status)
+    if outcome.cache_hit:
+        registry.counter(
+            "hunt_trace_cache_hits_total",
+            "analyses served from the trace cache",
+        ).inc()
+    registry.histogram(
+        "hunt_job_duration_seconds", "per-job wall time",
+    ).observe(outcome.duration)
+    registry.gauge("hunt_done", "completed jobs").set(done)
+    registry.gauge("hunt_total", "planned jobs").set(total)
+    registry.gauge("hunt_racy", "racy runs so far").set(racy)
+    registry.gauge(
+        "hunt_elapsed_seconds", "wall time since the hunt began",
+    ).set(elapsed)
+    if elapsed > 0:
+        registry.timeseries(
+            "hunt_throughput", "(elapsed, jobs/sec) samples",
+        ).record(elapsed, done / elapsed)
+
+
+# ----------------------------------------------------------------------
 # engine entry point
 # ----------------------------------------------------------------------
 
@@ -469,6 +529,8 @@ def run_hunt(
     job_timeout: Optional[float] = None,
     progress: Optional[ProgressCallback] = None,
     trace_cache: bool = True,
+    on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+    metrics=None,
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
@@ -476,11 +538,16 @@ def run_hunt(
     :func:`repro.analysis.hunting.hunt_races`; this is the engine
     underneath it.  *progress*, if given, is called after every
     completed job as ``progress(done, total, racy_so_far)``.
+    *on_outcome*, if given, receives each :class:`JobOutcome` as it
+    completes, in completion order (the event log's feed).
 
     When a :mod:`repro.obs` profiler is active, every job (in-process
     or forked) records per-stage spans into a job-local profiler; the
     parent folds them into per-span-path aggregates on the active
-    profiler and on ``HuntResult.stage_profile``.
+    profiler and on ``HuntResult.stage_profile``.  Likewise, when a
+    :mod:`repro.obs.metrics` registry is collecting (or one is passed
+    as *metrics*), the parent folds per-job telemetry into it — one
+    module-attribute check per hunt, so the disabled path stays free.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -501,13 +568,26 @@ def run_hunt(
     workers = min(jobs, len(job_plan))
     if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
         workers = 1  # factories may be closures; spawn cannot ship them
+    registry = metrics if metrics is not None else obs.metrics.active()
     start = time.perf_counter()
+    observe: Optional[OutcomeObserver] = None
+    if registry is not None or on_outcome is not None:
+        def observe(outcome, done, total, racy):
+            if registry is not None:
+                _fold_outcome_metrics(
+                    registry, outcome, done, total, racy,
+                    time.perf_counter() - start,
+                )
+            if on_outcome is not None:
+                on_outcome(outcome)
     with obs.span("hunt") as sp:
         if workers == 1:
-            outcomes = _run_serial(state, job_plan, stop_at_first, progress)
+            outcomes = _run_serial(
+                state, job_plan, stop_at_first, progress, observe
+            )
         else:
             outcomes = _run_parallel(
-                state, job_plan, stop_at_first, workers, progress
+                state, job_plan, stop_at_first, workers, progress, observe
             )
         result = merge_outcomes(state, outcomes, stop_at_first)
         if sp.enabled:

@@ -143,6 +143,25 @@ def detect(
     )
 
 
+def explain(source, *, include_sync: bool = False):
+    """Detect races on *source* and build witness-checked provenance
+    for each one (``weakraces explain`` in library form).
+
+    *source* is anything :func:`detect` accepts, or an existing
+    post-mortem :class:`~repro.core.report.RaceReport`.  Returns a
+    :class:`~repro.core.provenance.ProvenanceReport`: per data race,
+    the hb1 non-ordering witness (BFS cross-checked against the
+    closure backend), its SCC/partition in G', and the Definition 4.1
+    ordering evidence that makes its partition first (or not).
+    """
+    from .core.provenance import explain_races
+
+    report = source if isinstance(source, RaceReport) else _detect(
+        source, "postmortem"
+    )
+    return explain_races(report, include_sync=include_sync)
+
+
 def report_from_json(payload: dict) -> ReportType:
     """Rebuild any detector report from its ``to_json()`` payload,
     dispatching on the payload's ``kind``."""
@@ -156,4 +175,4 @@ def report_from_json(payload: dict) -> ReportType:
     raise ValueError(f"unknown report kind {kind!r}")
 
 
-__all__ = ["DETECTOR_NAMES", "detect", "report_from_json"]
+__all__ = ["DETECTOR_NAMES", "detect", "explain", "report_from_json"]

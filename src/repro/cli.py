@@ -5,10 +5,13 @@ and prints the post-mortem race report; ``weakraces trace`` writes the
 trace file instead; ``weakraces analyze`` runs the detector on a
 previously written trace file; ``weakraces check`` verifies Condition
 3.4 on an execution; ``weakraces hunt`` sweeps seeds x propagation
-policies (optionally across worker processes) for a racy execution;
-``weakraces profile`` runs the pipeline under the :mod:`repro.obs`
-profiler and prints per-stage timings; ``weakraces models`` lists the
-memory models.
+policies (optionally across worker processes) for a racy execution,
+with ``--live`` telemetry and a ``--events`` JSONL wide-event log;
+``weakraces events`` validates/summarizes/tails such a log;
+``weakraces explain`` prints witness-checked provenance for every
+reported race; ``weakraces profile`` runs the pipeline under the
+:mod:`repro.obs` profiler and prints per-stage timings; ``weakraces
+models`` lists the memory models.
 
 Report-printing subcommands take ``--json`` for machine-readable
 output, and ``run``/``analyze``/``hunt`` take ``--profile FILE`` to
@@ -218,7 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "replay-verified recording.  Every policy sweeps the same "
             "seed range, so per-policy racy rates are comparable.  "
             "Exit status: 1 when a race was found, 0 when none was, "
-            "2 on usage errors."
+            "2 on usage errors, 3 when any worker crashed or timed out."
         ),
     )
     hunt_p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -265,6 +268,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the per-worker trace-fingerprint analysis cache "
              "(every execution runs the full detection pipeline)",
+    )
+    hunt_p.add_argument(
+        "--live", action="store_true",
+        help="render a rolling status line (throughput, cache hit "
+             "rate, racy fraction, ETA) fed by the metrics registry",
+    )
+    hunt_p.add_argument(
+        "--events", metavar="FILE", dest="events_path",
+        help="write a JSONL wide-event log (one record per try; see "
+             "'weakraces events' to validate/summarize/tail it)",
+    )
+
+    ev_p = sub.add_parser(
+        "events",
+        help="validate, summarize, or tail a hunt event log",
+        description=(
+            "Check a JSONL event log written by 'weakraces hunt "
+            "--events' against its schema, then summarize it (racy "
+            "rates per policy, cache hit rate, duration percentiles) "
+            "or tail the newest try records.  Exit status: 0 ok, 2 "
+            "when the file fails validation."
+        ),
+    )
+    ev_p.add_argument("file", help="event log path (JSONL)")
+    ev_p.add_argument(
+        "--tail", type=int, metavar="N",
+        help="print the last N try records, one line each",
+    )
+    ev_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the loaded log as JSON",
+    )
+
+    ex_p = sub.add_parser(
+        "explain",
+        help="witness-checked provenance for each race of a run",
+        description=(
+            "Simulate a workload, detect races, and print per-race "
+            "provenance: the hb1 non-ordering witness (BFS "
+            "cross-checked against the closure backend), the race's "
+            "SCC/partition in the augmented graph G', and the "
+            "Definition 4.1 reachability evidence that makes its "
+            "partition first (reported) or not (suppressed)."
+        ),
+    )
+    ex_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
+    ex_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    ex_p.add_argument("--seed", type=int, default=0)
+    ex_p.add_argument(
+        "--race", metavar="SIG",
+        help="explain only the race with this signature "
+             "(e.g. P0.E0~P1.E0)",
+    )
+    ex_p.add_argument(
+        "--include-sync", action="store_true",
+        help="also explain sync races (excluded from data races by "
+             "Definition 2.4)",
+    )
+    ex_p.add_argument(
+        "--dot", metavar="FILE",
+        help="write G' as DOT with the first partitions highlighted",
+    )
+    ex_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the provenance report as JSON",
     )
 
     prof_p = sub.add_parser(
@@ -426,14 +494,83 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(report.format())
         return 0 if report.race_free else 1
 
+    if args.command == "events":
+        from .obs import events as obs_events
+        problems = obs_events.validate_events(args.file)
+        if problems:
+            for problem in problems:
+                print(f"{args.file}: {problem}", file=sys.stderr)
+            return 2
+        loaded = obs_events.read_events(args.file)
+        if args.as_json:
+            print(json.dumps(loaded, indent=2, sort_keys=True))
+        elif args.tail is not None:
+            for record in loaded["tries"][-max(args.tail, 0):]:
+                print(obs_events.format_try(record))
+        else:
+            print(obs_events.summarize_events(loaded))
+        return 0
+
+    if args.command == "explain":
+        from .core.provenance import ProvenanceError, explain_races
+        result = _run_workload(args.workload, args.model, args.seed)
+        report = detect(result)
+        try:
+            prov = explain_races(report, include_sync=args.include_sync)
+        except ProvenanceError as exc:
+            print(f"explain: {exc}", file=sys.stderr)
+            return 2
+        if args.race:
+            one = prov.find(args.race)
+            if one is None:
+                known = ", ".join(p.signature for p in prov.provenances)
+                print(
+                    f"explain: no race {args.race!r} in this execution"
+                    + (f"; known: {known}" if known else " (race-free)"),
+                    file=sys.stderr,
+                )
+                return 2
+            if args.as_json:
+                print(json.dumps(one.to_json(), indent=2, sort_keys=True))
+            else:
+                print(one.describe(report.trace))
+        elif args.as_json:
+            print(json.dumps(prov.to_json(), indent=2, sort_keys=True))
+        else:
+            print(prov.format())
+        if args.dot:
+            with open(args.dot, "w", encoding="utf-8") as fh:
+                fh.write(prov.to_dot())
+            if not args.as_json:
+                print(f"\nDOT graph written to {args.dot}")
+        return 0 if report.race_free else 1
+
     if args.command == "hunt":
         from .analysis.hunting import hunt_races, policies_by_name
+        from .obs import events as obs_events
+        from .obs import metrics as obs_metrics
+        from .obs.live import HuntStatusLine
         program = WORKLOADS[args.workload]()
+        registry = None
+        status_line = None
         progress = None
-        if sys.stderr.isatty() and not args.as_json:
+        if args.live:
+            registry = obs_metrics.MetricsRegistry()
+            status_line = HuntStatusLine(registry=registry)
+            progress = status_line.progress
+        elif sys.stderr.isatty() and not args.as_json:
             def progress(done: int, total: int, racy: int) -> None:
                 print(f"\rhunt: {done}/{total} executions, {racy} racy",
                       end="", file=sys.stderr, flush=True)
+        event_log = None
+        if args.events_path:
+            event_log = obs_events.HuntEventLog(args.events_path, meta={
+                "workload": args.workload,
+                "model": args.model,
+                "tries": args.tries,
+                "jobs": args.jobs,
+                "policies": args.policies or "default",
+            })
         try:
             policies = (
                 policies_by_name(args.policies, program.processor_count)
@@ -450,13 +587,35 @@ def _dispatch(args: argparse.Namespace) -> int:
                 job_timeout=args.timeout,
                 progress=progress,
                 trace_cache=not args.no_cache,
+                on_outcome=event_log.on_outcome if event_log else None,
+                metrics=registry,
             )
         except ValueError as exc:
+            if event_log is not None:
+                event_log.close()
             print(f"hunt: {exc}", file=sys.stderr)
             return 2
         finally:
-            if progress is not None:
+            if status_line is not None:
+                status_line.finish()
+            elif progress is not None:
                 print(file=sys.stderr)  # end the live status line
+        if event_log is not None:
+            event_log.write_stages(result.stage_profile)
+            event_log.write_summary({
+                "tries": result.tries,
+                "racy_runs": result.racy_runs,
+                "clean_runs": result.clean_runs,
+                "failures": len(result.failures),
+                "elapsed_sec": round(result.elapsed, 6),
+                "executions_per_sec": round(
+                    result.executions_per_second, 1
+                ),
+                "trace_cache_hits": result.trace_cache_hits,
+            })
+            event_log.close()
+            print(f"hunt events written to {args.events_path}",
+                  file=sys.stderr)
         if args.save_recording and result.recording is not None:
             result.recording.save(args.save_recording)
         if args.as_json:
@@ -474,6 +633,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
             if args.save_recording and result.recording is not None:
                 print(f"recording written to {args.save_recording}")
+        if result.failures:
+            print(
+                f"hunt: {len(result.failures)} job(s) crashed or timed "
+                f"out (see failures in the output)",
+                file=sys.stderr,
+            )
+            return 3
         return 1 if result.found else 0
 
     if args.command == "outcomes":

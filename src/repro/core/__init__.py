@@ -26,6 +26,13 @@ from .onthefly_first import (
 )
 from .ophb import OpHappensBefore, OpRace, build_op_augmented, find_op_races
 from .partitions import PartitionAnalysis, RacePartition, partition_races
+from .provenance import (
+    NonOrderingWitness,
+    ProvenanceError,
+    ProvenanceReport,
+    RaceProvenance,
+    explain_races,
+)
 from .races import EventRace, data_races, find_races
 from .report import RaceReport
 from .scp import Condition34Report, SCPrefix, check_condition_34, extract_scp
@@ -44,6 +51,11 @@ __all__ = [
     "RaceExplanation",
     "explain_race",
     "explain_report",
+    "NonOrderingWitness",
+    "ProvenanceError",
+    "ProvenanceReport",
+    "RaceProvenance",
+    "explain_races",
     "HappensBefore1",
     "CyclicHB1Error",
     "VectorClockHB1",

@@ -89,6 +89,31 @@ class PartitionAnalysis:
             raise KeyError(f"race {race} not in any partition")
         return partition
 
+    @property
+    def data_partitions(self) -> List[RacePartition]:
+        """Partitions containing at least one data race — the only ones
+        the Definition 4.1 ordering ever consults."""
+        return [p for p in self.partitions if p.has_data_race]
+
+    def preceding_data_partitions(
+        self, partition: RacePartition
+    ) -> List[RacePartition]:
+        """The data-race partitions ordered before *partition* by
+        Definition 4.1 (empty iff *partition* is first)."""
+        return [
+            p for p in self.data_partitions
+            if p is not partition and self.precedes(p, partition)
+        ]
+
+    def following_data_partitions(
+        self, partition: RacePartition
+    ) -> List[RacePartition]:
+        """The data-race partitions *partition* is ordered before."""
+        return [
+            p for p in self.data_partitions
+            if p is not partition and self.precedes(partition, p)
+        ]
+
     def precedes(self, p1: RacePartition, p2: RacePartition) -> bool:
         """Definition 4.1: Part1 P Part2 iff a G' path leads from an
         event of Part1 to an event of Part2."""

@@ -35,6 +35,12 @@ class EventRace:
     def events(self) -> Tuple[EventId, EventId]:
         return (self.a, self.b)
 
+    @property
+    def signature(self) -> str:
+        """Stable text key for one race (``P0.E3~P1.E2``) — how the CLI
+        names a race across runs of the same trace."""
+        return f"{self.a}~{self.b}"
+
     def involves(self, eid: EventId) -> bool:
         return eid == self.a or eid == self.b
 

@@ -206,11 +206,15 @@ class RaceReport:
         return cls(trace=trace, hb=hb, races=races, analysis=analysis)
 
     # ------------------------------------------------------------------
-    def to_dot(self, include_partitions: bool = True) -> str:
+    def to_dot(self, include_partitions: bool = True,
+               highlight: Optional[set] = None) -> str:
         """Render the augmented happens-before-1 graph G' as DOT, in the
         style of the paper's Figure 3: po/so1 edges solid, race edges
-        dashed and bidirectional, partitions boxed."""
+        dashed and bidirectional, partitions boxed.  *highlight* events
+        (e.g. a first partition, for ``weakraces explain --dot``) are
+        filled and their partition boxes drawn bold."""
         trace = self.trace
+        highlight = highlight or set()
         race_pairs = set()
         for race in self.races:
             race_pairs.add((race.a, race.b))
@@ -228,14 +232,26 @@ class RaceReport:
                 return {"style": "dashed", "dir": "both", "color": "red"}
             return {}
 
+        def node_attrs(eid: EventId) -> Dict[str, str]:
+            if eid in highlight:
+                return {"style": "filled", "fillcolor": "lightgoldenrod1"}
+            return {}
+
         clusters: Optional[Dict[str, List[EventId]]] = None
+        highlighted_clusters: set = set()
         if include_partitions:
             clusters = {}
             for partition in self.analysis.partitions:
                 tag = "first" if partition.is_first else "non-first"
-                clusters[
-                    f"partition {partition.component_index} ({tag})"
-                ] = sorted(partition.events)
+                label = f"partition {partition.component_index} ({tag})"
+                clusters[label] = sorted(partition.events)
+                if highlight and partition.events & highlight:
+                    highlighted_clusters.add(label)
+
+        def cluster_attrs(label: str) -> Dict[str, str]:
+            if label in highlighted_clusters:
+                return {"color": "red", "style": "bold"}
+            return {}
 
         # Draw each race edge only once (dir=both renders the pair).
         drawn = self.hb.graph.copy()
@@ -246,6 +262,8 @@ class RaceReport:
             drawn,
             name="Gprime",
             label_of=label_of,
+            node_attrs=node_attrs if highlight else None,
             edge_attrs=edge_attrs,
             clusters=clusters,
+            cluster_attrs=cluster_attrs if highlighted_clusters else None,
         )

@@ -24,6 +24,7 @@ def to_dot(
     node_attrs: Optional[Callable[[Hashable], Dict[str, str]]] = None,
     edge_attrs: Optional[Callable[[Hashable, Hashable], Dict[str, str]]] = None,
     clusters: Optional[Dict[str, Iterable[Hashable]]] = None,
+    cluster_attrs: Optional[Callable[[str], Dict[str, str]]] = None,
 ) -> str:
     """Render *graph* as DOT text.
 
@@ -36,6 +37,8 @@ def to_dot(
             get ``style=dashed dir=both`` to match the paper's figures).
         clusters: cluster label -> member nodes; members are drawn inside
             a labelled subgraph box (used for race partitions, Figure 3).
+        cluster_attrs: cluster label -> extra subgraph attributes (e.g.
+            first partitions drawn with a bold coloured box).
     """
     label_of = label_of or str
     ids: Dict[Hashable, str] = {
@@ -48,6 +51,9 @@ def to_dot(
         for ci, (cluster_label, members) in enumerate(clusters.items()):
             lines.append(f"  subgraph cluster_{ci} {{")
             lines.append(f"    label={_quote(cluster_label)};")
+            if cluster_attrs:
+                for key, value in cluster_attrs(cluster_label).items():
+                    lines.append(f"    {key}={_quote(value)};")
             for node in members:
                 if node not in ids:
                     continue

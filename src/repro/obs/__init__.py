@@ -1,12 +1,22 @@
-"""repro.obs — pipeline observability: spans, counters, profiles.
+"""repro.obs — pipeline observability: spans, metrics, events, profiles.
+
+Two complementary layers:
+
+* the span profiler (:mod:`repro.obs.profiler` + :mod:`repro.obs.export`)
+  answers "where did the time go" for one bounded run;
+* the telemetry layer (:mod:`repro.obs.metrics` typed registry,
+  :mod:`repro.obs.events` structured JSONL event log, and
+  :mod:`repro.obs.live` status line) answers "what is happening right
+  now" for long-running hunts.
 
 The hot path calls :func:`span`/:func:`count` (near-zero-cost no-ops
 until a :class:`Profiler` is activated); CLI/API entry points activate
-a profiler and export JSONL via :mod:`repro.obs.export`.  See
-``docs/detection_pipeline.md`` ("Profiling the pipeline") for the span
-names and the file schema.
+a profiler/registry and export JSONL.  See
+``docs/detection_pipeline.md`` ("Observability") for span/metric names
+and the file schemas.
 """
 
+from . import events, live, metrics
 from .profiler import (
     NULL_SPAN,
     AggregateRecord,
@@ -27,6 +37,9 @@ from .export import (
 )
 
 __all__ = [
+    "events",
+    "live",
+    "metrics",
     "NULL_SPAN",
     "AggregateRecord",
     "Profiler",

@@ -1,0 +1,322 @@
+"""repro.obs.events — a schema-versioned structured event log.
+
+Where the profiler records *spans* (how long each stage took) and the
+metrics registry records *rates*, the event log records *what
+happened*: one wide JSONL record per unit of work, written as it
+completes, so a long-running hunt leaves an auditable, tail-able
+history instead of only a final summary.
+
+The schema (``EVENTS_FORMAT`` = 1) is JSON-lines:
+
+* line 1 — a meta record::
+
+      {"t": "meta", "schema": 1, "kind": "hunt", "workload": ..., ...}
+
+* ``{"t": "try", ...}`` — one record per hunt try: ``index``,
+  ``seed``, ``policy``, ``status`` (racy | clean | error | skipped),
+  ``duration_sec``, ``cache_hit``, ``fingerprint`` (canonical trace
+  fingerprint, "" when the cache is off), ``races`` (count found),
+  ``operations``, ``completed`` (False = step bound hit);
+
+* ``{"t": "stage", ...}`` — one record per detection stage, folded
+  across all workers: ``path`` (span path, e.g.
+  ``hunt.job/detect.postmortem/races.find``), ``count``,
+  ``total_sec``, ``min_sec``, ``max_sec``, ``counters``;
+
+* ``{"t": "summary", ...}`` — the run's closing totals (a subset of
+  ``HuntResult.to_json()``).
+
+:func:`validate_events` checks a file against this schema — including
+rejecting unknown ``schema`` versions — and ``weakraces events FILE``
+validates, summarizes, or tails a log.  Records are flushed per line,
+so ``weakraces events --tail`` (or plain ``tail -f``) works while the
+hunt is still running.
+
+Writing is opt-in (``weakraces hunt --events FILE`` or
+``hunt_races(on_outcome=HuntEventLog(...).on_outcome)``); when no log
+is attached the hot path pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+EVENTS_FORMAT = 1
+
+TRY_STATUSES = ("racy", "clean", "error", "skipped")
+
+_TRY_KEYS = {
+    "index", "seed", "policy", "status", "duration_sec",
+    "cache_hit", "fingerprint", "races", "operations", "completed",
+}
+_STAGE_KEYS = {"path", "count", "total_sec", "min_sec", "max_sec", "counters"}
+
+
+class EventLogWriter:
+    """Line-buffered JSONL event writer; a context manager.
+
+    The meta record (schema version + caller-supplied context) is
+    written immediately on construction, so even an interrupted run
+    leaves a valid, identifiable log prefix.
+    """
+
+    def __init__(self, path: Union[str, Path], kind: str,
+                 meta: Optional[dict] = None) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        header = {"t": "meta", "schema": EVENTS_FORMAT, "kind": kind}
+        if meta:
+            header.update(meta)
+        self.write(header)
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class HuntEventLog:
+    """The hunt's event stream: one ``try`` record per job outcome.
+
+    ``on_outcome`` plugs straight into
+    :func:`repro.analysis.hunting.hunt_races`'s hook of the same name;
+    stage aggregates and the closing summary are appended by the CLI
+    once the merged :class:`~repro.analysis.hunting.HuntResult` exists.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 meta: Optional[dict] = None) -> None:
+        self.writer = EventLogWriter(path, kind="hunt", meta=meta)
+        self.tries = 0
+
+    @property
+    def path(self) -> Path:
+        return self.writer.path
+
+    def on_outcome(self, outcome) -> None:
+        """Record one job outcome (duck-typed
+        :class:`repro.analysis.parallel.JobOutcome`)."""
+        self.tries += 1
+        self.writer.write({
+            "t": "try",
+            "index": outcome.job.index,
+            "seed": outcome.job.seed,
+            "policy": outcome.job.policy_name,
+            "status": outcome.status,
+            "duration_sec": round(outcome.duration, 6),
+            "cache_hit": outcome.cache_hit,
+            "fingerprint": outcome.fingerprint,
+            "races": outcome.race_count,
+            "operations": outcome.operations,
+            "completed": outcome.completed,
+            "error": outcome.error,
+        })
+
+    def write_stages(self, stage_profile: Optional[Dict[str, dict]]) -> None:
+        """Append one ``stage`` record per aggregated span path (from
+        ``HuntResult.stage_profile``; a no-op when profiling was off)."""
+        if not stage_profile:
+            return
+        for path in sorted(stage_profile):
+            agg = dict(stage_profile[path])
+            agg.pop("t", None)
+            agg.pop("peak_rss_kb", None)
+            agg["t"] = "stage"
+            agg.setdefault("path", path)
+            self.writer.write(agg)
+
+    def write_summary(self, payload: dict) -> None:
+        record = {"t": "summary"}
+        record.update(payload)
+        self.writer.write(record)
+
+    def close(self) -> None:
+        self.writer.close()
+
+    def __enter__(self) -> "HuntEventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# read-back, validation, summarization
+# ----------------------------------------------------------------------
+
+def read_events(path: Union[str, Path]) -> Dict[str, object]:
+    """Load an event log into ``{"meta": ..., "tries": [...],
+    "stages": [...], "summary": ...}``."""
+    meta: Optional[dict] = None
+    tries: List[dict] = []
+    stages: List[dict] = []
+    summary: Optional[dict] = None
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("t")
+            if kind == "meta":
+                meta = record
+            elif kind == "try":
+                tries.append(record)
+            elif kind == "stage":
+                stages.append(record)
+            elif kind == "summary":
+                summary = record
+    return {"meta": meta, "tries": tries, "stages": stages,
+            "summary": summary}
+
+
+def validate_events(path: Union[str, Path]) -> List[str]:
+    """Check *path* against the event-log schema; returns problems
+    (empty = valid).  Files declaring an unknown ``schema`` version are
+    rejected, never silently accepted."""
+    problems: List[str] = []
+    try:
+        with Path(path).open("r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    if not lines:
+        return ["empty event log"]
+    try:
+        records = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON: {exc}"]
+    meta = records[0]
+    if meta.get("t") != "meta":
+        problems.append("first record is not a meta record")
+    else:
+        schema = meta.get("schema")
+        if not isinstance(schema, int) or isinstance(schema, bool):
+            problems.append(f"meta.schema is not an integer: {schema!r}")
+        elif schema != EVENTS_FORMAT:
+            problems.append(
+                f"unknown schema version {schema!r} "
+                f"(this reader understands {EVENTS_FORMAT})"
+            )
+    for i, record in enumerate(records[1:], start=2):
+        kind = record.get("t")
+        if kind == "try":
+            missing = _TRY_KEYS - record.keys()
+            if missing:
+                problems.append(f"line {i}: try missing {sorted(missing)}")
+                continue
+            if record["status"] not in TRY_STATUSES:
+                problems.append(
+                    f"line {i}: unknown try status {record['status']!r}"
+                )
+            if record["duration_sec"] < 0:
+                problems.append(f"line {i}: negative try duration")
+        elif kind == "stage":
+            missing = _STAGE_KEYS - record.keys()
+            if missing:
+                problems.append(f"line {i}: stage missing {sorted(missing)}")
+        elif kind == "summary":
+            pass  # free-form totals
+        elif kind == "meta":
+            problems.append(f"line {i}: duplicate meta record")
+        else:
+            problems.append(f"line {i}: unknown record type {kind!r}")
+    return problems
+
+
+def format_try(record: dict) -> str:
+    """One human-readable line per try record (the ``--tail`` view)."""
+    flags = []
+    if record.get("cache_hit"):
+        flags.append("cache")
+    if not record.get("completed", True):
+        flags.append("step-bound")
+    if record.get("error"):
+        flags.append(record["error"])
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    fingerprint = record.get("fingerprint") or ""
+    fp = f" fp={fingerprint[:12]}" if fingerprint else ""
+    return (
+        f"#{record['index']:<4} seed={record['seed']:<4} "
+        f"{record['policy']:<12} {record['status']:<7} "
+        f"races={record['races']:<3} "
+        f"{record['duration_sec'] * 1000:7.2f}ms{fp}{suffix}"
+    )
+
+
+def summarize_events(loaded: Dict[str, object]) -> str:
+    """Aggregate a loaded event log (see :func:`read_events`) into a
+    human-readable summary: totals, per-policy racy rates, cache hit
+    rate, duration percentiles, and the stage table when present."""
+    meta = loaded.get("meta") or {}
+    tries: List[dict] = loaded.get("tries") or []  # type: ignore[assignment]
+    stages: List[dict] = loaded.get("stages") or []  # type: ignore[assignment]
+    lines: List[str] = []
+    context = " ".join(
+        f"{key}={meta[key]}" for key in ("workload", "model", "jobs")
+        if key in meta
+    )
+    lines.append(f"hunt event log{': ' + context if context else ''}")
+    ran = [t for t in tries if t["status"] != "skipped"]
+    skipped = len(tries) - len(ran)
+    by_status: Dict[str, int] = {}
+    for record in ran:
+        by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+    status_text = ", ".join(
+        f"{count} {status}" for status, count in sorted(by_status.items())
+    )
+    lines.append(
+        f"  {len(ran)} tries ({status_text or 'none'})"
+        + (f", {skipped} skipped by early stop" if skipped else "")
+    )
+    cache_hits = sum(1 for record in ran if record.get("cache_hit"))
+    if ran:
+        lines.append(
+            f"  trace cache: {cache_hits}/{len(ran)} hits "
+            f"({cache_hits / len(ran):.0%})"
+        )
+        durations = sorted(record["duration_sec"] for record in ran)
+
+        def pct(q: float) -> float:
+            return durations[min(int(q * len(durations)), len(durations) - 1)]
+
+        lines.append(
+            f"  job duration: p50={pct(0.5) * 1000:.2f}ms "
+            f"p95={pct(0.95) * 1000:.2f}ms max={durations[-1] * 1000:.2f}ms"
+        )
+    per_policy: Dict[str, List[int]] = {}
+    for record in ran:
+        racy, total = per_policy.setdefault(record["policy"], [0, 0])
+        per_policy[record["policy"]] = [
+            racy + (record["status"] == "racy"), total + 1,
+        ]
+    for policy, (racy, total) in sorted(per_policy.items()):
+        lines.append(f"  {policy}: {racy}/{total} racy")
+    if stages:
+        lines.append("  stages (aggregated across workers):")
+        for record in stages:
+            lines.append(
+                f"    {record['path']}: n={record['count']} "
+                f"total={record['total_sec'] * 1000:.2f}ms"
+            )
+    summary = loaded.get("summary")
+    if isinstance(summary, dict) and "elapsed_sec" in summary:
+        lines.append(
+            f"  run total: {summary.get('tries')} tries in "
+            f"{summary['elapsed_sec']}s "
+            f"({summary.get('executions_per_sec', '?')} exec/s)"
+        )
+    return "\n".join(lines)

@@ -110,8 +110,17 @@ def validate_profile(path: Union[str, Path]) -> List[str]:
     meta = records[0]
     if meta.get("t") != "meta":
         problems.append("first record is not a meta record")
-    elif meta.get("format") != PROFILE_FORMAT:
-        problems.append(f"unsupported format {meta.get('format')!r}")
+    elif "format" not in meta:
+        problems.append("meta record has no format version")
+    else:
+        version = meta["format"]
+        if not isinstance(version, int) or isinstance(version, bool):
+            problems.append(f"format version is not an integer: {version!r}")
+        elif version != PROFILE_FORMAT:
+            problems.append(
+                f"unknown format version {version!r} "
+                f"(this reader understands {PROFILE_FORMAT})"
+            )
     for i, record in enumerate(records[1:], start=2):
         kind = record.get("t")
         if kind == "span":

@@ -202,3 +202,152 @@ def test_outcomes_limit(capsys):
 def test_new_workloads_run(capsys):
     assert main(["run", "cas-counter", "--model", "RCsc"]) == 0
     assert main(["run", "iriw", "--model", "WO"]) == 1  # racy
+
+
+# ----------------------------------------------------------------------
+# weakraces explain
+# ----------------------------------------------------------------------
+
+def test_explain_racy_workload(capsys):
+    code = main(["explain", "workqueue-buggy", "--model", "WO",
+                 "--seed", "0"])
+    assert code == 1  # races found, like run
+    out = capsys.readouterr().out
+    assert "Race provenance" in out
+    assert "[REPORTED]" in out
+    assert "verified against closure" in out
+    assert "FIRST partition" in out
+
+
+def test_explain_clean_workload(capsys):
+    code = main(["explain", "locked-counter", "--model", "WO"])
+    assert code == 0
+    assert "nothing to explain" in capsys.readouterr().out
+
+
+def test_explain_json(capsys):
+    import json
+    code = main(["explain", "figure2", "--model", "WO", "--json"])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "provenance"
+    assert doc["all_verified"] is True
+    assert any(r["reported"] for r in doc["races"])
+    assert any(not r["reported"] for r in doc["races"])  # suppressed
+
+
+def test_explain_single_race_by_signature(capsys):
+    import json
+    main(["explain", "workqueue-buggy", "--seed", "0", "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    signature = doc["races"][0]["race"]["signature"]
+    code = main(["explain", "workqueue-buggy", "--seed", "0",
+                 "--race", signature])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "witness:" in out
+    assert "Race provenance" not in out  # single-race view, not the report
+
+
+def test_explain_unknown_signature_exit_2(capsys):
+    code = main(["explain", "workqueue-buggy", "--seed", "0",
+                 "--race", "P9.E9~P9.E8"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "no race 'P9.E9~P9.E8'" in err
+    assert "known:" in err
+
+
+def test_explain_writes_dot(tmp_path, capsys):
+    dot = tmp_path / "gprime.dot"
+    code = main(["explain", "workqueue-buggy", "--seed", "0",
+                 "--dot", str(dot)])
+    assert code == 1
+    text = dot.read_text()
+    assert text.startswith("digraph")
+    assert "lightgoldenrod1" in text  # first-partition highlight
+    assert f"DOT graph written to {dot}" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# weakraces hunt --events / --live and weakraces events
+# ----------------------------------------------------------------------
+
+def test_hunt_writes_event_log_then_events_summarizes(tmp_path, capsys):
+    log = tmp_path / "hunt-events.jsonl"
+    code = main(["hunt", "workqueue-buggy", "--tries", "6",
+                 "--events", str(log)])
+    assert code == 1  # racy workload
+    captured = capsys.readouterr()
+    assert f"hunt events written to {log}" in captured.err
+    assert log.exists()
+    code = main(["events", str(log)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hunt event log" in out
+    assert "workload=workqueue-buggy" in out
+    assert "6 tries" in out
+    assert "run total" in out
+
+
+def test_events_tail_and_json(tmp_path, capsys):
+    import json
+    log = tmp_path / "hunt-events.jsonl"
+    main(["hunt", "racy-counter", "--tries", "5", "--events", str(log)])
+    capsys.readouterr()
+    code = main(["events", str(log), "--tail", "3"])
+    assert code == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == 3
+    assert all(line.startswith("#") for line in lines)
+    code = main(["events", str(log), "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["meta"]["schema"] == 1
+    assert len(doc["tries"]) == 5
+    assert doc["summary"]["tries"] == 5
+
+
+def test_events_rejects_invalid_log(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"t": "meta", "schema": 99, "kind": "hunt"}\n')
+    code = main(["events", str(bad)])
+    assert code == 2
+    assert "unknown schema version 99" in capsys.readouterr().err
+
+
+def test_hunt_live_status_line(capsys):
+    code = main(["hunt", "racy-counter", "--tries", "4", "--live"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "hunt 4/4" in err  # final repaint from finish()
+    assert "jobs/s" in err
+
+
+def test_hunt_worker_failures_exit_3(monkeypatch, capsys):
+    import json
+    from repro.analysis import hunting
+    from repro.machine.propagation import PropagationPolicy
+
+    class _Exploding(PropagationPolicy):
+        def step(self, memory, rng):
+            raise RuntimeError("boom")
+
+    real_registry = hunting.policy_registry
+
+    def registry(processor_count):
+        out = real_registry(processor_count)
+        out["boom"] = _Exploding
+        return out
+
+    monkeypatch.setattr(hunting, "policy_registry", registry)
+    code = main(["hunt", "racy-counter", "--tries", "2",
+                 "--policies", "boom", "--json"])
+    assert code == 3  # worker crashes trump found/not-found
+    captured = capsys.readouterr()
+    assert "2 job(s) crashed or timed out" in captured.err
+    doc = json.loads(captured.out)
+    assert len(doc["failures"]) == 2
+    # satellite: --json surfaces the worker tracebacks
+    for failure in doc["failures"]:
+        assert "RuntimeError: boom" in failure["traceback"]

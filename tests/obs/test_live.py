@@ -1,0 +1,132 @@
+"""HuntStatusLine tests: pure rendering, registry-derived rates,
+throttling, and terminal painting — all driven with an injected clock
+and an in-memory stream."""
+
+import io
+
+from repro.obs import metrics
+from repro.obs.live import HuntStatusLine, _format_eta
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _line(registry=None, clock=None, **kwargs):
+    return HuntStatusLine(
+        registry=registry,
+        stream=io.StringIO(),
+        clock=clock if clock is not None else FakeClock(),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# render (pure)
+# ----------------------------------------------------------------------
+
+def test_render_fallback_rate_without_registry():
+    clock = FakeClock()
+    line = _line(clock=clock)
+    clock.advance(2.0)
+    line.progress(10, 40, 3)
+    text = line.render(elapsed=2.0)
+    assert "hunt 10/40" in text
+    assert "(25%)" in text
+    assert "5.0 jobs/s" in text  # 10 done / 2s, no registry
+    assert "racy 30%" in text
+    assert "cache" not in text
+    assert "eta 6.0s" in text  # 30 remaining / 5 per sec
+
+
+def test_render_prefers_registry_throughput_and_cache():
+    reg = metrics.MetricsRegistry()
+    reg.timeseries("hunt_throughput").record(1.0, 80.0)
+    reg.timeseries("hunt_throughput").record(2.0, 100.0)
+    reg.counter("hunt_trace_cache_hits_total").inc(5)
+    clock = FakeClock()
+    line = _line(registry=reg, clock=clock)
+    line._done, line._total, line._racy = 10, 40, 0
+    text = line.render(elapsed=2.0)
+    assert "100.0 jobs/s" in text  # the latest sample, not done/elapsed
+    assert "cache 50%" in text
+    assert "eta" in text
+
+
+def test_render_falls_back_to_active_registry():
+    with metrics.collect() as reg:
+        reg.timeseries("hunt_throughput").record(0.5, 42.0)
+        line = _line()
+        line._done, line._total = 5, 10
+        assert "42.0 jobs/s" in line.render(elapsed=1.0)
+    # outside collection the ambient registry is gone
+    line = _line()
+    line._done, line._total = 5, 10
+    assert "5.0 jobs/s" in line.render(elapsed=1.0)
+
+
+def test_render_degenerate_states():
+    line = _line()
+    assert line.render(elapsed=0.0) == "hunt 0/0  0.0 jobs/s"
+    line._done, line._total, line._racy = 8, 8, 8
+    text = line.render(elapsed=2.0)
+    assert "eta" not in text  # nothing remaining
+    assert "racy 100%" in text
+
+
+def test_format_eta_scales():
+    assert _format_eta(12.3) == "12.3s"
+    assert _format_eta(75) == "1m15s"
+    assert _format_eta(3_725) == "1h02m"
+
+
+# ----------------------------------------------------------------------
+# throttling and painting
+# ----------------------------------------------------------------------
+
+def test_progress_throttles_repaints():
+    clock = FakeClock(100.0)  # a monotonic clock never starts at 0
+    line = _line(clock=clock, min_interval=0.1)
+    line.progress(1, 10, 0)  # first paint always lands
+    first = line.stream.getvalue()
+    assert "hunt 1/10" in first
+    clock.advance(0.01)
+    line.progress(2, 10, 0)  # inside the interval: suppressed
+    assert line.stream.getvalue() == first
+    clock.advance(0.2)
+    line.progress(3, 10, 0)  # interval elapsed: repainted
+    assert "hunt 3/10" in line.stream.getvalue()
+
+
+def test_progress_final_tick_always_paints():
+    clock = FakeClock()
+    line = _line(clock=clock, min_interval=10.0)
+    line.progress(1, 2, 0)
+    clock.advance(0.001)
+    line.progress(2, 2, 1)  # done == total beats the throttle
+    assert "hunt 2/2" in line.stream.getvalue()
+
+
+def test_paint_erases_longer_previous_line():
+    line = _line()
+    line._paint("a" * 30)
+    line._paint("b" * 10)
+    painted = line.stream.getvalue().split("\r")[-1]
+    assert painted == "b" * 10 + " " * 20
+
+
+def test_finish_moves_to_fresh_line():
+    clock = FakeClock()
+    line = _line(clock=clock)
+    line.progress(2, 2, 0)
+    line.finish()
+    out = line.stream.getvalue()
+    assert out.endswith("\n")
+    assert "hunt 2/2" in out

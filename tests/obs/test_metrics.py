@@ -1,0 +1,276 @@
+"""Metrics registry tests: instrument behavior, label discipline,
+get-or-create semantics, cross-process merge, and the module-level
+activation slot."""
+
+import pickle
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    TimeSeries,
+)
+
+
+# ----------------------------------------------------------------------
+# counters
+# ----------------------------------------------------------------------
+
+def test_counter_accumulates_per_label_set():
+    c = Counter("tries", labels=("policy", "status"))
+    c.inc(policy="ring", status="racy")
+    c.inc(2, policy="ring", status="racy")
+    c.inc(policy="ring", status="clean")
+    assert c.value(policy="ring", status="racy") == 3
+    assert c.value(policy="ring", status="clean") == 1
+    assert c.value(policy="lazy", status="racy") == 0
+    assert c.total() == 4
+
+
+def test_counter_rejects_decrease():
+    c = Counter("tries")
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_counter_rejects_wrong_labels():
+    c = Counter("tries", labels=("policy",))
+    with pytest.raises(MetricError):
+        c.inc()  # missing label
+    with pytest.raises(MetricError):
+        c.inc(policy="ring", status="racy")  # extra label
+    with pytest.raises(MetricError):
+        c.value(status="racy")  # wrong label name
+
+
+def test_counter_series_is_sorted_and_labelled():
+    c = Counter("tries", labels=("policy",))
+    c.inc(policy="zeta")
+    c.inc(3, policy="alpha")
+    assert c.series() == [
+        {"labels": {"policy": "alpha"}, "value": 3},
+        {"labels": {"policy": "zeta"}, "value": 1},
+    ]
+
+
+# ----------------------------------------------------------------------
+# gauges
+# ----------------------------------------------------------------------
+
+def test_gauge_set_add_value():
+    g = Gauge("done")
+    assert g.value() is None
+    g.set(5)
+    g.add(2)
+    g.add(-3)
+    assert g.value() == 4
+
+
+# ----------------------------------------------------------------------
+# histograms
+# ----------------------------------------------------------------------
+
+def test_histogram_buckets_count_sum_mean():
+    h = Histogram("dur", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5, 7.0):
+        h.observe(value)
+    assert h.count() == 5
+    assert h.sum() == pytest.approx(7.605)
+    assert h.mean() == pytest.approx(7.605 / 5)
+    assert h.series()[0]["buckets"] == [1, 2, 1, 1]  # last = +inf
+
+
+def test_histogram_quantile_returns_bucket_bound():
+    h = Histogram("dur", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5):
+        h.observe(value)
+    assert h.quantile(0.5) == 0.1
+    assert h.quantile(1.0) == 1.0
+    # the +inf bucket answers with the largest finite bound
+    h.observe(9.0)
+    assert h.quantile(1.0) == 1.0
+
+
+def test_histogram_empty_quantile_and_mean():
+    h = Histogram("dur")
+    assert h.quantile(0.5) is None
+    assert h.mean() is None
+    assert h.count() == 0
+
+
+def test_histogram_requires_buckets():
+    with pytest.raises(MetricError):
+        Histogram("dur", buckets=())
+
+
+# ----------------------------------------------------------------------
+# time series
+# ----------------------------------------------------------------------
+
+def test_timeseries_ring_buffer_drops_oldest():
+    ts = TimeSeries("rate", capacity=3)
+    for i in range(5):
+        ts.record(float(i), float(i * 10))
+    assert ts.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+    assert ts.latest() == (4.0, 40.0)
+
+
+def test_timeseries_rejects_zero_capacity():
+    with pytest.raises(MetricError):
+        TimeSeries("rate", capacity=0)
+
+
+# ----------------------------------------------------------------------
+# registry: get-or-create and conflicts
+# ----------------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("tries", labels=("policy",))
+    b = reg.counter("tries", labels=("policy",))
+    assert a is b
+    assert reg.get("tries") is a
+    assert reg.get("missing") is None
+    assert reg.names() == ["tries"]
+
+
+def test_registry_rejects_type_conflict():
+    reg = MetricsRegistry()
+    reg.counter("tries")
+    with pytest.raises(MetricError):
+        reg.gauge("tries")
+
+
+def test_registry_rejects_label_conflict():
+    reg = MetricsRegistry()
+    reg.counter("tries", labels=("policy",))
+    with pytest.raises(MetricError):
+        reg.counter("tries", labels=("policy", "status"))
+
+
+# ----------------------------------------------------------------------
+# merge: the cross-worker contract
+# ----------------------------------------------------------------------
+
+def _worker_registry(factor):
+    reg = MetricsRegistry()
+    reg.counter("tries", labels=("status",)).inc(2 * factor, status="racy")
+    reg.gauge("done").set(10 * factor)
+    h = reg.histogram("dur", buckets=(0.1, 1.0))
+    h.observe(0.05 * factor)
+    reg.timeseries("rate", capacity=4).record(float(factor), 100.0 * factor)
+    return reg
+
+
+def test_merge_records_sums_counters_and_histograms():
+    parent = _worker_registry(1)
+    parent.merge_records(_worker_registry(2).to_records())
+    assert parent.get("tries").value(status="racy") == 6
+    h = parent.get("dur")
+    assert h.count() == 2
+    assert h.sum() == pytest.approx(0.15)
+
+
+def test_merge_gauge_is_last_applied_wins():
+    parent = _worker_registry(1)
+    parent.merge(_worker_registry(3))
+    assert parent.get("done").value() == 30
+    # merging the other direction gives the other answer: documented
+    # non-commutativity, which is why the hunt only sets gauges
+    # parent-side
+    other = _worker_registry(3)
+    other.merge(_worker_registry(1))
+    assert other.get("done").value() == 10
+
+
+def test_merge_timeseries_interleaves_and_respects_capacity():
+    parent = MetricsRegistry()
+    ts = parent.timeseries("rate", capacity=3)
+    ts.record(1.0, 10.0)
+    ts.record(3.0, 30.0)
+    other = MetricsRegistry()
+    other.timeseries("rate", capacity=3).record(2.0, 20.0)
+    other.timeseries("rate", capacity=3).record(4.0, 40.0)
+    parent.merge(other)
+    # sorted by timestamp, newest 3 kept
+    assert parent.get("rate").points() == [
+        (2.0, 20.0), (3.0, 30.0), (4.0, 40.0),
+    ]
+
+
+def test_merge_creates_missing_instruments():
+    parent = MetricsRegistry()
+    parent.merge_records(_worker_registry(2).to_records())
+    assert set(parent.names()) == {"tries", "done", "dur", "rate"}
+    assert parent.get("dur").bounds == (0.1, 1.0)
+    assert parent.get("rate").capacity == 4
+
+
+def test_merge_rejects_bucket_mismatch():
+    parent = MetricsRegistry()
+    parent.histogram("dur", buckets=(0.1, 1.0)).observe(0.5)
+    records = parent.to_records()
+    records[0]["series"][0]["buckets"] = [1]  # wrong arity
+    bad = MetricsRegistry()
+    bad.histogram("dur", buckets=(0.1, 1.0))
+    with pytest.raises(MetricError):
+        bad.merge_records(records)
+
+
+def test_merge_rejects_unknown_kind():
+    reg = MetricsRegistry()
+    with pytest.raises(MetricError):
+        reg.merge_records(
+            [{"t": "metric", "kind": "sparkline", "name": "x",
+              "labels": [], "series": []}]
+        )
+
+
+def test_merge_ignores_foreign_records():
+    reg = MetricsRegistry()
+    reg.merge_records([{"t": "span", "name": "not-a-metric"}])
+    assert reg.names() == []
+
+
+def test_records_are_picklable_and_jsonable():
+    import json
+
+    records = _worker_registry(1).to_records()
+    assert pickle.loads(pickle.dumps(records)) == records
+    assert json.loads(json.dumps(records)) == records
+
+
+def test_snapshot_keyed_by_name():
+    snap = _worker_registry(1).snapshot()
+    assert snap["tries"]["kind"] == "counter"
+    assert snap["rate"]["kind"] == "timeseries"
+
+
+# ----------------------------------------------------------------------
+# module-level activation slot
+# ----------------------------------------------------------------------
+
+def test_collect_activates_and_restores():
+    assert metrics.active() is None
+    assert not metrics.enabled()
+    with metrics.collect() as reg:
+        assert metrics.active() is reg
+        assert metrics.enabled()
+        reg.counter("x").inc()
+    assert metrics.active() is None
+    assert reg.get("x").value() == 1
+
+
+def test_collect_accepts_existing_registry_and_nests():
+    outer = MetricsRegistry()
+    inner = MetricsRegistry()
+    with metrics.collect(outer):
+        with metrics.collect(inner):
+            assert metrics.active() is inner
+        assert metrics.active() is outer
+    assert metrics.active() is None

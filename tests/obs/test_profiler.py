@@ -156,5 +156,30 @@ class TestExport:
         problems = validate_profile(path)
         assert problems  # missing meta line, bad JSON, missing fields
 
+    def test_validate_rejects_unknown_format_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"t": "meta", "format": 99}\n', encoding="utf-8")
+        problems = validate_profile(path)
+        assert problems == [
+            "unknown format version 99 (this reader understands 1)"
+        ]
+
+    @pytest.mark.parametrize("version", ['"1"', "true", "1.5", "null"])
+    def test_validate_rejects_non_integer_format(self, tmp_path, version):
+        path = tmp_path / "typed.jsonl"
+        path.write_text(
+            '{"t": "meta", "format": %s}\n' % version, encoding="utf-8"
+        )
+        problems = validate_profile(path)
+        assert len(problems) == 1
+        assert "format version is not an integer" in problems[0]
+
+    def test_validate_rejects_missing_format(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text('{"t": "meta"}\n', encoding="utf-8")
+        assert validate_profile(path) == [
+            "meta record has no format version"
+        ]
+
     def test_summary_handles_empty_profile(self):
         assert Profiler().summary() == "(empty profile)"
