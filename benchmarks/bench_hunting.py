@@ -12,12 +12,14 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 
 import pytest
 
 from conftest import emit
 from repro.analysis.hunting import hunt_races
+from repro.ioutil import atomic_write_json
 from repro.machine.models import make_model
 from repro.programs.kernels import racy_counter_program
 from repro.programs.workqueue import buggy_workqueue_program
@@ -124,7 +126,8 @@ def test_workqueue_hunt_throughput(benchmark, cache):
 # artifact) and uploads the summary.
 
 
-def _best_rate(jobs: int, tries: int, repeats: int, trace_cache: bool = True):
+def _best_rate(jobs: int, tries: int, repeats: int, trace_cache: bool = True,
+               checkpoint=None):
     """Best-of-N throughput measurement (first iteration pays numpy /
     fork warmup; the max is the stable figure)."""
     best = None
@@ -137,6 +140,7 @@ def _best_rate(jobs: int, tries: int, repeats: int, trace_cache: bool = True):
             tries=tries,
             jobs=jobs,
             trace_cache=trace_cache,
+            checkpoint=checkpoint,
         )
         elapsed = time.perf_counter() - start
         rate = tries / elapsed if elapsed > 0 else float("inf")
@@ -192,6 +196,19 @@ def main(argv=None) -> int:
     serial_rate, serial = _best_rate(1, args.tries, args.repeats)
     parallel_rate, parallel_result = _best_rate(4, args.tries, args.repeats)
     nocache_rate, _ = _best_rate(1, args.tries, args.repeats, trace_cache=False)
+    # Checkpoint overhead guard: the default interval (100) means a
+    # 30-try hunt pays only the final flush, so enabling checkpointing
+    # must cost next to nothing; the overhead number is reported (and
+    # uploaded by CI) rather than hard-asserted — wall-clock ratios on
+    # shared runners are too noisy for a sub-2% assertion.
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        checkpointed_rate, _ = _best_rate(
+            1, args.tries, args.repeats,
+            checkpoint=os.path.join(ckpt_dir, "bench.ckpt"),
+        )
+    checkpoint_overhead = (
+        1.0 - checkpointed_rate / serial_rate if serial_rate else 0.0
+    )
 
     payload = {
         "workload": "workqueue-buggy/WO",
@@ -200,6 +217,8 @@ def main(argv=None) -> int:
         "serial_tries_per_sec": round(serial_rate, 2),
         "parallel4_tries_per_sec": round(parallel_rate, 2),
         "serial_no_cache_tries_per_sec": round(nocache_rate, 2),
+        "serial_checkpointed_tries_per_sec": round(checkpointed_rate, 2),
+        "checkpoint_overhead_frac": round(checkpoint_overhead, 4),
         "trace_cache_hits": serial.trace_cache_hits,
         "trace_cache_hit_rate": round(
             serial.trace_cache_hits / args.tries, 3
@@ -217,15 +236,15 @@ def main(argv=None) -> int:
         "parallel hunt statistics diverged from serial"
     )
 
-    with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(args.output, payload)
 
     print(f"workqueue-buggy/WO, tries={args.tries}:")
     print(f"  serial      {serial_rate:8.2f} tries/sec "
           f"({payload['serial_speedup_vs_baseline']:.2f}x baseline "
           f"{BASELINE_SERIAL_TRIES_PER_SEC:.2f} at {BASELINE_COMMIT})")
     print(f"  no cache    {nocache_rate:8.2f} tries/sec")
+    print(f"  checkpoint  {checkpointed_rate:8.2f} tries/sec "
+          f"({checkpoint_overhead:+.1%} overhead)")
     print(f"  jobs=4      {parallel_rate:8.2f} tries/sec")
     print(f"  cache hits  {serial.trace_cache_hits}/{args.tries} "
           f"({payload['trace_cache_hit_rate']:.0%})")

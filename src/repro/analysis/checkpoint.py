@@ -1,0 +1,307 @@
+"""Hunt checkpoints: durable, resumable progress for long hunts.
+
+The paper's pipeline is post-mortem (§4.1): a hunt's value is the
+recorded executions and race statistics it accumulates, so a worker
+crash or a killed parent at try 40k of 50k must never cost the whole
+run.  The engine (:func:`repro.analysis.parallel.run_hunt`) therefore
+periodically persists every *settled* job outcome to a checkpoint
+file; a resumed hunt re-plans the sweep, skips the settled indices,
+and merges restored + fresh outcomes — because each job is a pure
+function of ``(program, model, policy, seed)``, the merged
+``HuntResult.stats()``/``summary()`` are byte-identical to an
+uninterrupted run.
+
+Format (``CHECKPOINT_FORMAT`` = 1) — one JSON document::
+
+    {
+      "format": 1,
+      "complete": false,                # True once the sweep finished
+      "spec": {                         # identity of the hunt
+        "program_sha": "...",           # BLAKE2b of the assembly text
+        "model": "WO",
+        "tries": 50000,                 # the seed range, via seed-major
+        "policies": ["stubborn", ...],  # names, in sweep order
+        "max_steps": 200000,
+        "stop_at_first": false
+      },
+      "outcomes": [ {...}, ... ]        # settled jobs, by index
+    }
+
+Checkpoints are always written atomically (write-tmp + fsync +
+rename, :func:`repro.ioutil.atomic_write_text`), so a crash mid-write
+leaves the previous complete checkpoint intact; a file torn by
+anything else is rejected with :class:`CheckpointError` rather than
+silently resumed.  Resume validates the spec field by field —
+resuming a checkpoint against a different program, model, policy
+list, seed range, or step bound is a :class:`CheckpointMismatch` hard
+error, never a best-effort merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..ioutil import atomic_write_text
+from ..machine.program import Program
+from ..machine.replay import ExecutionRecording
+
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(ValueError):
+    """The checkpoint file is unreadable, torn, or schema-invalid."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """The checkpoint belongs to a different hunt spec."""
+
+
+def program_fingerprint(program: Program) -> str:
+    """BLAKE2b over the program's canonical assembly text — the
+    checkpoint's program-identity key."""
+    from ..machine.assembler import format_program
+
+    return hashlib.blake2b(
+        format_program(program).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def hunt_spec(
+    program: Program,
+    model_name: str,
+    tries: int,
+    policy_names: Sequence[str],
+    max_steps: int,
+    stop_at_first: bool,
+) -> dict:
+    """The hunt-identity record a checkpoint is validated against."""
+    return {
+        "program_sha": program_fingerprint(program),
+        "model": model_name,
+        "tries": tries,
+        "policies": list(policy_names),
+        "max_steps": max_steps,
+        "stop_at_first": bool(stop_at_first),
+    }
+
+
+# ----------------------------------------------------------------------
+# outcome (de)serialization — exactly what the deterministic merge and
+# the first-racy replay need, in plain JSON
+# ----------------------------------------------------------------------
+
+def outcome_to_payload(outcome, include_recording: bool = True) -> dict:
+    """Serialize one settled :class:`~repro.analysis.parallel.JobOutcome`
+    (live executions/reports never ride along — resume reconstructs
+    the first racy execution by replaying the recording).  With
+    *include_recording* false the recording is dropped: the merge only
+    ever attaches the lowest-index racy outcome's recording, so a
+    checkpoint persists exactly that one and stays small."""
+    job = outcome.job
+    payload = {
+        "index": job.index,
+        "seed": job.seed,
+        "policy_index": job.policy_index,
+        "policy": job.policy_name,
+        "attempt": job.attempt,
+        "status": outcome.status,
+        "completed": outcome.completed,
+        "operations": outcome.operations,
+        "error": outcome.error,
+        "traceback": outcome.traceback,
+        "report_digest": outcome.report_digest,
+        "cache_hit": outcome.cache_hit,
+        "fingerprint": outcome.fingerprint,
+        "race_count": outcome.race_count,
+        "duration": round(outcome.duration, 6),
+        "retries": outcome.retries,
+        "failure_kind": outcome.failure_kind,
+        "recording": (
+            outcome.recording.to_payload()
+            if include_recording and outcome.recording is not None
+            else None
+        ),
+    }
+    return payload
+
+
+def outcome_from_payload(payload: dict):
+    from .parallel import HuntJob, JobOutcome  # circular at import time
+
+    try:
+        job = HuntJob(
+            index=payload["index"],
+            seed=payload["seed"],
+            policy_index=payload["policy_index"],
+            policy_name=payload["policy"],
+            attempt=payload.get("attempt", 0),
+        )
+        recording = payload.get("recording")
+        return JobOutcome(
+            job=job,
+            status=payload["status"],
+            completed=payload["completed"],
+            operations=payload["operations"],
+            error=payload.get("error", ""),
+            traceback=payload.get("traceback", ""),
+            report_digest=payload.get("report_digest", ""),
+            cache_hit=payload.get("cache_hit", False),
+            fingerprint=payload.get("fingerprint", ""),
+            race_count=payload.get("race_count", 0),
+            duration=payload.get("duration", 0.0),
+            retries=payload.get("retries", 0),
+            failure_kind=payload.get("failure_kind", ""),
+            recording=(
+                ExecutionRecording.from_payload(recording)
+                if recording is not None else None
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed outcome record: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# save / load
+# ----------------------------------------------------------------------
+
+def save_checkpoint(
+    path: Union[str, Path],
+    spec: dict,
+    outcomes: Sequence[object],
+    complete: bool,
+) -> None:
+    """Atomically persist the settled outcomes (sorted by index).
+
+    Only the lowest-index racy outcome keeps its recording: it is the
+    one the deterministic merge attaches as the hunt's replayable
+    race, and the settled set only ever grows, so the minimum can only
+    move to a *new* outcome (which arrives carrying its own
+    recording).  Persisting the rest would bloat the checkpoint by
+    kilobytes per racy run and make every periodic write O(racy
+    recordings)."""
+    ordered = sorted(outcomes, key=lambda o: o.job.index)
+    first_racy = next((o for o in ordered if o.status == "racy"), None)
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "complete": bool(complete),
+        "spec": spec,
+        "outcomes": [
+            outcome_to_payload(o, include_recording=o is first_racy)
+            for o in ordered
+        ],
+    }
+    # Compact separators: checkpoints are rewritten periodically, so
+    # the serialization cost is the overhead knob that matters.
+    atomic_write_text(
+        path, json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    )
+
+
+class LoadedCheckpoint:
+    """A parsed checkpoint: the spec it was written for, whether the
+    sweep had finished, and the settled outcomes."""
+
+    def __init__(self, spec: dict, complete: bool,
+                 outcomes: List[object]) -> None:
+        self.spec = spec
+        self.complete = complete
+        self.outcomes = outcomes
+
+    @property
+    def settled_indices(self):
+        return {o.job.index for o in self.outcomes}
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    expected_spec: Optional[dict] = None,
+) -> LoadedCheckpoint:
+    """Read and validate a checkpoint; with *expected_spec*, any
+    field-level difference is a :class:`CheckpointMismatch` hard
+    error."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"{path}: unreadable: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"{path}: torn or corrupt checkpoint (invalid JSON: {exc}); "
+            f"checkpoints are written atomically — this file was "
+            f"damaged after the fact, delete it to start fresh"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{path}: checkpoint is not a JSON object")
+    version = payload.get("format")
+    if version != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path}: unknown checkpoint format {version!r} "
+            f"(this reader understands {CHECKPOINT_FORMAT})"
+        )
+    spec = payload.get("spec")
+    if not isinstance(spec, dict):
+        raise CheckpointError(f"{path}: checkpoint has no spec record")
+    if expected_spec is not None:
+        mismatched = [
+            key for key in sorted(set(expected_spec) | set(spec))
+            if spec.get(key) != expected_spec.get(key)
+        ]
+        if mismatched:
+            detail = "; ".join(
+                f"{key}: checkpoint has {spec.get(key)!r}, "
+                f"hunt wants {expected_spec.get(key)!r}"
+                for key in mismatched
+            )
+            raise CheckpointMismatch(
+                f"{path}: checkpoint belongs to a different hunt ({detail})"
+            )
+    raw_outcomes = payload.get("outcomes")
+    if not isinstance(raw_outcomes, list):
+        raise CheckpointError(f"{path}: checkpoint has no outcome list")
+    outcomes = [outcome_from_payload(record) for record in raw_outcomes]
+    seen = set()
+    for outcome in outcomes:
+        if outcome.job.index in seen:
+            raise CheckpointError(
+                f"{path}: duplicate outcome for job {outcome.job.index}"
+            )
+        seen.add(outcome.job.index)
+    return LoadedCheckpoint(
+        spec=spec, complete=bool(payload.get("complete")), outcomes=outcomes
+    )
+
+
+class CheckpointWriter:
+    """Periodic checkpoint persistence for a running hunt.
+
+    Writes every *interval* settled outcomes (plus a final write at
+    hunt end, marked ``complete`` when the sweep ran to completion).
+    Each write persists the full settled set atomically, so the file
+    on disk is always a self-contained resume point.
+    """
+
+    def __init__(self, path: Union[str, Path], spec: dict,
+                 interval: int) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be positive")
+        self.path = Path(path)
+        self.spec = spec
+        self.interval = interval
+        self.writes = 0
+        self._since_last = 0
+
+    def tick(self, outcomes: Sequence[object]) -> None:
+        """Note one newly settled outcome; persists on the interval."""
+        self._since_last += 1
+        if self._since_last >= self.interval:
+            self.flush(outcomes, complete=False)
+
+    def flush(self, outcomes: Sequence[object], complete: bool) -> None:
+        save_checkpoint(self.path, self.spec, outcomes, complete=complete)
+        self.writes += 1
+        self._since_last = 0

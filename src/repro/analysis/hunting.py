@@ -93,12 +93,26 @@ class JobFailure:
     function of the job set — tracebacks embed file paths and line
     numbers) but rides on :meth:`HuntResult.to_json` so ``weakraces
     hunt --json`` surfaces what actually went wrong.
+
+    ``kind`` records how the retry layer classified the failure:
+
+    * ``"deterministic"`` — failed identically on consecutive
+      attempts; retrying would burn time reproducing the same bug.
+    * ``"exhausted"`` — kept failing (differently) through
+      ``max_retries`` retries.
+    * ``"unretried"`` — settled on the first attempt (retries
+      disabled, or the hunt was interrupted).
+
+    ``retries`` is the number of retry attempts that preceded this
+    final failure (0 = it failed once and settled).
     """
 
     seed: int
     policy: str
     error: str
     traceback: str = ""
+    kind: str = "unretried"
+    retries: int = 0
 
 
 @dataclass
@@ -128,6 +142,15 @@ class HuntResult:
     # caches independently), so it belongs to the run metadata in
     # to_json(), never to the deterministic stats()/summary() contract.
     trace_cache_hits: int = 0
+    # Recovery metadata.  retried_runs counts retry attempts that
+    # preceded the settled outcomes; under real timeouts it is timing-
+    # dependent, so like trace_cache_hits it lives in to_json() only.
+    retried_runs: int = 0
+    # True when a cancel event (SIGINT/SIGTERM) stopped the hunt early;
+    # the statistics then cover the settled prefix only.
+    interrupted: bool = False
+    # Jobs restored from a resume checkpoint rather than executed.
+    resumed_jobs: int = 0
 
     @property
     def found(self) -> bool:
@@ -161,7 +184,8 @@ class HuntResult:
                 for seed, (racy, total) in sorted(self.per_seed.items())
             },
             "failures": [
-                {"seed": f.seed, "policy": f.policy, "error": f.error}
+                {"seed": f.seed, "policy": f.policy, "error": f.error,
+                 "kind": f.kind, "retries": f.retries}
                 for f in self.failures
             ],
         }
@@ -173,10 +197,14 @@ class HuntResult:
         payload["elapsed_sec"] = round(self.elapsed, 6)
         payload["executions_per_sec"] = round(self.executions_per_second, 1)
         payload["trace_cache_hits"] = self.trace_cache_hits
+        payload["retried_runs"] = self.retried_runs
+        payload["interrupted"] = self.interrupted
+        payload["resumed_jobs"] = self.resumed_jobs
         # stats() keeps failures deterministic; the JSON view adds the
         # worker tracebacks so crashes are debuggable from the output.
         payload["failures"] = [
             {"seed": f.seed, "policy": f.policy, "error": f.error,
+             "kind": f.kind, "retries": f.retries,
              "traceback": f.traceback}
             for f in self.failures
         ]
@@ -197,9 +225,16 @@ class HuntResult:
                 f"before completing"
             )
         for failure in self.failures:
+            # Retry provenance is deterministic (classification is a
+            # function of the error texts), so it may appear here;
+            # unretried failures keep the historical line byte-for-byte.
+            suffix = (
+                f" [{failure.kind} after {failure.retries + 1} attempts]"
+                if failure.retries else ""
+            )
             lines.append(
                 f"  FAILED seed={failure.seed} policy={failure.policy}: "
-                f"{failure.error}"
+                f"{failure.error}{suffix}"
             )
         if self.found and self.seed is not None:
             first = (
@@ -219,6 +254,11 @@ class HuntResult:
                 "no racy execution found (not a proof of data-race-"
                 "freedom; see analysis.exhaustive for that)"
             )
+        if self.interrupted:
+            lines.append(
+                "hunt interrupted: statistics cover the settled jobs "
+                "only (resume with --checkpoint FILE --resume)"
+            )
         return "\n".join(lines)
 
 
@@ -235,6 +275,12 @@ def hunt_races(
     trace_cache: bool = True,
     on_outcome: Optional[Callable[[object], None]] = None,
     metrics=None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    checkpoint=None,
+    resume: bool = False,
+    checkpoint_interval: int = 100,
+    cancel=None,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -278,6 +324,29 @@ def hunt_races(
         metrics: optional :class:`repro.obs.metrics.MetricsRegistry` to
             fold per-job telemetry into; defaults to whatever registry
             ``repro.obs.metrics.collect`` has made active, if any.
+        max_retries: retry a transiently failing job up to this many
+            times with exponential backoff before recording it as a
+            :class:`JobFailure`; a job that fails identically twice in
+            a row is classified deterministic and not retried further.
+            ``0`` disables retries.
+        retry_backoff: base backoff delay in seconds (attempt ``n``
+            sleeps ``retry_backoff * 2**(n-1)`` scaled by
+            deterministic seeded jitter).
+        checkpoint: optional path; settled outcomes are periodically
+            persisted there (atomic write), making the hunt resumable
+            after a crash.
+        resume: load *checkpoint* first, validate it against this
+            hunt's spec (program/model/tries/policies/max_steps —
+            mismatch is a :class:`repro.analysis.checkpoint.
+            CheckpointMismatch` hard error), skip settled jobs, and
+            merge restored + fresh outcomes; ``stats()``/``summary()``
+            come out byte-identical to an uninterrupted run.
+        checkpoint_interval: settled outcomes between periodic
+            checkpoint writes (a final write always happens at hunt
+            end).
+        cancel: optional :class:`threading.Event`; once set, dispatch
+            stops, in-flight jobs drain, a final checkpoint is written
+            and the partial result has ``interrupted=True``.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -305,4 +374,10 @@ def hunt_races(
         trace_cache=trace_cache,
         on_outcome=on_outcome,
         metrics=metrics,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        checkpoint=checkpoint,
+        resume=resume,
+        checkpoint_interval=checkpoint_interval,
+        cancel=cancel,
     )

@@ -20,6 +20,28 @@ serial loop gets for free and a pool must work for:
   :class:`~repro.analysis.hunting.JobFailure` instead of killing the
   hunt; an execution that hits the step bound is counted but flagged.
 
+On top of isolation sits **recovery** (a long hunt's value is what it
+has accumulated, so failures must cost one job, not the run):
+
+* Transient failures are retried up to ``max_retries`` with
+  exponential backoff and deterministic seeded jitter; a job that
+  fails *identically* twice in a row is classified deterministic and
+  surfaced as a failure instead of being retried again.  Retried
+  attempts are visible to the observer hooks
+  (``hunt_tries_total{status="retried"}``, event-log ``try`` records)
+  but never change the merged statistics.
+* With ``checkpoint=PATH`` the parent periodically persists every
+  settled outcome (atomically — see :mod:`repro.analysis.checkpoint`);
+  ``resume=True`` validates the checkpoint against the hunt spec,
+  skips settled jobs, and merges to statistics byte-identical to an
+  uninterrupted run.
+* A *cancel* event (``threading.Event``) stops dispatch, drains
+  in-flight jobs, and finishes with a final checkpoint and a partial
+  result marked ``interrupted`` — the CLI wires SIGINT/SIGTERM to it.
+* The :mod:`repro.faults` package can inject crashes, hangs, and a
+  mid-hunt parent SIGKILL at deterministic points, which is how the
+  recovery paths above are actually proven.
+
 Workers never ship :class:`~repro.machine.simulator.ExecutionResult`
 objects back — they return the racy run's
 :class:`~repro.machine.replay.ExecutionRecording` (plain lists of
@@ -36,14 +58,24 @@ platforms without it the engine silently degrades to the serial path.
 from __future__ import annotations
 
 import multiprocessing
+import random as _random
 import signal
 import threading
 import time
 import traceback as _tb
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from .. import faults as _faults
 from .. import obs
 from ..machine.models.base import MemoryModel
 from ..machine.program import Program
@@ -56,6 +88,7 @@ from ..machine.replay import (
 )
 from ..trace.build import build_trace
 from ..trace.fingerprint import trace_fingerprint
+from .checkpoint import CheckpointWriter, hunt_spec, load_checkpoint
 from .hunting import HuntResult, JobFailure, PolicyFactory
 
 ProgressCallback = Callable[[int, int, int], None]
@@ -90,12 +123,17 @@ class HuntJob:
     ``index`` is the job's position in the canonical seed-major
     enumeration; merging folds outcomes in ``index`` order, which is
     what makes the hunt's result independent of worker count.
+    ``attempt`` counts retries (0 = first attempt) and ``delay`` is
+    the retry attempt's backoff sleep, executed worker-side before the
+    timed body.
     """
 
     index: int
     seed: int
     policy_index: int
     policy_name: str
+    attempt: int = 0
+    delay: float = 0.0
 
 
 @dataclass
@@ -109,7 +147,7 @@ class JobOutcome:
     """
 
     job: HuntJob
-    status: str  # "racy" | "clean" | "error" | "skipped"
+    status: str  # "racy" | "clean" | "error" | "retried" | "skipped"
     completed: bool = True
     operations: int = 0
     error: str = ""
@@ -123,6 +161,8 @@ class JobOutcome:
     fingerprint: str = ""  # canonical trace fingerprint ("" = cache off)
     race_count: int = 0  # races the analysis reported
     traceback: str = ""  # full traceback when status == "error"
+    retries: int = 0  # retry attempts that preceded this settled outcome
+    failure_kind: str = ""  # error classification (see JobFailure.kind)
 
 
 def plan_jobs(tries: int, policy_names: Sequence[str]) -> List[HuntJob]:
@@ -152,7 +192,11 @@ class JobTimeout(Exception):
 def _time_limit(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`JobTimeout` if the body runs longer than
     *seconds* (SIGALRM-based; silently a no-op off the main thread or
-    on platforms without SIGALRM)."""
+    on platforms without SIGALRM).  Zero/negative budgets are caller
+    bugs and rejected eagerly — ``setitimer(0)`` would silently mean
+    "no limit", the opposite of what was asked for."""
+    if seconds is not None and seconds <= 0:
+        raise ValueError(f"time limit must be positive, got {seconds}")
     usable = (
         seconds is not None
         and hasattr(signal, "SIGALRM")
@@ -202,6 +246,8 @@ def _execute_job(
     """Run one job; with profiling on, record it into a job-local
     profiler whose flat span records ride back on the outcome (cheap
     to pickle, aggregated by the parent across workers)."""
+    if job.delay > 0:
+        time.sleep(job.delay)  # retry backoff; not part of the timed body
     begin = time.perf_counter()
     if not state.profile:
         outcome = _execute_job_inner(state, job, keep_execution)
@@ -228,6 +274,11 @@ def _execute_job_inner(
     _, factory = state.policies[job.policy_index]
     try:
         with _time_limit(state.job_timeout):
+            plan = _faults.active_plan()
+            if plan is not None:
+                # Inside the time limit on purpose: an injected hang
+                # must drive the real JobTimeout path.
+                plan.on_job_start(job.index, job.attempt)
             execution, recording = record_execution(
                 state.program,
                 state.model_factory(),
@@ -288,15 +339,28 @@ def _execute_job_inner(
 
 _WORKER_STATE: Optional[_HuntState] = None
 _WORKER_STOP = None  # multiprocessing.Value: lowest racy index, -1 = none
+_WORKER_CANCEL = None  # multiprocessing.Value: 1 = drain, don't start work
 
 
-def _init_worker(state: _HuntState, stop_at) -> None:
-    global _WORKER_STATE, _WORKER_STOP
+def _init_worker(state: _HuntState, stop_at, cancel_flag) -> None:
+    global _WORKER_STATE, _WORKER_STOP, _WORKER_CANCEL
     _WORKER_STATE = state
     _WORKER_STOP = stop_at
+    _WORKER_CANCEL = cancel_flag
+    # The parent orchestrates interrupts (drain + checkpoint); a
+    # terminal Ctrl+C or a process-group SIGTERM reaches the workers
+    # too, and workers dying mid-job would turn a graceful stop into
+    # lost outcomes.  Ignoring SIGTERM also sheds any handler the
+    # embedding process (e.g. the CLI) installed before the fork —
+    # an inherited handler that swallows SIGTERM would otherwise
+    # deadlock pool shutdown.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
 
 
 def _worker_run(job: HuntJob) -> JobOutcome:
+    if _WORKER_CANCEL is not None and _WORKER_CANCEL.value:
+        return JobOutcome(job=job, status="skipped")
     if _WORKER_STOP is not None:
         stop = _WORKER_STOP.value
         # Only jobs *beyond* the racy index are skippable: everything
@@ -311,62 +375,113 @@ def _worker_run(job: HuntJob) -> JobOutcome:
 # execution strategies
 # ----------------------------------------------------------------------
 
-def _run_serial(
-    state: _HuntState,
-    jobs: List[HuntJob],
-    stop_at_first: bool,
-    progress: Optional[ProgressCallback] = None,
-    observe: Optional[OutcomeObserver] = None,
-) -> List[JobOutcome]:
-    outcomes: List[JobOutcome] = []
-    racy = 0
-    for job in jobs:
-        outcome = _execute_job(state, job, keep_execution=True)
-        outcomes.append(outcome)
-        racy += outcome.status == "racy"
-        if observe is not None:
-            observe(outcome, len(outcomes), len(jobs), racy)
-        if progress is not None:
-            progress(len(outcomes), len(jobs), racy)
-        if stop_at_first and outcome.status == "racy":
-            break
-    return outcomes
+class _SerialExecutor:
+    """In-process execution; the ``jobs=1`` path."""
+
+    def __init__(self, state: _HuntState) -> None:
+        self.state = state
+        self.stop_index: Optional[int] = None
+        self.cancelled = False
+
+    def run(self, jobs: Sequence[HuntJob]) -> Iterator[JobOutcome]:
+        for job in jobs:
+            if self.cancelled:
+                return
+            if self.stop_index is not None and job.index > self.stop_index:
+                # serial early stop: never start past the racy prefix
+                return
+            yield _execute_job(self.state, job, keep_execution=True)
+
+    def note_racy(self, index: int) -> None:
+        if self.stop_index is None or index < self.stop_index:
+            self.stop_index = index
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def close(self) -> None:
+        pass
 
 
-def _run_parallel(
-    state: _HuntState,
-    jobs: List[HuntJob],
-    stop_at_first: bool,
-    workers: int,
-    progress: Optional[ProgressCallback] = None,
-    observe: Optional[OutcomeObserver] = None,
-) -> List[JobOutcome]:
-    ctx = multiprocessing.get_context("fork")
-    stop_at = ctx.Value("i", -1) if stop_at_first else None
-    # Small chunks keep the early-stop responsive; otherwise amortize
-    # the per-task IPC over larger batches.
-    chunksize = 1 if stop_at_first else max(1, len(jobs) // (workers * 8))
-    outcomes: List[JobOutcome] = []
-    racy = 0
-    with ctx.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(state, stop_at),
-    ) as pool:
-        for outcome in pool.imap_unordered(
+class _PoolExecutor:
+    """Fork-pool execution; one pool serves every retry round."""
+
+    def __init__(self, state: _HuntState, workers: int,
+                 stop_at_first: bool) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self.workers = workers
+        self.stop_at = ctx.Value("i", -1) if stop_at_first else None
+        self.cancel_flag = ctx.Value("i", 0)
+        self.pool = ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(state, self.stop_at, self.cancel_flag),
+        )
+
+    def run(self, jobs: Sequence[HuntJob]) -> Iterator[JobOutcome]:
+        # Small chunks keep the early-stop responsive; otherwise
+        # amortize the per-task IPC over larger batches.  The cap
+        # bounds how much in-flight work a cancel (drain) or a racy
+        # stop has to wait out on huge sweeps.
+        chunksize = (
+            1 if self.stop_at is not None
+            else max(1, min(64, len(jobs) // (self.workers * 8)))
+        )
+        yield from self.pool.imap_unordered(
             _worker_run, jobs, chunksize=chunksize
-        ):
-            outcomes.append(outcome)
-            racy += outcome.status == "racy"
-            if observe is not None:
-                observe(outcome, len(outcomes), len(jobs), racy)
-            if progress is not None:
-                progress(len(outcomes), len(jobs), racy)
-            if stop_at is not None and outcome.status == "racy":
-                with stop_at.get_lock():
-                    if stop_at.value < 0 or outcome.job.index < stop_at.value:
-                        stop_at.value = outcome.job.index
-    return outcomes
+        )
+
+    def note_racy(self, index: int) -> None:
+        if self.stop_at is None:
+            return
+        with self.stop_at.get_lock():
+            if self.stop_at.value < 0 or index < self.stop_at.value:
+                self.stop_at.value = index
+
+    def cancel(self) -> None:
+        with self.cancel_flag.get_lock():
+            self.cancel_flag.value = 1
+
+    def close(self) -> None:
+        # Cooperative shutdown.  Workers ignore SIGINT/SIGTERM (the
+        # parent orchestrates draining), so pool.terminate()'s SIGTERM
+        # would be ignored and its join would hang; close() hands the
+        # workers exit sentinels instead, which they always honor once
+        # the (already drained) task queue is empty.  A worker wedged
+        # inside a job — an injected hang with no job_timeout — gets
+        # SIGKILL after a grace period rather than hanging the hunt.
+        self.pool.close()
+        deadline = time.monotonic() + 5.0
+        for proc in self.pool._pool:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        for proc in self.pool._pool:
+            if proc.is_alive():
+                proc.kill()
+        self.pool.join()
+
+
+# ----------------------------------------------------------------------
+# retry classification
+# ----------------------------------------------------------------------
+
+def _retry_job(job: HuntJob, retry_backoff: float) -> HuntJob:
+    """The next attempt of a transiently failed job: exponential
+    backoff with deterministic seeded jitter (the jitter stream is a
+    pure function of the job identity and attempt, so a resumed or
+    re-run hunt backs off identically)."""
+    attempt = job.attempt + 1
+    jitter = _random.Random(
+        (job.index << 16) ^ (job.policy_index << 8) ^ attempt
+    ).random()
+    delay = retry_backoff * (2 ** (attempt - 1)) * (0.5 + jitter)
+    return HuntJob(
+        index=job.index,
+        seed=job.seed,
+        policy_index=job.policy_index,
+        policy_name=job.policy_name,
+        attempt=attempt,
+        delay=delay,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -400,8 +515,9 @@ def _attach_first(
             max_steps=state.max_steps,
         )
         return
-    # Cross-process job: reconstruct the execution by replaying the
-    # recording; matching the worker's report digest verifies it.
+    # Cross-process (or checkpoint-restored) job: reconstruct the
+    # execution by replaying the recording; matching the original
+    # report digest verifies it.
     try:
         execution = replay_execution(
             state.program,
@@ -428,9 +544,12 @@ def merge_outcomes(
     """Fold outcomes into a :class:`HuntResult` in canonical job order.
 
     Sorting by job index before folding makes the result a pure
-    function of the outcome *set* — worker count and completion order
-    cannot change it.  With ``stop_at_first``, outcomes beyond the
-    first racy index are discarded (the serial path never ran them).
+    function of the outcome *set* — worker count, completion order,
+    and checkpoint/resume boundaries cannot change it.  With
+    ``stop_at_first``, outcomes beyond the first racy index are
+    discarded (the serial path never ran them).  Only settled outcomes
+    belong here: retried attempts are observer-visible telemetry, not
+    merge input.
     """
     result = HuntResult(
         program=state.program,
@@ -451,11 +570,14 @@ def merge_outcomes(
             continue
         job = outcome.job
         result.tries += 1
+        result.retried_runs += outcome.retries
         if outcome.status == "error":
             result.failures.append(
                 JobFailure(seed=job.seed, policy=job.policy_name,
                            error=outcome.error,
-                           traceback=outcome.traceback)
+                           traceback=outcome.traceback,
+                           kind=outcome.failure_kind or "unretried",
+                           retries=outcome.retries)
             )
             continue
         if not outcome.completed:
@@ -488,7 +610,9 @@ def _fold_outcome_metrics(
 ) -> None:
     """Update the hunt metric family (see the table in
     :mod:`repro.obs.metrics`) for one completed job.  Runs in the
-    parent only, so gauge last-wins semantics are safe."""
+    parent only, so gauge last-wins semantics are safe.  Retried
+    attempts land in ``hunt_tries_total{status="retried"}`` without
+    advancing the job gauges."""
     registry.counter(
         "hunt_tries_total", "hunt jobs by policy and outcome",
         labels=("policy", "status"),
@@ -531,6 +655,12 @@ def run_hunt(
     trace_cache: bool = True,
     on_outcome: Optional[Callable[[JobOutcome], None]] = None,
     metrics=None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    checkpoint=None,
+    resume: bool = False,
+    checkpoint_interval: int = 100,
+    cancel: Optional[threading.Event] = None,
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
@@ -539,7 +669,8 @@ def run_hunt(
     underneath it.  *progress*, if given, is called after every
     completed job as ``progress(done, total, racy_so_far)``.
     *on_outcome*, if given, receives each :class:`JobOutcome` as it
-    completes, in completion order (the event log's feed).
+    completes, in completion order (the event log's feed) — including
+    ``status="retried"`` attempts that a later retry superseded.
 
     When a :mod:`repro.obs` profiler is active, every job (in-process
     or forked) records per-stage spans into a job-local profiler; the
@@ -548,15 +679,58 @@ def run_hunt(
     :mod:`repro.obs.metrics` registry is collecting (or one is passed
     as *metrics*), the parent folds per-job telemetry into it — one
     module-attribute check per hunt, so the disabled path stays free.
+
+    Recovery knobs: *max_retries*/*retry_backoff* govern transient
+    failure retries; *checkpoint*/*resume*/*checkpoint_interval* the
+    durable progress file; *cancel* a cooperative stop that drains
+    in-flight jobs and leaves ``result.interrupted`` set.  See the
+    module docstring.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
     if jobs < 1:
         raise ValueError("jobs must be positive")
+    if job_timeout is not None and job_timeout <= 0:
+        raise ValueError("job_timeout must be positive (or None)")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if checkpoint_interval < 1:
+        raise ValueError("checkpoint_interval must be positive")
+    if resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint path")
     policy_list = list(policies)
     if not policy_list:
         raise ValueError("policies must not be empty")
-    job_plan = plan_jobs(tries, [name for name, _ in policy_list])
+    policy_names = [name for name, _ in policy_list]
+    job_plan = plan_jobs(tries, policy_names)
+
+    # Process-wide injected faults (e.g. no_numpy) apply before any
+    # analysis runs; fork workers inherit the patched state.
+    _faults.apply_process_faults()
+    fault_plan = _faults.active_plan()
+
+    spec = hunt_spec(
+        program, model_factory().name, tries, policy_names,
+        max_steps, stop_at_first,
+    )
+    restored: List[JobOutcome] = []
+    if resume:
+        loaded = load_checkpoint(checkpoint, expected_spec=spec)
+        restored = loaded.outcomes
+        settled_indices = loaded.settled_indices
+        job_plan = [j for j in job_plan if j.index not in settled_indices]
+        if stop_at_first:
+            racy_restored = [
+                o.job.index for o in restored if o.status == "racy"
+            ]
+            if racy_restored:
+                bound = min(racy_restored)
+                job_plan = [j for j in job_plan if j.index <= bound]
+    writer = (
+        CheckpointWriter(checkpoint, spec, checkpoint_interval)
+        if checkpoint is not None else None
+    )
+
     profiling = obs.enabled()
     state = _HuntState(program, model_factory, policy_list,
                        max_steps, job_timeout, profile=profiling,
@@ -565,7 +739,7 @@ def run_hunt(
     # memory is bounded; workers inherit the empty cache through fork
     # and each fills its own over the jobs it drains.
     _TRACE_CACHE.clear()
-    workers = min(jobs, len(job_plan))
+    workers = min(jobs, max(len(job_plan), 1))
     if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
         workers = 1  # factories may be closures; spawn cannot ship them
     registry = metrics if metrics is not None else obs.metrics.active()
@@ -580,24 +754,116 @@ def run_hunt(
                 )
             if on_outcome is not None:
                 on_outcome(outcome)
-    with obs.span("hunt") as sp:
-        if workers == 1:
-            outcomes = _run_serial(
-                state, job_plan, stop_at_first, progress, observe
-            )
-        else:
-            outcomes = _run_parallel(
-                state, job_plan, stop_at_first, workers, progress, observe
-            )
-        result = merge_outcomes(state, outcomes, stop_at_first)
-        if sp.enabled:
-            sp.add("tries", result.tries)
-            sp.add("racy_runs", result.racy_runs)
-            sp.add("clean_runs", result.clean_runs)
-            sp.add("workers", workers)
+
+    executor = (
+        _SerialExecutor(state) if workers == 1
+        else _PoolExecutor(state, workers, stop_at_first)
+    )
+
+    # Drive state shared by the settle path below.
+    settled: List[JobOutcome] = list(restored)
+    observed_profiles: List[JobOutcome] = []
+    done = len(restored)
+    racy_seen = sum(1 for o in restored if o.status == "racy")
+    new_settled = 0
+    interrupted = False
+
+    def settle(outcome: JobOutcome) -> None:
+        """One outcome is final: record, observe, checkpoint, and give
+        the fault plan its shot at killing the parent (in that order,
+        so an injected parent death leaves a usable checkpoint)."""
+        nonlocal done, racy_seen, new_settled
+        settled.append(outcome)
+        done += 1
+        racy_seen += outcome.status == "racy"
+        new_settled += 1
+        if observe is not None:
+            observe(outcome, done, tries, racy_seen)
+        if progress is not None:
+            progress(done, tries, racy_seen)
+        if writer is not None:
+            writer.tick(settled)
+        if fault_plan is not None:
+            fault_plan.on_job_settled(new_settled)
+
+    last_error: Dict[int, str] = {}
+    pending = job_plan
+    try:
+        with obs.span("hunt") as sp:
+            while pending:
+                retry_next: List[HuntJob] = []
+                for outcome in executor.run(pending):
+                    if (
+                        cancel is not None and cancel.is_set()
+                        and not interrupted
+                    ):
+                        interrupted = True
+                        executor.cancel()
+                    if profiling and outcome.profile:
+                        observed_profiles.append(outcome)
+                    if outcome.status == "skipped":
+                        # overrun past the early stop: report progress,
+                        # never merged
+                        done += 1
+                        if observe is not None:
+                            observe(outcome, done, tries, racy_seen)
+                        if progress is not None:
+                            progress(done, tries, racy_seen)
+                        continue
+                    if outcome.status == "error" and not interrupted:
+                        index = outcome.job.index
+                        prior = last_error.get(index)
+                        if prior is not None and prior == outcome.error:
+                            # failed identically twice: deterministic,
+                            # surface instead of burning more retries
+                            outcome.retries = outcome.job.attempt
+                            outcome.failure_kind = "deterministic"
+                        elif outcome.job.attempt < max_retries:
+                            last_error[index] = outcome.error
+                            outcome.status = "retried"
+                            if observe is not None:
+                                observe(outcome, done, tries, racy_seen)
+                            retry_next.append(
+                                _retry_job(outcome.job, retry_backoff)
+                            )
+                            continue
+                        else:
+                            outcome.retries = outcome.job.attempt
+                            outcome.failure_kind = (
+                                "exhausted" if outcome.job.attempt
+                                else "unretried"
+                            )
+                    elif outcome.job.attempt:
+                        outcome.retries = outcome.job.attempt
+                    settle(outcome)
+                    if stop_at_first and outcome.status == "racy":
+                        executor.note_racy(outcome.job.index)
+                        if workers == 1:
+                            break
+                if interrupted:
+                    break
+                if stop_at_first:
+                    bound = _first_racy_index(settled)
+                    if bound is not None:
+                        retry_next = [
+                            j for j in retry_next if j.index <= bound
+                        ]
+                pending = retry_next
+            result = merge_outcomes(state, settled, stop_at_first)
+            result.interrupted = interrupted
+            result.resumed_jobs = len(restored)
+            if sp.enabled:
+                sp.add("tries", result.tries)
+                sp.add("racy_runs", result.racy_runs)
+                sp.add("clean_runs", result.clean_runs)
+                sp.add("workers", workers)
+    finally:
+        executor.close()
+    if writer is not None:
+        writer.flush(settled, complete=not interrupted)
     if profiling:
         aggregates = obs.aggregate_records(
-            o.profile for o in outcomes if o.profile
+            o.profile for o in observed_profiles if o.profile
         )
         profiler = obs.active()
         if profiler is not None:
@@ -608,3 +874,8 @@ def run_hunt(
     result.jobs = workers
     result.elapsed = time.perf_counter() - start
     return result
+
+
+def _first_racy_index(outcomes: Sequence[JobOutcome]) -> Optional[int]:
+    racy = [o.job.index for o in outcomes if o.status == "racy"]
+    return min(racy) if racy else None

@@ -220,8 +220,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "propagation policies, looking for a racy execution with a "
             "replay-verified recording.  Every policy sweeps the same "
             "seed range, so per-policy racy rates are comparable.  "
-            "Exit status: 1 when a race was found, 0 when none was, "
-            "2 on usage errors, 3 when any worker crashed or timed out."
+            "Transient job failures are retried with backoff "
+            "(--max-retries); with --checkpoint the hunt periodically "
+            "persists settled outcomes and --resume continues an "
+            "interrupted run with statistics identical to an "
+            "uninterrupted one.  The first SIGINT/SIGTERM drains "
+            "in-flight jobs and writes a final checkpoint; a second "
+            "kills the hunt immediately.  Exit status: 1 when a race "
+            "was found, 0 when none was, 2 on usage errors (including "
+            "checkpoint mismatches), 3 when any worker crashed or "
+            "timed out, 130 when interrupted."
         ),
     )
     hunt_p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -279,6 +287,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL wide-event log (one record per try; see "
              "'weakraces events' to validate/summarize/tail it)",
     )
+    hunt_p.add_argument(
+        "--checkpoint", metavar="FILE", dest="checkpoint_path",
+        help="periodically persist settled outcomes to FILE "
+             "(atomic write), making the hunt resumable after a crash",
+    )
+    hunt_p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint FILE: validate it against this "
+             "hunt's spec, skip settled jobs, and merge to statistics "
+             "identical to an uninterrupted run",
+    )
+    hunt_p.add_argument(
+        "--checkpoint-interval", type=int, default=100, metavar="N",
+        help="settled jobs between periodic checkpoint writes "
+             "(default %(default)s; a final write always happens)",
+    )
+    hunt_p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retry a transiently failing job up to N times with "
+             "exponential backoff (default %(default)s; jobs that "
+             "fail identically twice are classified deterministic "
+             "and not retried; 0 disables retries)",
+    )
+    hunt_p.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SEC",
+        help="base retry backoff delay (default %(default)ss; doubles "
+             "per attempt, with deterministic seeded jitter)",
+    )
 
     ev_p = sub.add_parser(
         "events",
@@ -288,7 +324,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "--events' against its schema, then summarize it (racy "
             "rates per policy, cache hit rate, duration percentiles) "
             "or tail the newest try records.  Exit status: 0 ok, 2 "
-            "when the file fails validation."
+            "when the file fails validation.  A truncated final line "
+            "(the writer was killed mid-append) is tolerated with a "
+            "warning; garbage anywhere else still fails."
         ),
     )
     ev_p.add_argument("file", help="event log path (JSONL)")
@@ -496,7 +534,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "events":
         from .obs import events as obs_events
-        problems = obs_events.validate_events(args.file)
+        problems, warnings = obs_events.check_events(args.file)
+        for warning in warnings:
+            print(f"{args.file}: warning: {warning}", file=sys.stderr)
         if problems:
             for problem in problems:
                 print(f"{args.file}: {problem}", file=sys.stderr)
@@ -546,11 +586,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if report.race_free else 1
 
     if args.command == "hunt":
+        import os
+        import signal
+        import threading
+        from .analysis.checkpoint import CheckpointError
         from .analysis.hunting import hunt_races, policies_by_name
         from .obs import events as obs_events
         from .obs import metrics as obs_metrics
         from .obs.live import HuntStatusLine
         program = WORKLOADS[args.workload]()
+        if args.resume and not args.checkpoint_path:
+            print("hunt: --resume requires --checkpoint FILE",
+                  file=sys.stderr)
+            return 2
         registry = None
         status_line = None
         progress = None
@@ -571,6 +619,25 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "jobs": args.jobs,
                 "policies": args.policies or "default",
             })
+        # Graceful interruption: the first SIGINT/SIGTERM stops
+        # dispatch and drains in-flight jobs (a final checkpoint and a
+        # partial result still come out); a second signal means "now",
+        # and exits hard with the interrupt status.
+        cancel = threading.Event()
+
+        def _interrupt(signum, frame):
+            if cancel.is_set():
+                os._exit(130)
+            cancel.set()
+            print(
+                "\nhunt: interrupt received — draining in-flight jobs "
+                "(interrupt again to kill immediately)",
+                file=sys.stderr,
+            )
+
+        previous_handlers = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _interrupt)
         try:
             policies = (
                 policies_by_name(args.policies, program.processor_count)
@@ -589,13 +656,21 @@ def _dispatch(args: argparse.Namespace) -> int:
                 trace_cache=not args.no_cache,
                 on_outcome=event_log.on_outcome if event_log else None,
                 metrics=registry,
+                max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff,
+                checkpoint=args.checkpoint_path,
+                resume=args.resume,
+                checkpoint_interval=args.checkpoint_interval,
+                cancel=cancel,
             )
-        except ValueError as exc:
+        except (CheckpointError, ValueError) as exc:
             if event_log is not None:
                 event_log.close()
             print(f"hunt: {exc}", file=sys.stderr)
             return 2
         finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
             if status_line is not None:
                 status_line.finish()
             elif progress is not None:
@@ -612,6 +687,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                     result.executions_per_second, 1
                 ),
                 "trace_cache_hits": result.trace_cache_hits,
+                "retried_runs": result.retried_runs,
+                "interrupted": result.interrupted,
+                "resumed_jobs": result.resumed_jobs,
             })
             event_log.close()
             print(f"hunt events written to {args.events_path}",
@@ -633,6 +711,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
             if args.save_recording and result.recording is not None:
                 print(f"recording written to {args.save_recording}")
+        if args.checkpoint_path:
+            print(f"hunt checkpoint written to {args.checkpoint_path}",
+                  file=sys.stderr)
+        if result.interrupted:
+            return 130
         if result.failures:
             print(
                 f"hunt: {len(result.failures)} job(s) crashed or timed "

@@ -1,0 +1,96 @@
+"""Crash-safe file I/O shared across the pipeline.
+
+Two failure shapes matter for the post-mortem workflow (the hunt's
+value is its accumulated artifacts, so a crash must never corrupt
+them):
+
+* **Whole-document files** (JSON summaries, profiles, checkpoints,
+  recordings, DOT graphs) are written with
+  :func:`atomic_write_text` / :func:`atomic_write_json`: the bytes go
+  to a same-directory temp file, are fsync'd, and are then renamed
+  over the destination.  Readers see either the old complete file or
+  the new complete file — never a torn one.
+
+* **Append-only JSONL streams** (event logs) cannot be renamed into
+  place without breaking ``tail -f``; their crash mode is a truncated
+  final line.  :func:`read_jsonl_tolerant` classifies that tail-write
+  case as a *warning* while still treating mid-file garbage as a hard
+  problem, so validators can accept a log that merely lost its last
+  record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write *text* to *path* via write-tmp + fsync + rename, so a
+    crash mid-write never leaves a torn file at *path*."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Union[str, Path], payload: object, *,
+                      indent: Optional[int] = 2) -> None:
+    """Atomically write *payload* as sorted-key JSON (trailing
+    newline included)."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    )
+
+
+def read_jsonl_tolerant(
+    path: Union[str, Path],
+) -> Tuple[List[dict], List[str], List[str]]:
+    """Parse a JSONL file line by line; returns ``(records, problems,
+    warnings)``.
+
+    An undecodable *final* line is the signature of a process killed
+    mid-append (the tail-write case) and becomes a warning; an
+    undecodable line anywhere else is mid-file garbage and becomes a
+    problem.  Line numbers in messages are 1-based over the raw file.
+    """
+    problems: List[str] = []
+    warnings: List[str] = []
+    try:
+        with Path(path).open("r", encoding="utf-8") as fh:
+            raw = fh.readlines()
+    except OSError as exc:
+        return [], [f"unreadable: {exc}"], []
+    numbered = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(raw, start=1)
+        if line.strip()
+    ]
+    records: List[dict] = []
+    for position, (lineno, line) in enumerate(numbered):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if position == len(numbered) - 1:
+                warnings.append(
+                    f"line {lineno}: truncated final record "
+                    f"(tail write interrupted?): {exc}"
+                )
+            else:
+                problems.append(f"line {lineno}: invalid JSON: {exc}")
+    return records, problems, warnings

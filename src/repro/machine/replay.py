@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..ioutil import atomic_write_text
 from .memory import MemorySystem
 from .models.base import MemoryModel
 from .program import Program
@@ -43,8 +44,10 @@ class ExecutionRecording:
     deliveries: List[List[Tuple[int, int]]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        payload = {
+    def to_payload(self) -> dict:
+        """The recording as plain JSON-able data (the on-disk schema,
+        also embedded verbatim in hunt checkpoints)."""
+        return {
             "format": 1,
             "model": self.model_name,
             "schedule": self.schedule,
@@ -53,11 +56,9 @@ class ExecutionRecording:
                 for step in self.deliveries
             ],
         }
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "ExecutionRecording":
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    def from_payload(cls, payload: dict) -> "ExecutionRecording":
         if payload.get("format") != 1:
             raise ReplayError(f"unsupported recording format {payload.get('format')!r}")
         return cls(
@@ -67,6 +68,16 @@ class ExecutionRecording:
                 [(seq, reader) for seq, reader in step]
                 for step in payload["deliveries"]
             ],
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        # Atomic so a crash mid-save never tears a replay artifact.
+        atomic_write_text(path, json.dumps(self.to_payload()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExecutionRecording":
+        return cls.from_payload(
+            json.loads(Path(path).read_text(encoding="utf-8"))
         )
 
 

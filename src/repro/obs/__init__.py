@@ -32,6 +32,7 @@ from .profiler import (
 from .export import (
     PROFILE_FORMAT,
     read_profile,
+    check_profile,
     validate_profile,
     write_profile,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "span",
     "PROFILE_FORMAT",
     "read_profile",
+    "check_profile",
     "validate_profile",
     "write_profile",
 ]

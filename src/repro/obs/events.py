@@ -13,10 +13,13 @@ The schema (``EVENTS_FORMAT`` = 1) is JSON-lines:
       {"t": "meta", "schema": 1, "kind": "hunt", "workload": ..., ...}
 
 * ``{"t": "try", ...}`` — one record per hunt try: ``index``,
-  ``seed``, ``policy``, ``status`` (racy | clean | error | skipped),
-  ``duration_sec``, ``cache_hit``, ``fingerprint`` (canonical trace
-  fingerprint, "" when the cache is off), ``races`` (count found),
-  ``operations``, ``completed`` (False = step bound hit);
+  ``seed``, ``policy``, ``status`` (racy | clean | error | retried |
+  skipped), ``duration_sec``, ``cache_hit``, ``fingerprint``
+  (canonical trace fingerprint, "" when the cache is off), ``races``
+  (count found), ``operations``, ``completed`` (False = step bound
+  hit), plus retry provenance ``attempt``/``retries`` (optional for
+  backward compatibility; ``status="retried"`` marks an attempt that
+  a later retry superseded);
 
 * ``{"t": "stage", ...}`` — one record per detection stage, folded
   across all workers: ``path`` (span path, e.g.
@@ -26,11 +29,15 @@ The schema (``EVENTS_FORMAT`` = 1) is JSON-lines:
 * ``{"t": "summary", ...}`` — the run's closing totals (a subset of
   ``HuntResult.to_json()``).
 
-:func:`validate_events` checks a file against this schema — including
+:func:`check_events` checks a file against this schema — including
 rejecting unknown ``schema`` versions — and ``weakraces events FILE``
 validates, summarizes, or tails a log.  Records are flushed per line,
 so ``weakraces events --tail`` (or plain ``tail -f``) works while the
-hunt is still running.
+hunt is still running.  Because the stream is append-only (an atomic
+whole-file rewrite per record would break ``tail -f``), its crash
+mode is a truncated final line: validation downgrades that one case
+to a *warning* (the log merely lost its last record) while mid-file
+garbage stays a hard problem.
 
 Writing is opt-in (``weakraces hunt --events FILE`` or
 ``hunt_races(on_outcome=HuntEventLog(...).on_outcome)``); when no log
@@ -41,11 +48,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ioutil import read_jsonl_tolerant
 
 EVENTS_FORMAT = 1
 
-TRY_STATUSES = ("racy", "clean", "error", "skipped")
+TRY_STATUSES = ("racy", "clean", "error", "retried", "skipped")
 
 _TRY_KEYS = {
     "index", "seed", "policy", "status", "duration_sec",
@@ -122,6 +131,8 @@ class HuntEventLog:
             "operations": outcome.operations,
             "completed": outcome.completed,
             "error": outcome.error,
+            "attempt": outcome.job.attempt,
+            "retries": outcome.retries,
         })
 
     def write_stages(self, stage_profile: Optional[Dict[str, dict]]) -> None:
@@ -159,46 +170,48 @@ class HuntEventLog:
 
 def read_events(path: Union[str, Path]) -> Dict[str, object]:
     """Load an event log into ``{"meta": ..., "tries": [...],
-    "stages": [...], "summary": ...}``."""
+    "stages": [...], "summary": ...}``.  A truncated final line (the
+    tail-write crash shape; see :func:`check_events`) is skipped —
+    every complete record still loads."""
     meta: Optional[dict] = None
     tries: List[dict] = []
     stages: List[dict] = []
     summary: Optional[dict] = None
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            kind = record.get("t")
-            if kind == "meta":
-                meta = record
-            elif kind == "try":
-                tries.append(record)
-            elif kind == "stage":
-                stages.append(record)
-            elif kind == "summary":
-                summary = record
+    records, _, _ = read_jsonl_tolerant(path)
+    for record in records:
+        kind = record.get("t")
+        if kind == "meta":
+            meta = record
+        elif kind == "try":
+            tries.append(record)
+        elif kind == "stage":
+            stages.append(record)
+        elif kind == "summary":
+            summary = record
     return {"meta": meta, "tries": tries, "stages": stages,
             "summary": summary}
 
 
-def validate_events(path: Union[str, Path]) -> List[str]:
-    """Check *path* against the event-log schema; returns problems
-    (empty = valid).  Files declaring an unknown ``schema`` version are
-    rejected, never silently accepted."""
-    problems: List[str] = []
-    try:
-        with Path(path).open("r", encoding="utf-8") as fh:
-            lines = [line for line in fh if line.strip()]
-    except OSError as exc:
-        return [f"unreadable: {exc}"]
-    if not lines:
-        return ["empty event log"]
-    try:
-        records = [json.loads(line) for line in lines]
-    except json.JSONDecodeError as exc:
-        return [f"invalid JSON: {exc}"]
+def check_events(
+    path: Union[str, Path],
+) -> Tuple[List[str], List[str]]:
+    """Check *path* against the event-log schema; returns
+    ``(problems, warnings)``.  Files declaring an unknown ``schema``
+    version are rejected, never silently accepted.
+
+    A log whose *final* line is undecodable gets a warning, not a
+    problem: the writer appends and flushes per record, so a process
+    killed mid-append leaves exactly that shape, and every complete
+    record before it is still trustworthy.  Undecodable bytes anywhere
+    else mean real corruption and stay problems.
+    """
+    records, problems, warnings = read_jsonl_tolerant(path)
+    if problems:
+        return problems, warnings
+    if not records:
+        if not warnings:
+            problems.append("empty event log")
+        return problems, warnings
     meta = records[0]
     if meta.get("t") != "meta":
         problems.append("first record is not a meta record")
@@ -234,6 +247,13 @@ def validate_events(path: Union[str, Path]) -> List[str]:
             problems.append(f"line {i}: duplicate meta record")
         else:
             problems.append(f"line {i}: unknown record type {kind!r}")
+    return problems, warnings
+
+
+def validate_events(path: Union[str, Path]) -> List[str]:
+    """:func:`check_events` problems only (the historical interface);
+    truncated-tail warnings do not fail validation."""
+    problems, _ = check_events(path)
     return problems
 
 
@@ -244,6 +264,8 @@ def format_try(record: dict) -> str:
         flags.append("cache")
     if not record.get("completed", True):
         flags.append("step-bound")
+    if record.get("attempt"):
+        flags.append(f"attempt {record['attempt'] + 1}")
     if record.get("error"):
         flags.append(record["error"])
     suffix = f"  [{', '.join(flags)}]" if flags else ""
@@ -270,8 +292,12 @@ def summarize_events(loaded: Dict[str, object]) -> str:
         if key in meta
     )
     lines.append(f"hunt event log{': ' + context if context else ''}")
-    ran = [t for t in tries if t["status"] != "skipped"]
-    skipped = len(tries) - len(ran)
+    # Retried attempts were superseded by a later attempt of the same
+    # job; keep them out of the racy-rate and duration statistics.
+    ran = [t for t in tries
+           if t["status"] not in ("skipped", "retried")]
+    skipped = sum(1 for t in tries if t["status"] == "skipped")
+    retried = sum(1 for t in tries if t["status"] == "retried")
     by_status: Dict[str, int] = {}
     for record in ran:
         by_status[record["status"]] = by_status.get(record["status"], 0) + 1
@@ -281,6 +307,7 @@ def summarize_events(loaded: Dict[str, object]) -> str:
     lines.append(
         f"  {len(ran)} tries ({status_text or 'none'})"
         + (f", {skipped} skipped by early stop" if skipped else "")
+        + (f", {retried} retried attempt(s)" if retried else "")
     )
     cache_hits = sum(1 for record in ran if record.get("cache_hit"))
     if ran:

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..ioutil import atomic_write_text, read_jsonl_tolerant
 from .profiler import Profiler
 
 PROFILE_FORMAT = 1
@@ -41,25 +42,29 @@ def write_profile(
     path: Union[str, Path],
     meta: Optional[dict] = None,
 ) -> None:
-    """Write *profiler* to *path* in the JSONL schema above."""
-    path = Path(path)
+    """Write *profiler* to *path* in the JSONL schema above.
+
+    The whole document is materialized once at run end (profiles are
+    not streamed), so it is written atomically — a crash mid-export
+    never leaves a torn profile behind."""
     header = {"t": "meta", "format": PROFILE_FORMAT}
     if meta:
         header.update(meta)
-    with path.open("w", encoding="utf-8") as fh:
-        fh.write(json.dumps(header, sort_keys=True) + "\n")
-        for record in profiler.to_records():
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
-        if profiler.counters:
-            fh.write(
-                json.dumps(
-                    {"t": "counters", "counters": dict(profiler.counters)},
-                    sort_keys=True,
-                )
-                + "\n"
-            )
-        for _, agg in sorted(profiler.aggregates.items()):
-            fh.write(json.dumps(agg.to_dict(), sort_keys=True) + "\n")
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(
+        json.dumps(record, sort_keys=True)
+        for record in profiler.to_records()
+    )
+    if profiler.counters:
+        lines.append(json.dumps(
+            {"t": "counters", "counters": dict(profiler.counters)},
+            sort_keys=True,
+        ))
+    lines.extend(
+        json.dumps(agg.to_dict(), sort_keys=True)
+        for _, agg in sorted(profiler.aggregates.items())
+    )
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def read_profile(path: Union[str, Path]) -> Dict[str, list]:
@@ -93,20 +98,20 @@ def read_profile(path: Union[str, Path]) -> Dict[str, list]:
     }
 
 
-def validate_profile(path: Union[str, Path]) -> List[str]:
-    """Check *path* against the schema; returns problems (empty = ok)."""
-    problems: List[str] = []
-    try:
-        with Path(path).open("r", encoding="utf-8") as fh:
-            lines = [line for line in fh if line.strip()]
-    except OSError as exc:
-        return [f"unreadable: {exc}"]
-    if not lines:
-        return ["empty profile file"]
-    try:
-        records = [json.loads(line) for line in lines]
-    except json.JSONDecodeError as exc:
-        return [f"invalid JSON: {exc}"]
+def check_profile(
+    path: Union[str, Path],
+) -> Tuple[List[str], List[str]]:
+    """Check *path* against the schema; returns ``(problems,
+    warnings)``.  An undecodable final line (the shape a killed
+    process's buffered tail write leaves) is a warning; undecodable
+    bytes anywhere else are a problem."""
+    records, problems, warnings = read_jsonl_tolerant(path)
+    if problems:
+        return problems, warnings
+    if not records:
+        if not warnings:
+            problems.append("empty profile file")
+        return problems, warnings
     meta = records[0]
     if meta.get("t") != "meta":
         problems.append("first record is not a meta record")
@@ -142,6 +147,13 @@ def validate_profile(path: Union[str, Path]) -> List[str]:
             problems.append(f"line {i}: duplicate meta record")
         else:
             problems.append(f"line {i}: unknown record type {kind!r}")
+    return problems, warnings
+
+
+def validate_profile(path: Union[str, Path]) -> List[str]:
+    """:func:`check_profile` problems only (the historical interface);
+    truncated-tail warnings do not fail validation."""
+    problems, _ = check_profile(path)
     return problems
 
 
@@ -157,7 +169,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     status = 0
     for name in args.files:
-        problems = validate_profile(name)
+        problems, warnings = check_profile(name)
+        for warning in warnings:
+            print(f"{name}: warning: {warning}")
         if problems:
             status = 1
             for problem in problems:

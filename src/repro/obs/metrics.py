@@ -38,7 +38,10 @@ read by :class:`repro.obs.live.HuntStatusLine`):
 =============================  =========  ==================================
 name                           type       labels / meaning
 =============================  =========  ==================================
-``hunt_tries_total``           Counter    ``policy``, ``status``
+``hunt_tries_total``           Counter    ``policy``, ``status`` (racy |
+                                          clean | error | skipped, plus
+                                          ``retried`` for attempts a
+                                          later retry superseded)
 ``hunt_trace_cache_hits_total``  Counter  analyses served from the cache
 ``hunt_job_duration_seconds``  Histogram  per-job wall time
 ``hunt_done`` / ``hunt_total``  Gauge     completed / planned jobs

@@ -125,12 +125,33 @@ def test_on_outcome_carries_error_and_traceback_serial():
     result = hunt_races(
         racy_counter_program(), _wo, tries=2,
         policies=[("boom", _ExplodingPropagation)],
-        jobs=1, on_outcome=seen.append,
+        jobs=1, on_outcome=seen.append, retry_backoff=0.001,
     )
-    assert all(o.status == "error" for o in seen)
+    # The observer sees the superseded first attempts (status
+    # "retried") and the settled failures; boom fails identically on
+    # the retry, so each job is classified deterministic after one
+    # retry rather than burning through max_retries.
+    assert [o.status for o in seen].count("error") == 2
+    assert [o.status for o in seen].count("retried") == 2
+    assert all(o.status in ("error", "retried") for o in seen)
     assert all("RuntimeError: boom" in o.error for o in seen)
     assert all("RuntimeError: boom" in o.traceback for o in seen)
     assert len(result.failures) == 2
+    assert all(f.kind == "deterministic" for f in result.failures)
+    assert all(f.retries == 1 for f in result.failures)
+
+
+def test_on_outcome_errors_without_retries():
+    seen = []
+    result = hunt_races(
+        racy_counter_program(), _wo, tries=2,
+        policies=[("boom", _ExplodingPropagation)],
+        jobs=1, on_outcome=seen.append, max_retries=0,
+    )
+    assert all(o.status == "error" for o in seen)
+    assert len(seen) == 2
+    assert all(f.kind == "unretried" and f.retries == 0
+               for f in result.failures)
 
 
 # ----------------------------------------------------------------------
@@ -212,9 +233,12 @@ def test_failures_carry_tracebacks_but_stats_do_not(jobs):
     for failure in result.failures:
         assert "RuntimeError: boom" in failure.traceback
         assert "Traceback (most recent call last)" in failure.traceback
-    # stats() stays a deterministic function of the job set
+    # stats() stays a deterministic function of the job set (the
+    # retry classification is a function of the error texts, so kind
+    # and retry counts qualify; tracebacks do not)
     for entry in result.stats()["failures"]:
-        assert set(entry) == {"seed", "policy", "error"}
+        assert set(entry) == {"seed", "policy", "error", "kind",
+                              "retries"}
     # ... while the JSON view surfaces the tracebacks
     for entry in result.to_json()["failures"]:
         assert "RuntimeError: boom" in entry["traceback"]

@@ -1,0 +1,242 @@
+"""Crash-safety integration tests: real ``weakraces hunt`` processes
+killed by injected faults or signals, then resumed from their
+checkpoints.  These run the CLI in subprocesses because SIGKILL and
+signal handling cannot be exercised in-process."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+# the keys of HuntResult.stats(): pure functions of the job set, so
+# they must match byte-for-byte between a resumed and an uninterrupted
+# hunt.  Timing/worker metadata (elapsed_sec, trace_cache_hits,
+# resumed_jobs, ...) legitimately differs.
+DETERMINISTIC_KEYS = (
+    "model", "tries", "racy_runs", "clean_runs", "step_bound_runs",
+    "found", "seed", "policy", "recording_verified", "per_policy",
+    "per_seed",
+)
+
+HUNT = ["hunt", "racy-counter", "--model", "WO", "--tries", "24",
+        "--policies", "stubborn", "ring"]
+
+
+def _run(args, faults=None, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULTS", None)
+    if faults is not None:
+        env["REPRO_FAULTS"] = json.dumps(faults)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=REPO, env=env, capture_output=True, text=True,
+        timeout=120, **kwargs,
+    )
+
+
+def _stats_view(stdout):
+    doc = json.loads(stdout)
+    view = {key: doc[key] for key in DETERMINISTIC_KEYS}
+    # failures are deterministic too, minus the traceback text
+    view["failures"] = [
+        {k: f[k] for k in ("seed", "policy", "error", "kind", "retries")}
+        for f in doc["failures"]
+    ]
+    return view
+
+
+# ----------------------------------------------------------------------
+# SIGKILL mid-hunt, then resume
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("resume_jobs", ["1", "4"])
+def test_sigkill_then_resume_matches_uninterrupted(tmp_path, resume_jobs):
+    baseline = _run(HUNT + ["--json"])
+    assert baseline.returncode == 1, baseline.stderr
+
+    ckpt = tmp_path / "hunt.ckpt"
+    killed = _run(
+        HUNT + ["--checkpoint", str(ckpt), "--checkpoint-interval", "1"],
+        faults={"kill_parent_after": 5},
+    )
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+    assert ckpt.exists()
+
+    resumed = _run(
+        HUNT + ["--json", "--jobs", resume_jobs,
+                "--checkpoint", str(ckpt), "--resume"],
+    )
+    assert resumed.returncode == 1, resumed.stderr
+    assert _stats_view(resumed.stdout) == _stats_view(baseline.stdout)
+    resumed_doc = json.loads(resumed.stdout)
+    assert resumed_doc["resumed_jobs"] >= 5
+    assert resumed_doc["interrupted"] is False
+    # the final checkpoint is marked complete and resumable again:
+    # a second resume restores everything and runs zero new jobs
+    again = _run(HUNT + ["--json", "--checkpoint", str(ckpt), "--resume"])
+    assert again.returncode == 1, again.stderr
+    assert json.loads(again.stdout)["resumed_jobs"] == 24
+    assert _stats_view(again.stdout) == _stats_view(baseline.stdout)
+
+
+def test_repeated_kills_make_progress_to_completion(tmp_path):
+    """Resume is crash-safe itself: keep killing the hunt and
+    resuming; each round preserves at least the prior settled work."""
+    baseline = _run(HUNT + ["--json"])
+    ckpt = tmp_path / "hunt.ckpt"
+    cmd = HUNT + ["--checkpoint", str(ckpt), "--checkpoint-interval", "1"]
+
+    killed = _run(cmd, faults={"kill_parent_after": 4})
+    assert killed.returncode == -signal.SIGKILL
+    killed = _run(cmd + ["--resume"], faults={"kill_parent_after": 4})
+    assert killed.returncode == -signal.SIGKILL
+
+    final = _run(cmd + ["--resume", "--json"])
+    assert final.returncode == 1, final.stderr
+    doc = json.loads(final.stdout)
+    assert doc["resumed_jobs"] >= 8  # both killed rounds contributed
+    assert _stats_view(final.stdout) == _stats_view(baseline.stdout)
+
+
+# ----------------------------------------------------------------------
+# graceful interruption
+# ----------------------------------------------------------------------
+
+def test_sigint_drains_and_writes_final_checkpoint(tmp_path):
+    ckpt = tmp_path / "hunt.ckpt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "hunt", "racy-counter",
+         "--model", "WO", "--tries", "200000", "--policies", "stubborn",
+         "--checkpoint", str(ckpt), "--checkpoint-interval", "5"],
+        cwd=REPO, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        # wait for proof the hunt is actually underway before signaling
+        deadline = time.monotonic() + 60
+        while not ckpt.exists():
+            assert time.monotonic() < deadline, "hunt never checkpointed"
+            assert proc.poll() is None, proc.communicate()[1]
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 130, stderr
+    assert "draining" in stderr
+    assert "hunt interrupted" in stdout
+    # the final flush happened: the checkpoint is loadable, carries the
+    # settled work, and is marked incomplete (a resume would continue)
+    from repro.analysis.checkpoint import load_checkpoint
+
+    loaded = load_checkpoint(ckpt)
+    assert not loaded.complete
+    assert len(loaded.outcomes) >= 5
+    assert loaded.spec["tries"] == 200000
+
+
+def test_group_sigterm_drains_parallel_hunt(tmp_path):
+    """SIGTERM delivered to the whole process group (systemd stop,
+    ``kill -TERM -pgid``) reaches the pool workers too.  Workers must
+    ignore it — a worker that caught the parent's inherited handler
+    used to swallow pool shutdown's SIGTERM and deadlock the drain."""
+    ckpt = tmp_path / "hunt.ckpt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "hunt", "racy-counter",
+         "--model", "WO", "--tries", "20000", "--policies", "stubborn",
+         "--jobs", "4", "--checkpoint", str(ckpt),
+         "--checkpoint-interval", "5"],
+        cwd=REPO, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while not ckpt.exists():
+            assert time.monotonic() < deadline, "hunt never checkpointed"
+            assert proc.poll() is None, proc.communicate()[1]
+            time.sleep(0.05)
+        os.killpg(proc.pid, signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.communicate()
+    assert proc.returncode == 130, stderr
+    # exactly one drain note: the parent's; workers stay silent
+    assert stderr.count("interrupt received") == 1, stderr
+    assert "hunt interrupted" in stdout
+
+    from repro.analysis.checkpoint import load_checkpoint
+
+    loaded = load_checkpoint(ckpt)
+    assert not loaded.complete
+    assert len(loaded.outcomes) >= 5
+
+
+# ----------------------------------------------------------------------
+# corrupt inputs stay hard errors
+# ----------------------------------------------------------------------
+
+def test_torn_checkpoint_is_a_usage_error(tmp_path):
+    ckpt = tmp_path / "hunt.ckpt"
+    done = _run(HUNT + ["--checkpoint", str(ckpt)])
+    assert done.returncode == 1
+    raw = ckpt.read_bytes()
+    ckpt.write_bytes(raw[: len(raw) // 2])
+    resumed = _run(HUNT + ["--checkpoint", str(ckpt), "--resume"])
+    assert resumed.returncode == 2
+    assert "torn or corrupt" in resumed.stderr
+
+
+def test_spec_mismatch_is_a_usage_error(tmp_path):
+    ckpt = tmp_path / "hunt.ckpt"
+    assert _run(HUNT + ["--checkpoint", str(ckpt)]).returncode == 1
+    other = _run(
+        ["hunt", "racy-counter", "--model", "WO", "--tries", "12",
+         "--policies", "stubborn", "ring",
+         "--checkpoint", str(ckpt), "--resume"],
+    )
+    assert other.returncode == 2
+    assert "different hunt" in other.stderr
+    assert "tries" in other.stderr
+
+
+# ----------------------------------------------------------------------
+# event-log tail tolerance end to end
+# ----------------------------------------------------------------------
+
+def test_torn_event_tail_warns_but_validates(tmp_path):
+    events = tmp_path / "hunt.jsonl"
+    assert _run(HUNT + ["--events", str(events)]).returncode == 1
+    with events.open("rb+") as fh:
+        fh.truncate(events.stat().st_size - 7)
+    checked = _run(["events", str(events)])
+    assert checked.returncode == 0, checked.stderr
+    assert "truncated final record" in checked.stdout + checked.stderr
+
+
+def test_mid_file_event_garbage_still_fails_validation(tmp_path):
+    events = tmp_path / "hunt.jsonl"
+    assert _run(HUNT + ["--events", str(events)]).returncode == 1
+    lines = events.read_text().splitlines(keepends=True)
+    lines.insert(1, "{torn mid-file\n")
+    events.write_text("".join(lines))
+    checked = _run(["events", str(events)])
+    assert checked.returncode == 2
+    assert "invalid JSON" in checked.stdout + checked.stderr

@@ -12,6 +12,7 @@ from repro.obs.events import (
     EVENTS_FORMAT,
     EventLogWriter,
     HuntEventLog,
+    check_events,
     format_try,
     read_events,
     summarize_events,
@@ -137,11 +138,85 @@ def test_validate_rejects_missing_meta_and_empty(tmp_path):
     assert validate_events(path) == ["first record is not a meta record"]
     path.write_text("")
     assert validate_events(path) == ["empty event log"]
-    path.write_text("{not json\n")
-    assert validate_events(path)[0].startswith("invalid JSON")
     assert validate_events(tmp_path / "missing.jsonl")[0].startswith(
         "unreadable"
     )
+
+
+# ----------------------------------------------------------------------
+# crash tolerance: the tail-write case versus mid-file garbage
+# ----------------------------------------------------------------------
+
+def test_truncated_final_line_is_a_warning_not_a_problem(tmp_path):
+    """A process killed mid-append leaves a torn last line; every
+    complete record before it is still good, so validation warns
+    instead of failing."""
+    path = tmp_path / "log.jsonl"
+    _write_lines(path, [
+        {"t": "meta", "schema": EVENTS_FORMAT, "kind": "hunt"},
+        _try_record(index=0),
+        _try_record(index=1),
+    ])
+    with path.open("rb+") as fh:
+        fh.truncate(path.stat().st_size - 9)  # tear the tail
+    problems, warnings = check_events(path)
+    assert problems == []
+    assert len(warnings) == 1
+    assert "truncated final record" in warnings[0]
+    # the historical interface stays problems-only
+    assert validate_events(path) == []
+    # and the reader still loads the intact prefix
+    loaded = read_events(path)
+    assert [t["index"] for t in loaded["tries"]] == [0]
+
+
+def test_mid_file_garbage_is_still_a_problem(tmp_path):
+    path = tmp_path / "log.jsonl"
+    _write_lines(path, [
+        {"t": "meta", "schema": EVENTS_FORMAT, "kind": "hunt"},
+        _try_record(index=0),
+    ])
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write("{garbage\n")
+        fh.write(json.dumps(_try_record(index=1)) + "\n")
+    problems, warnings = check_events(path)
+    assert warnings == []
+    assert len(problems) == 1
+    assert "invalid JSON" in problems[0]
+    assert validate_events(path) == problems
+
+
+def test_lone_torn_line_is_tolerated(tmp_path):
+    # even the meta record can fall to a tail-write crash; the file
+    # carries no usable data, but it's a warning, not corruption
+    path = tmp_path / "log.jsonl"
+    path.write_text("{not json\n")
+    problems, warnings = check_events(path)
+    assert problems == []
+    assert len(warnings) == 1
+
+
+def test_retried_status_validates_and_summarizes(tmp_path):
+    path = tmp_path / "log.jsonl"
+    _write_lines(path, [
+        {"t": "meta", "schema": EVENTS_FORMAT, "kind": "hunt"},
+        _try_record(index=3, status="retried", attempt=0,
+                    error="InjectedCrash: boom"),
+        _try_record(index=3, status="clean", attempt=1, retries=1),
+        _try_record(index=4),
+    ])
+    assert validate_events(path) == []
+    text = summarize_events(read_events(path))
+    # superseded attempts are excluded from the racy-rate stats
+    assert "2 tries" in text
+    assert "1 retried attempt(s)" in text
+
+
+def test_format_try_shows_retry_attempt():
+    line = format_try(_try_record(status="retried", attempt=1,
+                                  error="InjectedCrash: boom"))
+    assert "retried" in line
+    assert "attempt 2" in line
 
 
 # ----------------------------------------------------------------------

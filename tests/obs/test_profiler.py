@@ -11,6 +11,7 @@ from repro.obs import (
     NULL_SPAN,
     Profiler,
     aggregate_records,
+    check_profile,
     read_profile,
     validate_profile,
     write_profile,
@@ -180,6 +181,37 @@ class TestExport:
         assert validate_profile(path) == [
             "meta record has no format version"
         ]
+
+    def test_truncated_tail_is_a_warning(self, tmp_path):
+        """A profile torn at the final line (writer killed mid-write
+        on a pre-atomic file, or a copy cut short) keeps its valid
+        prefix; validation warns instead of failing."""
+        path = tmp_path / "torn.jsonl"
+        write_profile(self._profiled(), path, meta={"command": "test"})
+        with path.open("rb+") as fh:
+            fh.truncate(path.stat().st_size - 5)
+        problems, warnings = check_profile(path)
+        assert problems == []
+        assert len(warnings) == 1
+        assert "truncated final record" in warnings[0]
+        assert validate_profile(path) == []
+
+    def test_mid_file_garbage_is_a_problem(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        write_profile(self._profiled(), path, meta={"command": "test"})
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "{definitely not json")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        problems, warnings = check_profile(path)
+        assert warnings == []
+        assert any("invalid JSON" in p for p in problems)
+
+    def test_write_profile_is_atomic_no_temp_left(self, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        write_profile(self._profiled(), path)
+        assert validate_profile(path) == []
+        # no stray .tmp files from the atomic write
+        assert [p.name for p in tmp_path.iterdir()] == ["profile.jsonl"]
 
     def test_summary_handles_empty_profile(self):
         assert Profiler().summary() == "(empty profile)"
