@@ -21,10 +21,22 @@ from conftest import emit
 from repro.analysis.hunting import hunt_races
 from repro.ioutil import atomic_write_json
 from repro.machine.models import make_model
-from repro.programs.kernels import racy_counter_program
+from repro.programs.kernels import lock_shadow_program, racy_counter_program
 from repro.programs.workqueue import buggy_workqueue_program
 
 TRIES = 96
+
+# Detector comparison: races found per try, by workload x backend.
+# The counts are deterministic (hunts are a pure function of the job
+# set), so the quick mode hard-asserts the predictive backends' edge
+# and the --compare guard treats any >20% per-try drop as a failure.
+DETECTOR_WORKLOADS = [
+    ("racy-counter", lambda: racy_counter_program(3, 4)),
+    ("workqueue-buggy", buggy_workqueue_program),
+    ("lock-shadow", lock_shadow_program),
+]
+DETECTORS = ("postmortem", "shb", "wcp")
+DETECTOR_TRIES = 24
 
 # Pre-overhaul serial hunt throughput on the acceptance workload
 # (workqueue-buggy/WO, tries=30), measured at commit 069c0c4.  The
@@ -95,6 +107,71 @@ def _workqueue_hunt(jobs: int, trace_cache: bool = True):
         jobs=jobs,
         trace_cache=trace_cache,
     )
+
+
+def _detector_sweep(tries: int = DETECTOR_TRIES) -> dict:
+    """Races found per try, for each workload x detector cell."""
+    table = {}
+    for workload, build in DETECTOR_WORKLOADS:
+        row = {}
+        for detector in DETECTORS:
+            result = hunt_races(
+                build(), lambda: make_model("WO"),
+                tries=tries, detector=detector,
+            )
+            row[detector] = {
+                "racy_runs": result.racy_runs,
+                "certified_races": result.certified_races,
+                "certified_per_try": round(
+                    result.certified_races / tries, 4
+                ),
+            }
+        table[workload] = row
+    return table
+
+
+@pytest.mark.parametrize("detector", DETECTORS)
+def test_detector_hunt_throughput(benchmark, detector):
+    """Relative cost of the predictive backends on the acceptance
+    workload (SHB pays an extra VC sweep, WCP only pays when it drops
+    edges)."""
+    result = benchmark(lambda: hunt_races(
+        buggy_workqueue_program(), lambda: make_model("WO"),
+        tries=30, detector=detector,
+    ))
+    emit(
+        benchmark,
+        f"Hunt throughput by detector ({detector})",
+        [
+            f"{result.tries} executions in {result.elapsed:.3f}s -> "
+            f"{result.executions_per_second:.0f} exec/s; "
+            f"{result.racy_runs} racy, "
+            f"{result.certified_races} certified race(s)",
+        ],
+    )
+
+
+def test_detector_races_found_per_try(benchmark):
+    """The detector-quality table: certified real races per try.  SHB
+    must certify strictly more than the baseline on a buggy workload,
+    and WCP must flag schedules the baseline calls clean on the
+    lock-shadow kernel."""
+    table = benchmark.pedantic(
+        _detector_sweep, rounds=1, iterations=1, warmup_rounds=0,
+    )
+    rows = []
+    for workload, row in table.items():
+        cells = "  ".join(
+            f"{d}={row[d]['certified_per_try']:.3f}" for d in DETECTORS
+        )
+        rows.append(f"{workload}: certified/try {cells}")
+    emit(benchmark, "Races found per try, by detector", rows)
+    assert any(
+        row["shb"]["certified_races"] > row["postmortem"]["certified_races"]
+        for row in table.values()
+    )
+    shadow = table["lock-shadow"]
+    assert shadow["wcp"]["racy_runs"] > shadow["postmortem"]["racy_runs"]
 
 
 @pytest.mark.parametrize("cache", [True, False], ids=["cache", "no-cache"])
@@ -210,6 +287,8 @@ def main(argv=None) -> int:
         1.0 - checkpointed_rate / serial_rate if serial_rate else 0.0
     )
 
+    detector_table = _detector_sweep()
+
     payload = {
         "workload": "workqueue-buggy/WO",
         "tries": args.tries,
@@ -230,11 +309,19 @@ def main(argv=None) -> int:
         "serial_speedup_vs_baseline": round(
             serial_rate / BASELINE_SERIAL_TRIES_PER_SEC, 2
         ),
+        "detector_tries": DETECTOR_TRIES,
+        "detectors": detector_table,
     }
     # determinism cross-check rides along with the smoke
     assert parallel_result.stats() == serial.stats(), (
         "parallel hunt statistics diverged from serial"
     )
+    # acceptance: SHB's per-race certificates beat the baseline's
+    # one-per-partition guarantee on at least one buggy workload
+    assert any(
+        row["shb"]["certified_races"] > row["postmortem"]["certified_races"]
+        for row in detector_table.values()
+    ), "SHB no longer certifies more races than the baseline"
 
     atomic_write_json(args.output, payload)
 
@@ -248,6 +335,12 @@ def main(argv=None) -> int:
     print(f"  jobs=4      {parallel_rate:8.2f} tries/sec")
     print(f"  cache hits  {serial.trace_cache_hits}/{args.tries} "
           f"({payload['trace_cache_hit_rate']:.0%})")
+    print(f"races found per try (certified, {DETECTOR_TRIES} tries):")
+    for workload, row in detector_table.items():
+        cells = "  ".join(
+            f"{d}={row[d]['certified_per_try']:.3f}" for d in DETECTORS
+        )
+        print(f"  {workload:16s} {cells}")
     print(f"wrote {args.output}")
 
     if args.events_path:
@@ -290,6 +383,32 @@ def main(argv=None) -> int:
                 f"(> {args.max_regression:.0%} allowed)",
                 file=sys.stderr,
             )
+            return 1
+        # Detector-quality guard: certified races per try are
+        # deterministic counts, so any >20% drop against the committed
+        # table is a behavior change, not noise.  Workloads/detectors
+        # absent from the committed summary are new rows and pass.
+        failed = False
+        for workload, row in (committed.get("detectors") or {}).items():
+            for det, cell in row.items():
+                now = (
+                    detector_table.get(workload, {})
+                    .get(det, {})
+                    .get("certified_per_try")
+                )
+                if now is None:
+                    continue
+                was = cell["certified_per_try"]
+                if was > 0 and now < was * (1.0 - args.max_regression):
+                    print(
+                        f"FAIL: {workload}/{det} certified races per "
+                        f"try dropped {1 - now / was:.1%} "
+                        f"({was:.3f} -> {now:.3f}, "
+                        f"> {args.max_regression:.0%} allowed)",
+                        file=sys.stderr,
+                    )
+                    failed = True
+        if failed:
             return 1
     return 0
 

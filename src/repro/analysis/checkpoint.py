@@ -22,7 +22,8 @@ Format (``CHECKPOINT_FORMAT`` = 1) — one JSON document::
         "tries": 50000,                 # the seed range, via seed-major
         "policies": ["stubborn", ...],  # names, in sweep order
         "max_steps": 200000,
-        "stop_at_first": false
+        "stop_at_first": false,
+        "detector": "postmortem"        # absent in legacy checkpoints
       },
       "outcomes": [ {...}, ... ]        # settled jobs, by index
     }
@@ -76,8 +77,16 @@ def hunt_spec(
     policy_names: Sequence[str],
     max_steps: int,
     stop_at_first: bool,
+    detector: str = "postmortem",
 ) -> dict:
-    """The hunt-identity record a checkpoint is validated against."""
+    """The hunt-identity record a checkpoint is validated against.
+
+    The detector is part of the hunt's identity: outcomes analyzed by
+    different detectors disagree on racy/clean (the predictive backends
+    flag traces the baseline calls clean), so resuming across detectors
+    would silently merge incompatible verdicts.  Checkpoints written
+    before the field existed are treated as ``"postmortem"`` on load.
+    """
     return {
         "program_sha": program_fingerprint(program),
         "model": model_name,
@@ -85,6 +94,7 @@ def hunt_spec(
         "policies": list(policy_names),
         "max_steps": max_steps,
         "stop_at_first": bool(stop_at_first),
+        "detector": detector,
     }
 
 
@@ -116,6 +126,7 @@ def outcome_to_payload(outcome, include_recording: bool = True) -> dict:
         "cache_hit": outcome.cache_hit,
         "fingerprint": outcome.fingerprint,
         "race_count": outcome.race_count,
+        "certified_races": outcome.certified_races,
         "duration": round(outcome.duration, 6),
         "retries": outcome.retries,
         "failure_kind": outcome.failure_kind,
@@ -151,6 +162,7 @@ def outcome_from_payload(payload: dict):
             cache_hit=payload.get("cache_hit", False),
             fingerprint=payload.get("fingerprint", ""),
             race_count=payload.get("race_count", 0),
+            certified_races=payload.get("certified_races", 0),
             duration=payload.get("duration", 0.0),
             retries=payload.get("retries", 0),
             failure_kind=payload.get("failure_kind", ""),
@@ -246,6 +258,9 @@ def load_checkpoint(
     spec = payload.get("spec")
     if not isinstance(spec, dict):
         raise CheckpointError(f"{path}: checkpoint has no spec record")
+    # Legacy checkpoints predate the detector field; they were written
+    # by the only detector hunts then had.
+    spec.setdefault("detector", "postmortem")
     if expected_spec is not None:
         mismatched = [
             key for key in sorted(set(expected_spec) | set(spec))

@@ -151,6 +151,15 @@ class HuntResult:
     interrupted: bool = False
     # Jobs restored from a resume checkpoint rather than executed.
     resumed_jobs: int = 0
+    # Which detection backend analyzed every execution (see
+    # repro.analysis.parallel.HUNT_DETECTORS).  Part of the checkpoint
+    # hunt identity; surfaced in to_json() only so stats()/summary()
+    # stay byte-identical to hunts recorded before the field existed.
+    detector: str = "postmortem"
+    # Sum of report.certified_race_count over racy runs — the races-
+    # found-per-try numerator benchmarks compare detectors by.  Lives
+    # in to_json() with the detector, for the same reason.
+    certified_races: int = 0
 
     @property
     def found(self) -> bool:
@@ -200,6 +209,8 @@ class HuntResult:
         payload["retried_runs"] = self.retried_runs
         payload["interrupted"] = self.interrupted
         payload["resumed_jobs"] = self.resumed_jobs
+        payload["detector"] = self.detector
+        payload["certified_races"] = self.certified_races
         # stats() keeps failures deterministic; the JSON view adds the
         # worker tracebacks so crashes are debuggable from the output.
         payload["failures"] = [
@@ -281,6 +292,7 @@ def hunt_races(
     resume: bool = False,
     checkpoint_interval: int = 100,
     cancel=None,
+    detector: str = "postmortem",
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -347,6 +359,13 @@ def hunt_races(
         cancel: optional :class:`threading.Event`; once set, dispatch
             stops, in-flight jobs drain, a final checkpoint is written
             and the partial result has ``interrupted=True``.
+        detector: analysis backend for every execution — one of
+            :data:`repro.analysis.parallel.HUNT_DETECTORS`
+            (``"postmortem"``, ``"naive"``, ``"shb"``, ``"wcp"``;
+            ``"onthefly"`` needs the operation stream and is not
+            huntable).  Part of the checkpoint spec: resuming a
+            checkpoint written by a different detector is a
+            :class:`~repro.analysis.checkpoint.CheckpointMismatch`.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -380,4 +399,5 @@ def hunt_races(
         resume=resume,
         checkpoint_interval=checkpoint_interval,
         cancel=cancel,
+        detector=detector,
     )

@@ -97,22 +97,30 @@ ProgressCallback = Callable[[int, int, int], None]
 OutcomeObserver = Callable[["JobOutcome", int, int, int], None]
 
 
-def _analyze(source):
+#: Detector backends a hunt can sweep with.  ``onthefly`` is excluded:
+#: it consumes the operation stream, which the trace cache (keyed on
+#: the trace, which deliberately drops operations — §4.1) cannot serve.
+HUNT_DETECTORS = ("postmortem", "naive", "shb", "wcp")
+
+
+def _analyze(source, detector: str = "postmortem"):
     """Route report construction through the unified entry point
     (imported lazily: repro.api itself imports this package)."""
     from ..api import detect
 
-    return detect(source)
+    return detect(source, detector=detector)
 
 
 # Per-process analysis cache: trace fingerprint -> (racy, report
-# digest, race count).  The detector is a pure function of the trace
-# (see repro.trace.fingerprint), so seeds that collapse to an identical
-# trace need analyzing once.  Workers fork after run_hunt clears it,
-# so each worker accumulates its own cache over the jobs it drains;
-# merged *statistics* stay worker-count-independent because a cache
-# hit returns the exact result the analysis would have produced.
-_TRACE_CACHE: Dict[str, Tuple[bool, str, int]] = {}
+# digest, race count, certified races).  The detector is a pure
+# function of the trace (see repro.trace.fingerprint), so seeds that
+# collapse to an identical trace need analyzing once; one hunt runs one
+# detector and the cache is cleared per hunt, so the key needs no
+# detector component.  Workers fork after run_hunt clears it, so each
+# worker accumulates its own cache over the jobs it drains; merged
+# *statistics* stay worker-count-independent because a cache hit
+# returns the exact result the analysis would have produced.
+_TRACE_CACHE: Dict[str, Tuple[bool, str, int, int]] = {}
 _TRACE_CACHE_MAX = 4096
 
 
@@ -160,6 +168,7 @@ class JobOutcome:
     duration: float = 0.0  # wall-clock seconds spent on this job
     fingerprint: str = ""  # canonical trace fingerprint ("" = cache off)
     race_count: int = 0  # races the analysis reported
+    certified_races: int = 0  # report.certified_race_count (see report.py)
     traceback: str = ""  # full traceback when status == "error"
     retries: int = 0  # retry attempts that preceded this settled outcome
     failure_kind: str = ""  # error classification (see JobFailure.kind)
@@ -230,6 +239,7 @@ class _HuntState:
         job_timeout: Optional[float],
         profile: bool = False,
         trace_cache: bool = True,
+        detector: str = "postmortem",
     ) -> None:
         self.program = program
         self.model_factory = model_factory
@@ -238,6 +248,7 @@ class _HuntState:
         self.job_timeout = job_timeout
         self.profile = profile
         self.trace_cache = trace_cache
+        self.detector = detector
 
 
 def _execute_job(
@@ -294,21 +305,31 @@ def _execute_job_inner(
                 fingerprint = trace_fingerprint(trace)
                 cached = _TRACE_CACHE.get(fingerprint)
                 if cached is None:
-                    report = _analyze(trace)
+                    report = _analyze(trace, state.detector)
                     racy = not report.race_free
                     digest = report.format() if racy else ""
                     race_count = len(report.races)
+                    certified = (
+                        getattr(report, "certified_race_count", 0)
+                        if racy else 0
+                    )
                     if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
                         _TRACE_CACHE.clear()
-                    _TRACE_CACHE[fingerprint] = (racy, digest, race_count)
+                    _TRACE_CACHE[fingerprint] = (
+                        racy, digest, race_count, certified
+                    )
                 else:
                     cache_hit = True
-                    racy, digest, race_count = cached
+                    racy, digest, race_count, certified = cached
             else:
-                report = _analyze(execution)
+                report = _analyze(execution, state.detector)
                 racy = not report.race_free
                 digest = report.format() if racy else ""
                 race_count = len(report.races)
+                certified = (
+                    getattr(report, "certified_race_count", 0)
+                    if racy else 0
+                )
     except Exception as exc:  # isolated, recorded by the merge
         return JobOutcome(
             job=job, status="error",
@@ -325,6 +346,7 @@ def _execute_job_inner(
         cache_hit=cache_hit,
         fingerprint=fingerprint,
         race_count=race_count,
+        certified_races=certified,
     )
     if keep_execution:
         outcome.execution = execution
@@ -505,7 +527,7 @@ def _attach_first(
         # for the one execution handed to the user).
         result.first_report = (
             first.report if first.report is not None
-            else _analyze(first.execution)
+            else _analyze(first.execution, state.detector)
         )
         result.recording_verified = verify_recording(
             state.program,
@@ -528,7 +550,7 @@ def _attach_first(
     except ReplayError:
         result.recording_verified = False
         return
-    report = _analyze(execution)
+    report = _analyze(execution, state.detector)
     result.first_racy = execution
     result.first_report = report
     result.recording_verified = (
@@ -557,6 +579,7 @@ def merge_outcomes(
         tries=0,
         racy_runs=0,
         clean_runs=0,
+        detector=state.detector,
     )
     first: Optional[JobOutcome] = None
     for outcome in sorted(outcomes, key=lambda o: o.job.index):
@@ -585,6 +608,8 @@ def merge_outcomes(
         if outcome.cache_hit:
             result.trace_cache_hits += 1
         racy = outcome.status == "racy"
+        if racy:
+            result.certified_races += outcome.certified_races
         p_racy, p_total = result.per_policy.get(job.policy_name, (0, 0))
         result.per_policy[job.policy_name] = (p_racy + racy, p_total + 1)
         s_racy, s_total = result.per_seed.get(job.seed, (0, 0))
@@ -606,7 +631,7 @@ def merge_outcomes(
 
 def _fold_outcome_metrics(
     registry, outcome: JobOutcome, done: int, total: int, racy: int,
-    elapsed: float,
+    elapsed: float, detector: str = "postmortem",
 ) -> None:
     """Update the hunt metric family (see the table in
     :mod:`repro.obs.metrics`) for one completed job.  Runs in the
@@ -614,9 +639,12 @@ def _fold_outcome_metrics(
     attempts land in ``hunt_tries_total{status="retried"}`` without
     advancing the job gauges."""
     registry.counter(
-        "hunt_tries_total", "hunt jobs by policy and outcome",
-        labels=("policy", "status"),
-    ).inc(policy=outcome.job.policy_name, status=outcome.status)
+        "hunt_tries_total", "hunt jobs by policy, outcome, and detector",
+        labels=("policy", "status", "detector"),
+    ).inc(
+        policy=outcome.job.policy_name, status=outcome.status,
+        detector=detector,
+    )
     if outcome.cache_hit:
         registry.counter(
             "hunt_trace_cache_hits_total",
@@ -661,6 +689,7 @@ def run_hunt(
     resume: bool = False,
     checkpoint_interval: int = 100,
     cancel: Optional[threading.Event] = None,
+    detector: str = "postmortem",
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
@@ -685,6 +714,12 @@ def run_hunt(
     durable progress file; *cancel* a cooperative stop that drains
     in-flight jobs and leaves ``result.interrupted`` set.  See the
     module docstring.
+
+    *detector* picks the analysis backend for every job (one of
+    :data:`HUNT_DETECTORS`; ``"onthefly"`` is excluded because hunts
+    analyze traces, not operation streams).  The detector is part of
+    the checkpoint's hunt identity — resuming with a different one is
+    a :class:`~repro.analysis.checkpoint.CheckpointMismatch`.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -698,6 +733,11 @@ def run_hunt(
         raise ValueError("checkpoint_interval must be positive")
     if resume and checkpoint is None:
         raise ValueError("resume requires a checkpoint path")
+    if detector not in HUNT_DETECTORS:
+        raise ValueError(
+            f"unknown hunt detector {detector!r}; "
+            f"known: {', '.join(HUNT_DETECTORS)}"
+        )
     policy_list = list(policies)
     if not policy_list:
         raise ValueError("policies must not be empty")
@@ -711,7 +751,7 @@ def run_hunt(
 
     spec = hunt_spec(
         program, model_factory().name, tries, policy_names,
-        max_steps, stop_at_first,
+        max_steps, stop_at_first, detector=detector,
     )
     restored: List[JobOutcome] = []
     if resume:
@@ -734,7 +774,7 @@ def run_hunt(
     profiling = obs.enabled()
     state = _HuntState(program, model_factory, policy_list,
                        max_steps, job_timeout, profile=profiling,
-                       trace_cache=trace_cache)
+                       trace_cache=trace_cache, detector=detector)
     # Start every hunt cold so hit counts describe this hunt alone and
     # memory is bounded; workers inherit the empty cache through fork
     # and each fills its own over the jobs it drains.
@@ -751,6 +791,7 @@ def run_hunt(
                 _fold_outcome_metrics(
                     registry, outcome, done, total, racy,
                     time.perf_counter() - start,
+                    detector=state.detector,
                 )
             if on_outcome is not None:
                 on_outcome(outcome)

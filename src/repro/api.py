@@ -20,8 +20,16 @@ Every detector variant, every source kind, one front door::
   :class:`~repro.core.onthefly.OnTheFlyReport`.  Requires an
   ``ExecutionResult`` (it consumes the operation stream, which trace
   files deliberately do not record — §4.1).
+* ``"shb"`` — the postmortem pipeline plus SHB per-race soundness
+  (Mathur et al. 2018): the same race set and first partitions, with
+  ``sound_races`` each individually certified schedulable; returns an
+  :class:`~repro.core.predictive.SHBReport`.
+* ``"wcp"`` — the postmortem pipeline plus WCP race *prediction* (Kini
+  et al. 2017): non-conflicting critical-section orderings are dropped
+  and races of reorderings surface as ``predicted_races``; returns a
+  :class:`~repro.core.predictive.WCPReport`.
 
-All three returned reports share one protocol: ``format()``,
+All returned reports share one protocol: ``format()``,
 ``to_json()``, and ``from_json()`` (see :func:`report_from_json`), so
 CLI ``--json`` output and hunt artifacts serialize uniformly.
 
@@ -45,7 +53,7 @@ from .machine.simulator import ExecutionResult
 from .trace.build import Trace, build_trace
 from .trace.tracefile import read_trace
 
-DETECTOR_NAMES = ("postmortem", "naive", "onthefly")
+DETECTOR_NAMES = ("postmortem", "naive", "onthefly", "shb", "wcp")
 
 ReportType = Union[RaceReport, NaiveReport, OnTheFlyReport]
 
@@ -94,6 +102,14 @@ def _detect(source, detector: str) -> ReportType:
         from .core.detector import PostMortemDetector
 
         return PostMortemDetector().analyze(trace)
+    if detector == "shb":
+        from .core.predictive import SHBDetector
+
+        return SHBDetector().analyze(trace)
+    if detector == "wcp":
+        from .core.predictive import WCPDetector
+
+        return WCPDetector().analyze(trace)
     assert detector == "naive"
     return NaiveDetector().analyze(trace)
 
@@ -109,11 +125,13 @@ def detect(
     Args:
         source: a ``Trace``, an ``ExecutionResult``, or a trace-file
             path (``str`` / ``os.PathLike``).
-        detector: ``"postmortem"`` (default), ``"naive"``, or
-            ``"onthefly"``.
+        detector: ``"postmortem"`` (default), ``"naive"``,
+            ``"onthefly"``, ``"shb"``, or ``"wcp"``.
         profile: ``None`` (no profiling), a :class:`repro.obs.Profiler`
             to record into, or a path — a fresh profiler is activated
-            for the call and written there as JSONL.
+            for the call and written there as JSONL.  When the detector
+            raises, the partial profile is still written (with an
+            ``error`` meta field) before the exception propagates.
 
     Returns:
         The detector's report; all variants support ``format()`` and
@@ -131,11 +149,18 @@ def detect(
             return _detect(source, detector)
     if isinstance(profile, (str, os.PathLike)):
         profiler = obs.Profiler()
-        with profiler.activate(), obs.span("detect"):
-            report = _detect(source, detector)
-        obs.write_profile(
-            profiler, profile, meta={"command": "detect", "detector": detector}
-        )
+        meta = {"command": "detect", "detector": detector}
+        try:
+            with profiler.activate(), obs.span("detect"):
+                report = _detect(source, detector)
+        except Exception as exc:
+            # The spans recorded up to the failure are exactly what a
+            # post-mortem of the failure needs; losing them because the
+            # detector raised would defeat the point of profiling.
+            meta["error"] = f"{type(exc).__name__}: {exc}"
+            obs.write_profile(profiler, profile, meta=meta)
+            raise
+        obs.write_profile(profiler, profile, meta=meta)
         return report
     raise TypeError(
         f"profile must be None, a Profiler, or a path, "
@@ -164,15 +189,30 @@ def explain(source, *, include_sync: bool = False):
 
 def report_from_json(payload: dict) -> ReportType:
     """Rebuild any detector report from its ``to_json()`` payload,
-    dispatching on the payload's ``kind``."""
+    dispatching on the payload's ``kind``.
+
+    An unknown or missing ``kind`` (garbage, ``None``, or a payload
+    from a future format this reader does not know) raises
+    :class:`ValueError` naming the offending kind and listing every
+    kind this build understands.
+    """
+    from .core.predictive import SHBReport, WCPReport
+
+    readers = {
+        "postmortem": RaceReport.from_json,
+        "naive": NaiveReport.from_json,
+        "onthefly": OnTheFlyReport.from_json,
+        "shb": SHBReport.from_json,
+        "wcp": WCPReport.from_json,
+    }
     kind = payload.get("kind")
-    if kind == "postmortem":
-        return RaceReport.from_json(payload)
-    if kind == "naive":
-        return NaiveReport.from_json(payload)
-    if kind == "onthefly":
-        return OnTheFlyReport.from_json(payload)
-    raise ValueError(f"unknown report kind {kind!r}")
+    reader = readers.get(kind)
+    if reader is None:
+        raise ValueError(
+            f"unknown report kind {kind!r}; "
+            f"known kinds: {', '.join(sorted(readers))}"
+        )
+    return reader(payload)
 
 
 __all__ = ["DETECTOR_NAMES", "detect", "explain", "report_from_json"]

@@ -41,6 +41,7 @@ from .programs import (
     figure1b_program,
     fixed_workqueue_program,
     independent_work_program,
+    lock_shadow_program,
     locked_counter_program,
     producer_consumer_program,
     racy_counter_program,
@@ -58,6 +59,7 @@ WORKLOADS: Dict[str, Callable[[], Program]] = {
     "workqueue-buggy": buggy_workqueue_program,
     "workqueue-fixed": fixed_workqueue_program,
     "locked-counter": locked_counter_program,
+    "lock-shadow": lock_shadow_program,
     "racy-counter": racy_counter_program,
     "producer-consumer": producer_consumer_program,
     "independent": independent_work_program,
@@ -84,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("workload", choices=sorted(WORKLOADS) + ["figure2"])
     run_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--detector", default="postmortem", choices=DETECTOR_NAMES,
+        help="detection backend (default %(default)s; shb adds per-race "
+             "soundness certificates, wcp adds predicted races from "
+             "critical-section reordering)",
+    )
     run_p.add_argument(
         "--naive", action="store_true",
         help="also print the naive (report-everything) baseline",
@@ -114,6 +122,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     an_p = sub.add_parser("analyze", help="analyze a trace file post-mortem")
     an_p.add_argument("tracefile")
+    an_p.add_argument(
+        "--detector", default="postmortem",
+        choices=[n for n in DETECTOR_NAMES if n != "onthefly"],
+        help="detection backend (default %(default)s; onthefly needs "
+             "the operation stream, which trace files do not record)",
+    )
     an_p.add_argument("--dot", metavar="FILE")
     an_p.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -234,6 +248,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     hunt_p.add_argument("workload", choices=sorted(WORKLOADS))
     hunt_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
+    hunt_p.add_argument(
+        "--detector", default="postmortem",
+        choices=[n for n in DETECTOR_NAMES if n != "onthefly"],
+        help="analysis backend for every execution (default "
+             "%(default)s); part of the checkpoint identity — resuming "
+             "with a different detector is a hard error",
+    )
     hunt_p.add_argument(
         "--tries", type=int, default=24,
         help="total executions to sweep (default %(default)s)",
@@ -459,12 +480,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         except InvalidTraceError as exc:
             print(f"{args.tracefile}: {exc}", file=sys.stderr)
             return 2
-        report = detect(trace)
+        report = detect(trace, detector=args.detector)
         if args.as_json:
             print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         else:
             print(report.format())
         if args.dot:
+            if not hasattr(report, "to_dot"):
+                print(
+                    f"analyze: --dot is not supported by the "
+                    f"{args.detector} detector (no G' to draw)",
+                    file=sys.stderr,
+                )
+                return 2
             with open(args.dot, "w", encoding="utf-8") as fh:
                 fh.write(report.to_dot())
             if not args.as_json:
@@ -662,6 +690,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 checkpoint_interval=args.checkpoint_interval,
                 cancel=cancel,
+                detector=args.detector,
             )
         except (CheckpointError, ValueError) as exc:
             if event_log is not None:
@@ -690,6 +719,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "retried_runs": result.retried_runs,
                 "interrupted": result.interrupted,
                 "resumed_jobs": result.resumed_jobs,
+                "detector": result.detector,
+                "certified_races": result.certified_races,
             })
             event_log.close()
             print(f"hunt events written to {args.events_path}",
@@ -704,10 +735,15 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f", {result.trace_cache_hits} trace-cache hit(s)"
                 if result.trace_cache_hits else ""
             )
+            detector_note = (
+                f", detector={result.detector} "
+                f"({result.certified_races} certified race(s))"
+                if result.detector != "postmortem" else ""
+            )
             print(
                 f"({result.jobs} worker(s), {result.elapsed:.2f}s, "
                 f"{result.executions_per_second:.0f} executions/sec"
-                f"{cache_note})"
+                f"{cache_note}{detector_note})"
             )
             if args.save_recording and result.recording is not None:
                 print(f"recording written to {args.save_recording}")
@@ -809,12 +845,30 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
 
     # command == "run"
-    report = detect(result)
+    report = detect(result, detector=args.detector)
+    # --dot and --explain draw/walk the augmented graph G'; --naive
+    # re-analyzes report.trace.  All three need a graph-carrying
+    # post-mortem style report (postmortem/shb/wcp), not the streaming
+    # or strawman ones.
+    graphless = [
+        flag for flag, wanted in (
+            ("--dot", args.dot), ("--explain", args.explain),
+            ("--naive", args.naive),
+        )
+        if wanted and not hasattr(report, "to_dot")
+    ]
+    if graphless:
+        print(
+            f"run: {', '.join(graphless)} not supported by the "
+            f"{args.detector} detector (no trace/G' on its report)",
+            file=sys.stderr,
+        )
+        return 2
     if args.as_json:
         payload = report.to_json()
         if args.naive:
             payload = {
-                "postmortem": payload,
+                payload["kind"]: payload,
                 "naive": NaiveDetector().analyze(report.trace).to_json(),
             }
         print(json.dumps(payload, indent=2, sort_keys=True))

@@ -27,12 +27,12 @@ equality on every acyclic trace.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .. import obs
 from ..graph import CycleError, topological_sort
 from ..trace.build import Trace
-from ..trace.events import EventId
+from ..trace.events import ComputationEvent, EventId, SyncEvent
 from .hb1 import HappensBefore1
 
 try:
@@ -51,10 +51,27 @@ class VectorClockHB1:
     Exposes the same ``ordered`` / ``unordered`` query interface as
     :class:`HappensBefore1` so the two are interchangeable for race
     detection on acyclic traces.  Pass a prebuilt ``base`` relation to
-    reuse its graph instead of rebuilding po/so1 edges.
+    reuse its graph instead of rebuilding po/so1 edges — including a
+    *subclassed* relation (the predictive SHB/WCP backends pass their
+    modified edge sets through here to reuse the same sweep).
+
+    With ``track_variables=True`` the sweep additionally maintains
+    per-variable last-write / last-read *epoch* state in topological
+    order: for every location, the most recent write event and the
+    reads issued since it.  The resulting :attr:`adjacent_conflicts`
+    set — each event paired with the latest conflicting accesses it
+    supersedes — is exactly the candidate set a streaming per-variable
+    detector checks, and is what makes the SHB backend's multi-race
+    reports *sound* (Mathur et al. 2018 prove predictability only for
+    races detected against the last write / reads-since-last-write).
     """
 
-    def __init__(self, trace: Trace, base: Optional[HappensBefore1] = None) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        base: Optional[HappensBefore1] = None,
+        track_variables: bool = False,
+    ) -> None:
         self.trace = trace
         if base is None:
             base = HappensBefore1(trace)
@@ -73,14 +90,21 @@ class VectorClockHB1:
         self._clocks: Dict[EventId, List[int]] = {}
         self._matrix = None
         self._row_of: Dict[EventId, int] = {}
+        self._adjacent: Optional[
+            Dict[Tuple[EventId, EventId], Tuple[int, ...]]
+        ] = None
         with obs.span("hb1.vc_sweep") as sp:
             if _np is not None:
                 joins = self._sweep_matrix(order, nproc)
             else:  # pragma: no cover - exercised via forced fallback tests
                 joins = self._sweep_python(order, nproc)
+            if track_variables:
+                self._adjacent = self._sweep_variables(order)
             if sp.enabled:
                 sp.add("events", len(order))
                 sp.add("clock_joins", joins)
+                if track_variables:
+                    sp.add("adjacent_pairs", len(self._adjacent))
 
     def _sweep_matrix(self, order: List[EventId], nproc: int) -> int:
         """Clock matrix sweep: row i is event order[i]'s vector clock."""
@@ -114,6 +138,56 @@ class VectorClockHB1:
             self._clocks[eid] = clock
         return joins
 
+    def _sweep_variables(
+        self, order: List[EventId]
+    ) -> Dict[Tuple[EventId, EventId], Tuple[int, ...]]:
+        """Per-variable last-write/last-read epoch tracking.
+
+        One pass over the same topological order the clocks were swept
+        in: for each location, remember the latest write and the reads
+        issued since it, and record every *adjacent* cross-processor
+        conflict (an access paired with the latest conflicting accesses
+        it supersedes, canonical ``a < b``).  Same-processor pairs are
+        po-ordered and skipped.
+        """
+        trace = self.trace
+        last_write: Dict[int, EventId] = {}
+        readers_since: Dict[int, List[EventId]] = {}
+        pairs: Dict[Tuple[EventId, EventId], List[int]] = {}
+
+        def note(x: EventId, y: EventId, addr: int) -> None:
+            if x.proc == y.proc:
+                return
+            key = (x, y) if x < y else (y, x)
+            pairs.setdefault(key, []).append(addr)
+
+        for eid in order:
+            event = trace.event(eid)
+            if isinstance(event, SyncEvent):
+                reads = [event.addr] if event.reads_addr else []
+                writes = [event.addr] if event.writes_addr else []
+            else:
+                assert isinstance(event, ComputationEvent)
+                reads = list(event.reads)
+                writes = list(event.writes)
+            for addr in reads:
+                w = last_write.get(addr)
+                if w is not None:
+                    note(w, eid, addr)
+                readers_since.setdefault(addr, []).append(eid)
+            for addr in writes:
+                w = last_write.get(addr)
+                if w is not None:
+                    note(w, eid, addr)
+                for r in readers_since.get(addr, ()):
+                    if r != eid:
+                        note(r, eid, addr)
+                last_write[addr] = eid
+                readers_since[addr] = []
+        return {
+            key: tuple(sorted(set(addrs))) for key, addrs in pairs.items()
+        }
+
     # ------------------------------------------------------------------
     @property
     def clock_matrix(self):
@@ -125,6 +199,16 @@ class VectorClockHB1:
     def row_index(self) -> Dict[EventId, int]:
         """EventId -> row of :attr:`clock_matrix`."""
         return self._row_of
+
+    @property
+    def adjacent_conflicts(
+        self,
+    ) -> Optional[Dict[Tuple[EventId, EventId], Tuple[int, ...]]]:
+        """Adjacent conflicting cross-processor pairs from the
+        per-variable last-write/last-read sweep (canonical ``(a, b)``
+        with ``a < b`` mapped to conflict locations), or ``None`` when
+        the sweep ran without ``track_variables``."""
+        return self._adjacent
 
     def clock_of(self, eid: EventId) -> List[int]:
         """The event's vector clock (do not mutate)."""

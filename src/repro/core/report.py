@@ -45,6 +45,10 @@ def _race_from_record(record: Dict) -> EventRace:
 class RaceReport:
     """The full outcome of post-mortem analysis of one trace."""
 
+    #: Serialized report ``kind``; subclasses (the predictive SHB/WCP
+    #: reports) override it and inherit the to_json/from_json plumbing.
+    kind = "postmortem"
+
     trace: Trace
     hb: HappensBefore1
     races: List[EventRace]
@@ -82,6 +86,19 @@ class RaceReport:
         return [
             race for p in self.first_partitions for race in p.data_races
         ]
+
+    @property
+    def certified_race_count(self) -> int:
+        """How many *distinct real races* this report certifies.
+
+        The paper's guarantee is partition-shaped: each first data
+        partition contains at least one race that also occurs in some
+        sequentially consistent execution (Theorem 4.2) — one certified
+        race per partition, without saying which.  Predictive backends
+        override this with per-race guarantees; hunts and benchmarks
+        compare detectors by this count.
+        """
+        return len(self.first_partitions)
 
     @property
     def suppressed_races(self) -> List[EventRace]:
@@ -148,7 +165,7 @@ class RaceReport:
 
         race_index = {race: i for i, race in enumerate(self.races)}
         return {
-            "kind": "postmortem",
+            "kind": self.kind,
             "format": REPORT_FORMAT,
             "race_free": self.race_free,
             "trace": trace_to_json(self.trace),
@@ -180,9 +197,9 @@ class RaceReport:
         from ..trace.tracefile import trace_from_json
         from .augmented import build_augmented_graph
 
-        if payload.get("kind") != "postmortem":
+        if payload.get("kind") != cls.kind:
             raise ValueError(
-                f"expected a postmortem report payload, "
+                f"expected a {cls.kind} report payload, "
                 f"got kind {payload.get('kind')!r}"
             )
         trace = trace_from_json(payload["trace"])

@@ -41,7 +41,9 @@ name                           type       labels / meaning
 ``hunt_tries_total``           Counter    ``policy``, ``status`` (racy |
                                           clean | error | skipped, plus
                                           ``retried`` for attempts a
-                                          later retry superseded)
+                                          later retry superseded),
+                                          ``detector`` (the hunt's
+                                          analysis backend)
 ``hunt_trace_cache_hits_total``  Counter  analyses served from the cache
 ``hunt_job_duration_seconds``  Histogram  per-job wall time
 ``hunt_done`` / ``hunt_total``  Gauge     completed / planned jobs
@@ -469,6 +471,7 @@ def collect(registry: Optional[MetricsRegistry] = None) -> _Collection:
 
         with metrics.collect() as reg:
             hunt_races(...)
-        print(reg.counter("hunt_tries_total", labels=("policy", "status")).total())
+        print(reg.counter("hunt_tries_total",
+                          labels=("policy", "status", "detector")).total())
     """
     return _Collection(registry if registry is not None else MetricsRegistry())

@@ -54,6 +54,39 @@ def racy_counter_program(processors: int = 3, increments: int = 4) -> Program:
     return b.build()
 
 
+def lock_shadow_program() -> Program:
+    """A race the lock merely *shadows*: the critical sections only
+    read, yet their accidental ordering hides an unguarded write-write
+    race from happens-before detectors.
+
+    P0 writes ``unguarded`` and then enters a critical section that
+    only reads ``shared``; P1 runs its own read-only critical section
+    and writes ``unguarded`` afterwards.  When P0's section happens to
+    precede P1's, hb1 orders the two ``unguarded`` writes through the
+    release->acquire edge and sees no race — but the sections touch no
+    common data, so the schedule with P1's section first is equally
+    valid and races.  WCP (Kini et al. 2017) drops exactly such
+    non-conflicting critical-section orderings and predicts the race
+    from either observed schedule; the baseline detector catches it
+    only on the lucky interleavings.
+    """
+    b = ProgramBuilder()
+    shared = b.var("shared")
+    unguarded = b.var("unguarded")
+    lock = b.var("lock")
+    with b.thread() as t:
+        t.write(unguarded, 1)
+        t.lock(lock)
+        t.read(shared)
+        t.unlock(lock)
+    with b.thread() as t:
+        t.lock(lock)
+        t.read(shared)
+        t.unlock(lock)
+        t.write(unguarded, 2)
+    return b.build()
+
+
 def producer_consumer_program(items: int = 8) -> Program:
     """P0 fills a buffer slot then release-writes a flag; P1
     acquire-spins on the flag then reads the slot.  Data-race-free via

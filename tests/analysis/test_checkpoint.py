@@ -61,8 +61,9 @@ def test_program_fingerprint_tracks_program_text():
 def test_hunt_spec_fields():
     spec = _spec()
     assert set(spec) == {"program_sha", "model", "tries", "policies",
-                        "max_steps", "stop_at_first"}
+                        "max_steps", "stop_at_first", "detector"}
     assert spec["policies"] == ["stubborn", "ring"]
+    assert spec["detector"] == "postmortem"
 
 
 # ----------------------------------------------------------------------
@@ -180,6 +181,7 @@ def test_load_rejects_duplicate_indices(tmp_path):
     ("max_steps", 5),
     ("stop_at_first", True),
     ("program_sha", "0" * 32),
+    ("detector", "shb"),
 ])
 def test_spec_mismatch_is_hard_error(tmp_path, field, value):
     path = tmp_path / "hunt.ckpt"
@@ -192,6 +194,43 @@ def test_load_without_expected_spec_skips_validation(tmp_path):
     path = tmp_path / "hunt.ckpt"
     save_checkpoint(path, _spec(), [], complete=True)
     assert load_checkpoint(path).complete
+
+
+def test_legacy_checkpoint_without_detector_is_postmortem(tmp_path):
+    """Checkpoints written before the detector field existed were all
+    produced by the only detector hunts then had; they must load (and
+    resume) as postmortem, not error out."""
+    path = tmp_path / "hunt.ckpt"
+    spec = _spec()
+    del spec["detector"]
+    save_checkpoint(path, spec, [_outcome(0)], complete=False)
+    loaded = load_checkpoint(path, expected_spec=_spec())
+    assert loaded.spec["detector"] == "postmortem"
+    # ...and a non-default detector still refuses the legacy file
+    with pytest.raises(CheckpointMismatch, match="detector"):
+        load_checkpoint(path, expected_spec=_spec(detector="wcp"))
+
+
+def test_legacy_checkpoint_resumes_into_a_postmortem_hunt(tmp_path):
+    """End to end: strip the detector field from a real checkpoint and
+    resume — statistics must come out as if never interrupted."""
+    program = racy_counter_program()
+    path = tmp_path / "hunt.ckpt"
+    full = hunt_races(program, _wo, tries=6, jobs=1)
+    hunt_races(program, _wo, tries=6, jobs=1, checkpoint=path)
+    payload = json.loads(path.read_text())
+    del payload["spec"]["detector"]
+    path.write_text(json.dumps(payload))
+    resumed = hunt_races(
+        program, _wo, tries=6, jobs=1, checkpoint=path, resume=True,
+    )
+    assert resumed.resumed_jobs == 6
+    assert resumed.stats() == full.stats()
+    with pytest.raises(CheckpointMismatch, match="detector"):
+        hunt_races(
+            program, _wo, tries=6, jobs=1,
+            checkpoint=path, resume=True, detector="shb",
+        )
 
 
 # ----------------------------------------------------------------------

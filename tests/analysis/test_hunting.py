@@ -173,3 +173,96 @@ def test_stats_round_trip_json_serializable():
     assert json.loads(json.dumps(payload)) == payload
     assert payload["tries"] == 6
     assert payload["jobs"] == 1
+
+
+# ----------------------------------------------------------------------
+# detector selection (one hunt = one analysis backend)
+# ----------------------------------------------------------------------
+
+def test_hunt_detector_rides_every_surface():
+    from repro.obs import metrics
+    from repro.programs.kernels import racy_counter_program
+
+    reg = metrics.MetricsRegistry()
+    result = hunt_races(
+        racy_counter_program(), _wo, tries=6, metrics=reg, detector="shb",
+    )
+    assert result.detector == "shb"
+    assert result.found
+    # the first report comes from the selected backend
+    assert result.first_report.to_json()["kind"] == "shb"
+    # to_json carries detector + certified count; stats() stays
+    # byte-compatible with pre-detector hunts (legacy resume relies
+    # on it)
+    payload = result.to_json()
+    assert payload["detector"] == "shb"
+    assert payload["certified_races"] == result.certified_races
+    assert "detector" not in result.stats()
+    assert "certified_races" not in result.stats()
+    # every metric sample is labeled with the hunt's detector
+    series = reg.get("hunt_tries_total").series()
+    assert series
+    assert all(e["labels"]["detector"] == "shb" for e in series)
+
+
+def test_shb_hunt_certifies_more_than_baseline():
+    from repro.programs.kernels import racy_counter_program
+
+    base = hunt_races(racy_counter_program(), _wo, tries=8)
+    shb = hunt_races(racy_counter_program(), _wo, tries=8, detector="shb")
+    # same executions, same racy verdicts — only the certificates grow
+    assert shb.racy_runs == base.racy_runs
+    assert shb.certified_races > base.certified_races
+
+
+def test_wcp_hunt_catches_the_shadowed_race():
+    from repro.programs.kernels import lock_shadow_program
+
+    base = hunt_races(lock_shadow_program(), _wo, tries=12)
+    wcp = hunt_races(lock_shadow_program(), _wo, tries=12, detector="wcp")
+    assert wcp.racy_runs >= base.racy_runs
+    assert wcp.racy_runs == 12  # WCP flags every schedule of this kernel
+
+
+def test_hunt_rejects_unknown_and_streaming_detectors():
+    from repro.programs.kernels import racy_counter_program
+
+    for bad in ("onthefly", "psychic"):
+        with pytest.raises(ValueError, match="unknown hunt detector"):
+            hunt_races(racy_counter_program(), _wo, tries=2, detector=bad)
+
+
+def test_hunt_detector_is_checkpoint_identity(tmp_path):
+    from repro.analysis.checkpoint import CheckpointMismatch
+    from repro.programs.kernels import racy_counter_program
+
+    path = tmp_path / "hunt.ckpt"
+    hunt_races(
+        racy_counter_program(), _wo, tries=4, checkpoint=path,
+        detector="wcp",
+    )
+    with pytest.raises(CheckpointMismatch, match="detector"):
+        hunt_races(
+            racy_counter_program(), _wo, tries=4, checkpoint=path,
+            resume=True, detector="shb",
+        )
+    resumed = hunt_races(
+        racy_counter_program(), _wo, tries=4, checkpoint=path,
+        resume=True, detector="wcp",
+    )
+    assert resumed.resumed_jobs == 4
+    assert resumed.detector == "wcp"
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_detector_hunts_merge_identically_across_workers(jobs):
+    from repro.programs.kernels import racy_counter_program
+
+    result = hunt_races(
+        racy_counter_program(), _wo, tries=8, jobs=jobs, detector="shb",
+    )
+    serial = hunt_races(
+        racy_counter_program(), _wo, tries=8, jobs=1, detector="shb",
+    )
+    assert result.stats() == serial.stats()
+    assert result.certified_races == serial.certified_races

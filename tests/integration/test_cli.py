@@ -351,3 +351,69 @@ def test_hunt_worker_failures_exit_3(monkeypatch, capsys):
     # satellite: --json surfaces the worker tracebacks
     for failure in doc["failures"]:
         assert "RuntimeError: boom" in failure["traceback"]
+
+
+# ----------------------------------------------------------------------
+# --detector on run / analyze / hunt
+# ----------------------------------------------------------------------
+
+def test_run_detector_shb(capsys):
+    code = main(["run", "racy-counter", "--seed", "3",
+                 "--detector", "shb"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "SHB analysis" in out
+    assert "[sound]" in out
+
+
+def test_run_detector_wcp_predicts_lock_shadow(capsys):
+    # seed 1 hides the unguarded race from hb1; WCP predicts it
+    code = main(["run", "lock-shadow", "--seed", "1",
+                 "--detector", "wcp"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[predicted]" in out
+
+
+def test_run_detector_json_kind(capsys):
+    import json
+    main(["run", "racy-counter", "--detector", "wcp", "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "wcp"
+    assert "predicted_races" in doc
+
+
+def test_run_graph_flags_rejected_for_graphless_detectors(
+        tmp_path, capsys):
+    code = main(["run", "racy-counter", "--detector", "onthefly",
+                 "--dot", str(tmp_path / "g.dot")])
+    assert code == 2
+    assert "--dot" in capsys.readouterr().err
+    assert not (tmp_path / "g.dot").exists()
+
+
+def test_analyze_detector_shb(tmp_path, capsys):
+    trace_path = tmp_path / "racy.trace"
+    main(["trace", "racy-counter", str(trace_path), "--seed", "3"])
+    capsys.readouterr()
+    code = main(["analyze", str(trace_path), "--detector", "shb"])
+    assert code == 1
+    assert "SHB analysis" in capsys.readouterr().out
+
+
+def test_hunt_detector_flag(capsys):
+    import json
+    code = main(["hunt", "lock-shadow", "--detector", "wcp",
+                 "--tries", "6", "--json"])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["detector"] == "wcp"
+    assert doc["racy_runs"] == 6
+    assert doc["certified_races"] >= 6
+
+
+def test_hunt_detector_summary_note(capsys):
+    code = main(["hunt", "racy-counter", "--detector", "shb",
+                 "--tries", "4"])
+    assert code == 1
+    assert "detector=shb" in capsys.readouterr().out
