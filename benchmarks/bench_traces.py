@@ -1,0 +1,418 @@
+"""Trace-format benchmarks: on-disk size, analyze throughput, and the
+streaming detector's memory bound.
+
+Three rows per format (jsonl / binary / columnar): file size, post-
+mortem analyze time, streaming analyze time.  Plus the tentpole
+evidence for online detection: the token-ring operation stream is fed
+to the streaming detector at 1x / 10x / 100x length in a fresh
+subprocess each, and peak RSS must stay flat — the engine's state
+scales with the scheduler-skew window (O(P*V) clocks + the not-yet-
+globally-seen access window), never with the stream length.
+
+Quick mode (``python benchmarks/bench_traces.py``) merges a
+``trace_formats`` section into ``BENCH_hunting.json`` (the committed
+benchmark summary) and ``--compare`` guards against >20% analyze-
+throughput regressions.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import emit
+import repro
+from repro.core.streaming import StreamingDetector
+from repro.ioutil import atomic_write_json
+from repro.machine.models import make_model
+from repro.machine.operations import MemoryOperation, OperationKind, SyncRole
+from repro.machine.program import Program, ProgramBuilder
+from repro.machine.simulator import run_program
+from repro.trace.build import build_trace
+
+FORMATS = ("jsonl", "binary", "columnar")
+_SUFFIX = {"jsonl": ".jsonl", "binary": ".bin", "columnar": ".wrct"}
+
+# streaming-scaling parameters: 4-proc token ring, ~2k ops at scale 1
+RING_PROCS = 4
+RING_ROUNDS = 50
+RING_WORK = 4
+RING_SCALES = (1, 10, 100)
+
+
+def pingpong_program(rounds: int) -> Program:
+    """Data-race-free two-proc handshake: release/acquire round trips
+    whose trace length scales with *rounds*."""
+    b = ProgramBuilder()
+    flag = b.var("flag")
+    ack = b.var("ack")
+    data = b.var("data")
+    with b.thread() as t:  # producer
+        for i in range(rounds):
+            t.write(data, i)
+            t.release_write(flag, i + 1)
+            t.spin_until_ge(ack, i + 1)
+    with b.thread() as t:  # consumer
+        for i in range(rounds):
+            t.spin_until_ge(flag, i + 1)
+            t.read(data)
+            t.release_write(ack, i + 1)
+    return b.build()
+
+
+def token_ring(procs: int, rounds: int, work: int):
+    """A perfectly synchronized operation stream, as a generator: the
+    token passes p0 -> p1 -> ... -> p0, every acquire pairs with the
+    release that produced its value, and each holder does *work*
+    read+write pairs on its own scratch cell.  Zero races; the stream
+    is never materialized."""
+    seq = 0
+    local = [0] * procs
+
+    def op(p, kind, role, addr, value):
+        nonlocal seq
+        seq += 1
+        local[p] += 1
+        return MemoryOperation(
+            seq=seq, proc=p, local_index=local[p] - 1,
+            kind=kind, role=role, addr=addr, value=value,
+        )
+
+    for r in range(rounds):
+        for p in range(procs):
+            if not (r == 0 and p == 0):
+                # token location p, value written by the last release
+                value = r + 1 if p else r
+                yield op(p, OperationKind.READ, SyncRole.ACQUIRE, p, value)
+            for _ in range(work):
+                yield op(p, OperationKind.READ, SyncRole.NONE,
+                         procs + p, 0)
+                yield op(p, OperationKind.WRITE, SyncRole.NONE,
+                         procs + p, r)
+            nxt = (p + 1) % procs
+            yield op(p, OperationKind.WRITE, SyncRole.RELEASE, nxt, r + 1)
+
+
+def _save_all(trace, directory: Path) -> dict:
+    paths = {}
+    for fmt in FORMATS:
+        path = directory / f"trace{_SUFFIX[fmt]}"
+        repro.save_trace(trace, path, format=fmt)
+        paths[fmt] = path
+    return paths
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark rows
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def pingpong_trace():
+    return build_trace(run_program(
+        pingpong_program(64), make_model("WO"), seed=0,
+    ))
+
+
+def test_format_sizes(benchmark, pingpong_trace, tmp_path):
+    paths = benchmark.pedantic(
+        lambda: _save_all(pingpong_trace, tmp_path),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    sizes = {fmt: paths[fmt].stat().st_size for fmt in FORMATS}
+    emit(
+        benchmark,
+        f"Trace file sizes ({pingpong_trace.event_count} events)",
+        [
+            f"{fmt}: {sizes[fmt]} bytes "
+            f"(~{sizes[fmt] / pingpong_trace.event_count:.0f} B/event)"
+            for fmt in FORMATS
+        ],
+    )
+    assert sizes["binary"] < sizes["jsonl"] / 2
+    assert sizes["columnar"] < sizes["jsonl"]
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_analyze_throughput(benchmark, pingpong_trace, tmp_path, fmt):
+    path = tmp_path / f"t{_SUFFIX[fmt]}"
+    repro.save_trace(pingpong_trace, path, format=fmt)
+    report = benchmark(lambda: repro.detect(path))
+    emit(
+        benchmark,
+        f"Post-mortem analyze from {fmt}",
+        [f"{pingpong_trace.event_count} events, {len(report.races)} races"],
+    )
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_streaming_throughput(benchmark, pingpong_trace, tmp_path, fmt):
+    path = tmp_path / f"t{_SUFFIX[fmt]}"
+    repro.save_trace(pingpong_trace, path, format=fmt)
+    report = benchmark(
+        lambda: repro.detect(path, detector="streaming")
+    )
+    emit(
+        benchmark,
+        f"Streaming analyze from {fmt}",
+        [
+            f"{report.event_count} events, retained peak "
+            f"{report.retained_peak}, {len(report.races)} races",
+        ],
+    )
+
+
+def test_streaming_state_flat_across_100x(benchmark):
+    """The engine's retained-access window must not grow with stream
+    length on a synchronized stream — 100x the operations, same peak."""
+    peaks = {}
+    for scale in (1, 100):
+        report = StreamingDetector().analyze_operations(
+            token_ring(RING_PROCS, RING_ROUNDS * scale, RING_WORK),
+            processor_count=RING_PROCS,
+        )
+        assert not report.races
+        peaks[scale] = (report.retained_peak, report.operation_count)
+    benchmark.pedantic(
+        lambda: StreamingDetector().analyze_operations(
+            token_ring(RING_PROCS, RING_ROUNDS, RING_WORK),
+            processor_count=RING_PROCS,
+        ),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    emit(
+        benchmark,
+        "Streaming retained peak vs stream length",
+        [
+            f"scale {scale}x: {ops} ops -> retained peak {peak}"
+            for scale, (peak, ops) in sorted(peaks.items())
+        ],
+    )
+    assert peaks[100][1] == 100 * peaks[1][1] + 99  # 100x the stream
+    assert peaks[100][0] <= peaks[1][0] + RING_PROCS  # flat window
+
+
+# ----------------------------------------------------------------------
+# quick mode: subprocess RSS measurements + the committed summary
+# ----------------------------------------------------------------------
+#
+# ru_maxrss is a process-lifetime high-water mark, so every RSS number
+# comes from a fresh subprocess running exactly one measurement.
+
+_ANALYZE_CHILD = r"""
+import json, resource, sys, time
+import repro
+path, detector = sys.argv[1], sys.argv[2]
+start = time.perf_counter()
+report = repro.detect(path, detector=detector)
+elapsed = time.perf_counter() - start
+print(json.dumps({
+    "elapsed_sec": round(elapsed, 4),
+    "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+    "races": len(report.races),
+}))
+"""
+
+_STREAM_CHILD = r"""
+import json, resource, sys, time
+sys.path.insert(0, sys.argv[4])
+from bench_traces import token_ring
+from repro.core.streaming import StreamingDetector
+procs, rounds, work = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+start = time.perf_counter()
+report = StreamingDetector().analyze_operations(
+    token_ring(procs, rounds, work), processor_count=procs,
+)
+elapsed = time.perf_counter() - start
+print(json.dumps({
+    "elapsed_sec": round(elapsed, 4),
+    "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+    "operations": report.operation_count,
+    "events": report.event_count,
+    "races": len(report.races),
+    "retained_peak": report.retained_peak,
+}))
+"""
+
+
+def _run_child(code: str, *argv: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", code, *argv],
+        capture_output=True, text=True, env=dict(os.environ),
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"measurement subprocess failed: {proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def _measure_formats(trace, directory: Path, repeats: int) -> dict:
+    rows = {}
+    paths = _save_all(trace, directory)
+    for fmt in FORMATS:
+        path = paths[fmt]
+        analyze = min(
+            (_run_child(_ANALYZE_CHILD, str(path), "postmortem")
+             for _ in range(repeats)),
+            key=lambda r: r["elapsed_sec"],
+        )
+        streaming = min(
+            (_run_child(_ANALYZE_CHILD, str(path), "streaming")
+             for _ in range(repeats)),
+            key=lambda r: r["elapsed_sec"],
+        )
+        rows[fmt] = {
+            "bytes": path.stat().st_size,
+            "bytes_per_event": round(
+                path.stat().st_size / trace.event_count, 1
+            ),
+            "analyze_sec": analyze["elapsed_sec"],
+            "analyze_events_per_sec": round(
+                trace.event_count / analyze["elapsed_sec"], 1
+            ) if analyze["elapsed_sec"] else None,
+            "analyze_peak_rss_kb": analyze["peak_rss_kb"],
+            "streaming_sec": streaming["elapsed_sec"],
+            "streaming_peak_rss_kb": streaming["peak_rss_kb"],
+        }
+    return rows
+
+
+def _measure_streaming_scaling() -> list:
+    rows = []
+    bench_dir = str(Path(__file__).resolve().parent)
+    for scale in RING_SCALES:
+        out = _run_child(
+            _STREAM_CHILD, str(RING_PROCS),
+            str(RING_ROUNDS * scale), str(RING_WORK), bench_dir,
+        )
+        out["scale"] = scale
+        rows.append(out)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Trace-format smoke: sizes, analyze throughput, "
+                    "and the streaming flat-RSS guarantee",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_hunting.json",
+        help="summary JSON to merge the trace_formats section into",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=128,
+        help="ping-pong rounds for the format rows",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="per-measurement repeats; best elapsed wins",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI preset (same as the defaults)")
+    parser.add_argument(
+        "--compare", metavar="BASELINE.json",
+        help="committed summary to guard regressions against",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20, metavar="FRAC",
+        help="allowed fractional analyze-throughput drop vs --compare "
+             "(default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    committed = None
+    if args.compare:
+        with open(args.compare) as fh:
+            committed = json.load(fh)
+
+    trace = build_trace(run_program(
+        pingpong_program(args.rounds), make_model("WO"), seed=0,
+    ))
+    with tempfile.TemporaryDirectory() as tmp:
+        formats = _measure_formats(trace, Path(tmp), args.repeats)
+    scaling = _measure_streaming_scaling()
+
+    section = {
+        "workload": f"pingpong/{args.rounds} rounds",
+        "event_count": trace.event_count,
+        "formats": formats,
+        "streaming_scaling": {
+            "workload": (
+                f"token-ring procs={RING_PROCS} work={RING_WORK} "
+                f"rounds={RING_ROUNDS}x(1,10,100)"
+            ),
+            "rows": scaling,
+        },
+    }
+
+    print(f"trace formats (pingpong, {trace.event_count} events):")
+    for fmt in FORMATS:
+        row = formats[fmt]
+        print(f"  {fmt:9s} {row['bytes']:8d} B  "
+              f"analyze {row['analyze_sec']:6.2f}s "
+              f"(rss {row['analyze_peak_rss_kb'] // 1024} MB)  "
+              f"streaming {row['streaming_sec']:5.2f}s "
+              f"(rss {row['streaming_peak_rss_kb'] // 1024} MB)")
+    print("streaming RSS vs stream length (one subprocess each):")
+    for row in scaling:
+        print(f"  {row['scale']:4d}x  {row['operations']:8d} ops  "
+              f"rss {row['peak_rss_kb'] // 1024:4d} MB  "
+              f"retained peak {row['retained_peak']:4d}  "
+              f"{row['elapsed_sec']:.2f}s")
+
+    # the tentpole guarantee, hard-asserted: 100x the stream, flat RSS
+    base, top = scaling[0], scaling[-1]
+    assert top["operations"] >= 100 * base["operations"], "bad scaling"
+    assert top["races"] == base["races"] == 0, "token ring must be clean"
+    assert top["retained_peak"] <= base["retained_peak"] + RING_PROCS, (
+        f"retained window grew with stream length: "
+        f"{base['retained_peak']} -> {top['retained_peak']}"
+    )
+    rss_growth = top["peak_rss_kb"] / base["peak_rss_kb"]
+    assert rss_growth < 1.30, (
+        f"streaming peak RSS grew {rss_growth:.2f}x over a 100x longer "
+        f"stream ({base['peak_rss_kb']} -> {top['peak_rss_kb']} KB)"
+    )
+
+    # merge into the committed summary without clobbering other benches
+    payload = {}
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            payload = json.load(fh)
+    payload["trace_formats"] = section
+    atomic_write_json(args.output, payload)
+    print(f"merged trace_formats into {args.output}")
+
+    if committed is not None:
+        baseline = (committed.get("trace_formats") or {}).get("formats")
+        if baseline:
+            failed = False
+            for fmt, cell in baseline.items():
+                was = cell.get("analyze_events_per_sec")
+                now = (formats.get(fmt) or {}).get("analyze_events_per_sec")
+                if not was or not now:
+                    continue
+                if now < was * (1.0 - args.max_regression):
+                    print(
+                        f"FAIL: {fmt} analyze throughput dropped "
+                        f"{1 - now / was:.1%} ({was:.0f} -> {now:.0f} "
+                        f"events/sec, > {args.max_regression:.0%} allowed)",
+                        file=sys.stderr,
+                    )
+                    failed = True
+            if failed:
+                return 1
+            print("regression guard: analyze throughput OK "
+                  f"(within {args.max_regression:.0%} of committed)")
+        else:
+            print("regression guard: no committed trace_formats section; "
+                  "skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

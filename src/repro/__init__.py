@@ -18,14 +18,26 @@ Quickstart::
     report = repro.detect(result)          # the unified entry point
     print(report.format())
 
-``repro.detect`` accepts a ``Trace``, an ``ExecutionResult``, or a
-trace-file path, selects the detector variant via
-``detector="postmortem" | "naive" | "onthefly"``, and can profile the
+``repro.detect`` accepts any trace source — a ``Trace``, an
+``ExecutionResult``, a trace-file path or open file (format sniffed:
+JSON-lines, v1 binary, or zero-copy columnar — see
+``repro.load_trace``), or a live ``MemoryOperation`` stream — selects
+the detector variant via ``detector="postmortem" | "naive" |
+"onthefly" | "streaming" | "shb" | "wcp"``, and can profile the
 pipeline via ``profile=`` (see :mod:`repro.obs`).
 """
 
 from . import obs
-from .api import DETECTOR_NAMES, detect, explain, report_from_json
+from .api import (
+    DETECTOR_NAMES,
+    TRACE_FORMATS,
+    detect,
+    explain,
+    load_trace,
+    report_from_json,
+    save_trace,
+    sniff_trace_format,
+)
 from .analysis import (
     DetectionSummary,
     ExplorationResult,
@@ -94,7 +106,11 @@ __version__ = "1.0.0"
 __all__ = [
     "obs",
     "DETECTOR_NAMES",
+    "TRACE_FORMATS",
     "detect",
+    "load_trace",
+    "save_trace",
+    "sniff_trace_format",
     "report_from_json",
     "DetectionSummary",
     "ExplorationResult",

@@ -361,10 +361,12 @@ def hunt_races(
             and the partial result has ``interrupted=True``.
         detector: analysis backend for every execution — one of
             :data:`repro.analysis.parallel.HUNT_DETECTORS`
-            (``"postmortem"``, ``"naive"``, ``"shb"``, ``"wcp"``;
-            ``"onthefly"`` needs the operation stream and is not
-            huntable).  Part of the checkpoint spec: resuming a
-            checkpoint written by a different detector is a
+            (``"postmortem"``, ``"naive"``, ``"shb"``, ``"wcp"``,
+            ``"streaming"``; ``"onthefly"`` needs the operation stream
+            and is not huntable).  ``"streaming"`` analyzes each
+            execution online without materializing a trace, so the
+            trace cache is bypassed.  Part of the checkpoint spec:
+            resuming a checkpoint written by a different detector is a
             :class:`~repro.analysis.checkpoint.CheckpointMismatch`.
     """
     if tries < 1:

@@ -100,7 +100,9 @@ OutcomeObserver = Callable[["JobOutcome", int, int, int], None]
 #: Detector backends a hunt can sweep with.  ``onthefly`` is excluded:
 #: it consumes the operation stream, which the trace cache (keyed on
 #: the trace, which deliberately drops operations — §4.1) cannot serve.
-HUNT_DETECTORS = ("postmortem", "naive", "shb", "wcp")
+#: ``streaming`` consumes each execution's operation stream online and
+#: never materializes a trace, so it runs with the cache bypassed.
+HUNT_DETECTORS = ("postmortem", "naive", "shb", "wcp", "streaming")
 
 
 def _analyze(source, detector: str = "postmortem"):
@@ -300,7 +302,11 @@ def _execute_job_inner(
             report = None
             cache_hit = False
             fingerprint = ""
-            if state.trace_cache:
+            # streaming detection consumes the operation stream online
+            # and never builds a trace — so there is nothing to
+            # fingerprint and the trace cache is bypassed
+            use_cache = state.trace_cache and state.detector != "streaming"
+            if use_cache:
                 trace = build_trace(execution)
                 fingerprint = trace_fingerprint(trace)
                 cached = _TRACE_CACHE.get(fingerprint)
@@ -717,9 +723,12 @@ def run_hunt(
 
     *detector* picks the analysis backend for every job (one of
     :data:`HUNT_DETECTORS`; ``"onthefly"`` is excluded because hunts
-    analyze traces, not operation streams).  The detector is part of
-    the checkpoint's hunt identity — resuming with a different one is
-    a :class:`~repro.analysis.checkpoint.CheckpointMismatch`.
+    analyze traces, not operation streams).  ``"streaming"`` consumes
+    each execution's operation stream online with O(P·V) state and
+    never materializes a trace (the trace cache is bypassed).  The
+    detector is part of the checkpoint's hunt identity — resuming with
+    a different one is a
+    :class:`~repro.analysis.checkpoint.CheckpointMismatch`.
     """
     if tries < 1:
         raise ValueError("tries must be positive")

@@ -4,10 +4,18 @@ Every detector variant, every source kind, one front door::
 
     report = repro.detect(source, detector="postmortem", profile=None)
 
-``source`` may be a :class:`~repro.trace.build.Trace`, an
-:class:`~repro.machine.simulator.ExecutionResult`, or a trace-file path
-(str / ``os.PathLike``, as written by ``weakraces trace`` /
-:func:`repro.trace.tracefile.write_trace`).
+``source`` may be any *trace source*:
+
+* a :class:`~repro.trace.build.Trace` (including a lazy mmap-backed
+  :class:`~repro.trace.columnar.ColumnarTrace`);
+* an :class:`~repro.machine.simulator.ExecutionResult`;
+* a trace-file path (str / ``os.PathLike``) — the format is sniffed
+  from the magic bytes: columnar (``WRCT``), v1 binary (``WRTR``), or
+  JSON-lines (see :func:`load_trace`);
+* an open binary file object containing any of those formats;
+* an iterator/iterable of
+  :class:`~repro.machine.operations.MemoryOperation` in global emission
+  order (e.g. the simulator's ``on_operation`` stream).
 
 ``detector`` selects the variant:
 
@@ -20,13 +28,18 @@ Every detector variant, every source kind, one front door::
   :class:`~repro.core.onthefly.OnTheFlyReport`.  Requires an
   ``ExecutionResult`` (it consumes the operation stream, which trace
   files deliberately do not record — §4.1).
+* ``"streaming"`` — the exact online detector
+  (:mod:`repro.core.streaming`): consumes events with O(P·V) state, no
+  trace materialized, and reports the identical race set to the
+  post-mortem hb1 sweep; returns a
+  :class:`~repro.core.streaming.StreamingReport`.
 * ``"shb"`` — the postmortem pipeline plus SHB per-race soundness
   (Mathur et al. 2018): the same race set and first partitions, with
   ``sound_races`` each individually certified schedulable; returns an
   :class:`~repro.core.predictive.SHBReport`.
 * ``"wcp"`` — the postmortem pipeline plus WCP race *prediction* (Kini
   et al. 2017): non-conflicting critical-section orderings are dropped
-  and races of reorderings surface as ``predicted_races``; returns a
+  and races of reorderings surface as ``predicted_races``; returns an
   :class:`~repro.core.predictive.WCPReport`.
 
 All returned reports share one protocol: ``format()``,
@@ -41,36 +54,178 @@ JSONL profile of this detection (see ``docs/detection_pipeline.md``,
 
 from __future__ import annotations
 
+import io
 import os
-from typing import Optional, Union
+from pathlib import Path
+from typing import List, Optional, Union
 
 from . import obs
 from .analysis.naive import NaiveDetector, NaiveReport
 from .core.onthefly import OnTheFlyReport
 from .core.onthefly_first import FirstRaceOnTheFlyDetector
 from .core.report import RaceReport
+from .core.streaming import StreamingDetector, StreamingReport
+from .machine.operations import MemoryOperation
 from .machine.simulator import ExecutionResult
-from .trace.build import Trace, build_trace
-from .trace.tracefile import read_trace
+from .trace.binfile import (
+    MAGIC as _BINARY_MAGIC,
+    _read_binary_trace,
+    _read_binary_trace_stream,
+    write_binary_trace,
+)
+from .trace.build import Trace, TraceBuilder, build_trace
+from .trace.columnar import (
+    COLUMNAR_MAGIC,
+    _columnar_from_buffer,
+    open_columnar,
+    to_columnar,
+)
+from .trace.tracefile import _parse_trace_lines, _read_trace, write_trace
 
-DETECTOR_NAMES = ("postmortem", "naive", "onthefly", "shb", "wcp")
+DETECTOR_NAMES = ("postmortem", "naive", "onthefly", "streaming", "shb", "wcp")
 
-ReportType = Union[RaceReport, NaiveReport, OnTheFlyReport]
+TRACE_FORMATS = ("jsonl", "binary", "columnar")
+
+_SUFFIX_FORMATS = {
+    ".jsonl": "jsonl",
+    ".json": "jsonl",
+    ".trace": "jsonl",
+    ".bin": "binary",
+    ".wrtr": "binary",
+    ".col": "columnar",
+    ".columnar": "columnar",
+    ".wrct": "columnar",
+}
+
+ReportType = Union[RaceReport, NaiveReport, OnTheFlyReport, StreamingReport]
 
 
-def _resolve_source(source) -> Union[Trace, ExecutionResult]:
+# ----------------------------------------------------------------------
+# trace loading / saving: one front door for all three formats
+# ----------------------------------------------------------------------
+
+def sniff_trace_format(path: Union[str, os.PathLike]) -> str:
+    """Identify a trace file's format from its magic bytes:
+    ``"columnar"`` (``WRCT``), ``"binary"`` (``WRTR``), else
+    ``"jsonl"``."""
+    with open(path, "rb") as fh:
+        head = fh.read(4)
+    if head == COLUMNAR_MAGIC:
+        return "columnar"
+    if head == _BINARY_MAGIC:
+        return "binary"
+    return "jsonl"
+
+
+def load_trace(source: Union[str, os.PathLike]) -> Trace:
+    """Load a trace file in any supported format, auto-detected by
+    magic bytes.
+
+    Columnar files open *lazily*: the returned
+    :class:`~repro.trace.columnar.ColumnarTrace` exposes numpy views
+    over an mmap and materializes event objects only on demand.  Binary
+    and JSON-lines files are fully decoded.
+    """
+    fmt = sniff_trace_format(source)
+    if fmt == "columnar":
+        return open_columnar(source)
+    if fmt == "binary":
+        return _read_binary_trace(source)
+    return _read_trace(source)
+
+
+def save_trace(
+    trace: Trace,
+    path: Union[str, os.PathLike],
+    format: Optional[str] = None,
+) -> str:
+    """Write *trace* to *path* as ``"jsonl"``, ``"binary"``, or
+    ``"columnar"``; with ``format=None`` the format is inferred from
+    the path suffix (``.bin``/``.wrtr`` → binary, ``.col``/``.wrct``/
+    ``.columnar`` → columnar, anything else → jsonl).  Returns the
+    format written."""
+    if format is None:
+        format = _SUFFIX_FORMATS.get(Path(path).suffix.lower(), "jsonl")
+    if format not in TRACE_FORMATS:
+        raise ValueError(
+            f"unknown trace format {format!r}; "
+            f"known: {', '.join(TRACE_FORMATS)}"
+        )
+    if format == "columnar":
+        to_columnar(trace, path)
+    elif format == "binary":
+        write_binary_trace(trace, path)
+    else:
+        write_trace(trace, path)
+    return format
+
+
+def _trace_from_file_object(fh) -> Trace:
+    """Resolve an open file object: sniff the leading bytes and parse
+    whichever of the three formats they announce."""
+    data = fh.read()
+    if isinstance(data, str):
+        lines = [line for line in data.splitlines() if line.strip()]
+        return _parse_trace_lines(lines, getattr(fh, "name", "<trace>"))
+    if data[:4] == COLUMNAR_MAGIC:
+        return _columnar_from_buffer(data)
+    if data[:4] == _BINARY_MAGIC:
+        return _read_binary_trace_stream(io.BytesIO(data))
+    text = data.decode("utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    return _parse_trace_lines(lines, getattr(fh, "name", "<trace>"))
+
+
+def _trace_from_operations(ops: List[MemoryOperation]) -> Trace:
+    """Segment a bare operation stream into a trace, inferring the
+    processor count and memory size from the operations themselves."""
+    processor_count = max((op.proc for op in ops), default=0) + 1
+    memory_size = max((op.addr for op in ops), default=0) + 1
+    builder = TraceBuilder(
+        processor_count=processor_count, memory_size=memory_size
+    )
+    for op in ops:
+        builder.add_operation(op)
+    return builder.finish()
+
+
+def _resolve_source(source) -> Union[Trace, ExecutionResult, list]:
+    """Normalize any trace source to a Trace, an ExecutionResult, or a
+    list of MemoryOperations (the streaming detector consumes the last
+    directly; everything else segments it into a Trace)."""
     if isinstance(source, (str, os.PathLike)):
-        return read_trace(source)
+        return load_trace(source)
     if isinstance(source, (Trace, ExecutionResult)):
         return source
+    if hasattr(source, "read"):
+        return _trace_from_file_object(source)
+    if hasattr(source, "__iter__") or hasattr(source, "__next__"):
+        ops = list(source)
+        if all(isinstance(op, MemoryOperation) for op in ops):
+            return ops
+        raise TypeError(
+            "iterable sources must yield MemoryOperation objects"
+        )
     raise TypeError(
-        f"expected Trace, ExecutionResult, or trace-file path, "
-        f"got {type(source).__name__}"
+        f"expected Trace, ExecutionResult, trace-file path, open trace "
+        f"file, or MemoryOperation iterable, got {type(source).__name__}"
     )
 
 
 def _detect(source, detector: str) -> ReportType:
     resolved = _resolve_source(source)
+    if detector == "streaming":
+        streaming = StreamingDetector()
+        if isinstance(resolved, ExecutionResult):
+            return streaming.analyze_execution(resolved)
+        if isinstance(resolved, list):
+            processor_count = max(
+                (op.proc for op in resolved), default=0
+            ) + 1
+            return streaming.analyze_operations(
+                resolved, processor_count=processor_count
+            )
+        return streaming.analyze(resolved)
     if detector == "onthefly":
         if not isinstance(resolved, ExecutionResult):
             raise TypeError(
@@ -93,11 +248,12 @@ def _detect(source, detector: str) -> ReportType:
             non_first_races=streaming.non_first_races,
             evicted_accesses=streaming.evicted_accesses,
         )
-    trace = (
-        build_trace(resolved)
-        if isinstance(resolved, ExecutionResult)
-        else resolved
-    )
+    if isinstance(resolved, ExecutionResult):
+        trace = build_trace(resolved)
+    elif isinstance(resolved, list):
+        trace = _trace_from_operations(resolved)
+    else:
+        trace = resolved
     if detector == "postmortem":
         from .core.detector import PostMortemDetector
 
@@ -123,10 +279,11 @@ def detect(
     """Run one detector variant on *source* (see module docstring).
 
     Args:
-        source: a ``Trace``, an ``ExecutionResult``, or a trace-file
-            path (``str`` / ``os.PathLike``).
+        source: a ``Trace``, an ``ExecutionResult``, a trace-file path
+            (``str`` / ``os.PathLike``, any format — sniffed), an open
+            trace file object, or an iterable of ``MemoryOperation``.
         detector: ``"postmortem"`` (default), ``"naive"``,
-            ``"onthefly"``, ``"shb"``, or ``"wcp"``.
+            ``"onthefly"``, ``"streaming"``, ``"shb"``, or ``"wcp"``.
         profile: ``None`` (no profiling), a :class:`repro.obs.Profiler`
             to record into, or a path — a fresh profiler is activated
             for the call and written there as JSONL.  When the detector
@@ -202,6 +359,7 @@ def report_from_json(payload: dict) -> ReportType:
         "postmortem": RaceReport.from_json,
         "naive": NaiveReport.from_json,
         "onthefly": OnTheFlyReport.from_json,
+        "streaming": StreamingReport.from_json,
         "shb": SHBReport.from_json,
         "wcp": WCPReport.from_json,
     }
@@ -215,4 +373,13 @@ def report_from_json(payload: dict) -> ReportType:
     return reader(payload)
 
 
-__all__ = ["DETECTOR_NAMES", "detect", "explain", "report_from_json"]
+__all__ = [
+    "DETECTOR_NAMES",
+    "TRACE_FORMATS",
+    "detect",
+    "explain",
+    "load_trace",
+    "report_from_json",
+    "save_trace",
+    "sniff_trace_format",
+]

@@ -27,7 +27,14 @@ from typing import Callable, Dict, Optional, Sequence
 
 from . import obs
 from .analysis.naive import NaiveDetector
-from .api import DETECTOR_NAMES, detect
+from .api import (
+    DETECTOR_NAMES,
+    TRACE_FORMATS,
+    detect,
+    load_trace,
+    save_trace,
+    sniff_trace_format,
+)
 from .core.scp import check_condition_34
 from .machine.models import ALL_MODEL_NAMES, make_model
 from .machine.program import Program
@@ -51,7 +58,6 @@ from .programs import (
     store_buffering_program,
 )
 from .trace.build import build_trace
-from .trace.tracefile import read_trace, write_trace
 
 WORKLOADS: Dict[str, Callable[[], Program]] = {
     "figure1a": figure1a_program,
@@ -119,6 +125,22 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("output", help="trace file path")
     trace_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
     trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument(
+        "--format", choices=TRACE_FORMATS, default=None,
+        help="trace file format (default: inferred from the output "
+             "suffix, jsonl otherwise)",
+    )
+
+    conv_p = sub.add_parser(
+        "convert",
+        help="convert a trace file between jsonl, binary, and columnar",
+    )
+    conv_p.add_argument("source", help="trace file (format sniffed)")
+    conv_p.add_argument("output", help="converted trace file path")
+    conv_p.add_argument(
+        "--to", choices=TRACE_FORMATS, default=None, dest="to_format",
+        help="target format (default: inferred from the output suffix)",
+    )
 
     an_p = sub.add_parser("analyze", help="analyze a trace file post-mortem")
     an_p.add_argument("tracefile")
@@ -472,27 +494,56 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(profiler.summary())
         return 0 if report.race_free else 1
 
-    if args.command == "analyze":
-        from .trace.validate import InvalidTraceError, require_valid_trace
-        trace = read_trace(args.tracefile)
+    if args.command == "convert":
+        from .trace import BinaryTraceError, ColumnarTraceError
+        from .trace.tracefile import TraceFormatError
         try:
-            require_valid_trace(trace)
-        except InvalidTraceError as exc:
+            src_format = sniff_trace_format(args.source)
+            trace = load_trace(args.source)
+            dst_format = save_trace(trace, args.output, format=args.to_format)
+        except (OSError, BinaryTraceError, ColumnarTraceError,
+                TraceFormatError) as exc:
+            print(f"convert: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"converted {args.source} [{src_format}] -> "
+            f"{args.output} [{dst_format}] ({trace.event_count} events)"
+        )
+        return 0
+
+    if args.command == "analyze":
+        from .trace import BinaryTraceError, ColumnarTraceError
+        from .trace.columnar import ColumnarTrace
+        from .trace.tracefile import TraceFormatError
+        from .trace.validate import InvalidTraceError, require_valid_trace
+        try:
+            trace = load_trace(args.tracefile)
+        except (OSError, BinaryTraceError, ColumnarTraceError,
+                TraceFormatError) as exc:
             print(f"{args.tracefile}: {exc}", file=sys.stderr)
             return 2
+        if not isinstance(trace, ColumnarTrace):
+            # columnar opens lazily: the parser already bounds-checked
+            # the structure, and full validation would materialize
+            # every event, defeating the zero-copy path
+            try:
+                require_valid_trace(trace)
+            except InvalidTraceError as exc:
+                print(f"{args.tracefile}: {exc}", file=sys.stderr)
+                return 2
         report = detect(trace, detector=args.detector)
+        if args.dot and not hasattr(report, "to_dot"):
+            print(
+                f"analyze: --dot is not supported by the "
+                f"{args.detector} detector (no G' to draw)",
+                file=sys.stderr,
+            )
+            return 2
         if args.as_json:
             print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         else:
             print(report.format())
         if args.dot:
-            if not hasattr(report, "to_dot"):
-                print(
-                    f"analyze: --dot is not supported by the "
-                    f"{args.detector} detector (no G' to draw)",
-                    file=sys.stderr,
-                )
-                return 2
             with open(args.dot, "w", encoding="utf-8") as fh:
                 fh.write(report.to_dot())
             if not args.as_json:
@@ -825,10 +876,11 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "trace":
         trace = build_trace(result)
-        write_trace(trace, args.output)
+        fmt = save_trace(trace, args.output, format=args.format)
         print(
             f"wrote {trace.event_count} events "
-            f"({len(result.operations)} operations) to {args.output}"
+            f"({len(result.operations)} operations) to {args.output} "
+            f"[{fmt}]"
         )
         return 0
 

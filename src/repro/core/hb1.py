@@ -22,7 +22,11 @@ from .. import obs
 from ..graph import DiGraph, TransitiveClosure, is_acyclic
 from ..machine.operations import SyncRole
 from ..trace.build import Trace
+from ..trace.columnar import _ROLE_CODE as _COLUMN_ROLE_CODE
 from ..trace.events import EventId, SyncEvent
+
+_COL_ACQUIRE = _COLUMN_ROLE_CODE[SyncRole.ACQUIRE]
+_COL_RELEASE = _COLUMN_ROLE_CODE[SyncRole.RELEASE]
 
 
 class HappensBefore1:
@@ -48,16 +52,32 @@ class HappensBefore1:
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
-        for proc_events in self.trace.events:
+        # po needs only processor/position, never the event payloads:
+        # build it positionally so a columnar trace stays unmaterialized.
+        for proc, proc_events in enumerate(self.trace.events):
             previous: Optional[EventId] = None
-            for event in proc_events:
-                self.graph.add_node(event.eid)
+            for pos in range(len(proc_events)):
+                eid = EventId(proc, pos)
+                self.graph.add_node(eid)
                 if previous is not None:
-                    self.graph.add_edge(previous, event.eid)
-                    self.po_edges.append((previous, event.eid))
-                previous = event.eid
-        for addr, order in self.trace.sync_order.items():
-            self._pair_location(addr, order)
+                    self.graph.add_edge(previous, eid)
+                    self.po_edges.append((previous, eid))
+                previous = eid
+        # so1 pairing reads sync payloads.  On a columnar trace the base
+        # pairing rule runs straight off the role/kind/value columns —
+        # but only when ``_pair_location`` is not overridden, so
+        # subclasses that change the rule (SHB's rf edges) keep their
+        # object-path semantics.
+        columns = getattr(self.trace, "columns", None)
+        if (
+            columns is not None
+            and type(self)._pair_location is HappensBefore1._pair_location
+        ):
+            for order in self.trace.sync_order.values():
+                self._pair_location_columnar(order, columns)
+        else:
+            for addr, order in self.trace.sync_order.items():
+                self._pair_location(addr, order)
 
     def _pair_location(self, addr: int, order: List[EventId]) -> None:
         last_sync_write: Optional[SyncEvent] = None
@@ -79,6 +99,28 @@ class HappensBefore1:
             ):
                 self.graph.add_edge(last_sync_write.eid, event.eid)
                 self.so1_edges.append((last_sync_write.eid, event.eid))
+
+    def _pair_location_columnar(self, order: List[EventId], columns) -> None:
+        """Definition 2.1 pairing straight off the columns — identical
+        decisions to :meth:`_pair_location`, zero event objects."""
+        kind, role, value = columns.kind, columns.role, columns.value
+        last_write: Optional[EventId] = None
+        last_write_row = -1
+        for eid in order:
+            row = columns.row_of(eid.proc, eid.pos)
+            if kind[row]:  # sync write
+                last_write = eid
+                last_write_row = row
+                continue
+            if (
+                role[row] == _COL_ACQUIRE
+                and last_write is not None
+                and role[last_write_row] == _COL_RELEASE
+                and value[last_write_row] == value[row]
+                and last_write.proc != eid.proc
+            ):
+                self.graph.add_edge(last_write, eid)
+                self.so1_edges.append((last_write, eid))
 
     # ------------------------------------------------------------------
     @property

@@ -112,6 +112,17 @@ class VectorClockHB1:
         for i, eid in enumerate(order):
             row_of[eid] = i
         matrix = _np.zeros((max(len(order), 1), nproc), dtype=_np.int64)
+        if order:
+            # Own components set vectorized up front: a same-processor
+            # predecessor's own component is always smaller (pos' < pos),
+            # so the maximum joins below can never overwrite them.
+            procs = _np.fromiter(
+                (e.proc for e in order), dtype=_np.intp, count=len(order)
+            )
+            poss = _np.fromiter(
+                (e.pos for e in order), dtype=_np.int64, count=len(order)
+            )
+            matrix[_np.arange(len(order)), procs] = poss + 1
         predecessors = self.graph.predecessors
         maximum = _np.maximum
         joins = 0
@@ -120,7 +131,6 @@ class VectorClockHB1:
             for pred in predecessors(eid):
                 maximum(row, matrix[row_of[pred]], out=row)
                 joins += 1
-            row[eid.proc] = eid.pos + 1  # this event's own position
         self._matrix = matrix
         return joins
 
@@ -151,6 +161,7 @@ class VectorClockHB1:
         po-ordered and skipped.
         """
         trace = self.trace
+        columns = getattr(trace, "columns", None)
         last_write: Dict[int, EventId] = {}
         readers_since: Dict[int, List[EventId]] = {}
         pairs: Dict[Tuple[EventId, EventId], List[int]] = {}
@@ -162,8 +173,18 @@ class VectorClockHB1:
             pairs.setdefault(key, []).append(addr)
 
         for eid in order:
-            event = trace.event(eid)
-            if isinstance(event, SyncEvent):
+            if columns is not None:
+                row = columns.row_of(eid.proc, eid.pos)
+                if columns.is_comp(row):
+                    reads = list(columns.event_reads(row))
+                    writes = list(columns.event_writes(row))
+                else:
+                    addr = int(columns.addr[row])
+                    if columns.kind[row]:
+                        reads, writes = [], [addr]
+                    else:
+                        reads, writes = [addr], []
+            elif isinstance(event := trace.event(eid), SyncEvent):
                 reads = [event.addr] if event.reads_addr else []
                 writes = [event.addr] if event.writes_addr else []
             else:

@@ -61,6 +61,9 @@ def _accesses_by_location(
     trace: Trace,
 ) -> Tuple[Dict[int, List[EventId]], Dict[int, List[EventId]]]:
     """Index events by the locations they read and write."""
+    columns = getattr(trace, "columns", None)
+    if columns is not None:
+        return _accesses_by_location_columnar(columns)
     readers: Dict[int, List[EventId]] = {}
     writers: Dict[int, List[EventId]] = {}
     for event in trace.all_events():
@@ -73,6 +76,30 @@ def _accesses_by_location(
                 readers.setdefault(addr, []).append(event.eid)
             for addr in event.writes:
                 writers.setdefault(addr, []).append(event.eid)
+    return readers, writers
+
+
+def _accesses_by_location_columnar(
+    columns,
+) -> Tuple[Dict[int, List[EventId]], Dict[int, List[EventId]]]:
+    """The same read/write index straight off the columns — EventIds
+    only, no event or bit-vector objects."""
+    readers: Dict[int, List[EventId]] = {}
+    writers: Dict[int, List[EventId]] = {}
+    tag, kind, addr_col = columns.tag, columns.kind, columns.addr
+    for proc, count in enumerate(columns.proc_counts):
+        base = columns.proc_offsets[proc]
+        for pos in range(count):
+            row = base + pos
+            eid = EventId(proc, pos)
+            if tag[row]:  # computation event
+                for addr in columns.event_reads(row):
+                    readers.setdefault(addr, []).append(eid)
+                for addr in columns.event_writes(row):
+                    writers.setdefault(addr, []).append(eid)
+            else:
+                target = writers if kind[row] else readers
+                target.setdefault(int(addr_col[row]), []).append(eid)
     return readers, writers
 
 
@@ -127,12 +154,20 @@ def _collect_candidates(
 
 
 def _make_race(trace: Trace, a: EventId, b: EventId, locations: List[int]) -> EventRace:
-    event_a, event_b = trace.event(a), trace.event(b)
+    columns = getattr(trace, "columns", None)
+    if columns is not None:
+        is_data = (
+            columns.is_comp(columns.row_of(a.proc, a.pos))
+            or columns.is_comp(columns.row_of(b.proc, b.pos))
+        )
+    else:
+        event_a, event_b = trace.event(a), trace.event(b)
+        is_data = event_a.is_computation or event_b.is_computation
     return EventRace(
         a=a,
         b=b,
         locations=tuple(sorted(set(locations))),
-        is_data_race=event_a.is_computation or event_b.is_computation,
+        is_data_race=is_data,
     )
 
 
@@ -245,17 +280,7 @@ def _find_races(
 
     races: List[EventRace] = []
     for (a, b), locations in racing.items():
-        event_a, event_b = trace.event(a), trace.event(b)
-        races.append(
-            EventRace(
-                a=a,
-                b=b,
-                locations=tuple(sorted(set(locations))),
-                is_data_race=(
-                    event_a.is_computation or event_b.is_computation
-                ),
-            )
-        )
+        races.append(_make_race(trace, a, b, locations))
     races.sort(key=lambda race: (race.a, race.b))
     if _sp.enabled:
         # pairs_tested counts distinct conflicting pairs whose ordering

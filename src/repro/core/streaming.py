@@ -1,0 +1,507 @@
+"""Online streaming race detection: no trace, bounded state.
+
+The post-mortem pipeline materializes the whole trace, builds hb1, and
+sweeps every conflicting pair.  This module detects the *same* races
+online, in the style of set-based online predictive analysis (Roemer &
+Bond 2019): events are consumed one at a time in any linearization of
+program order and the per-location synchronization-order chains, and
+the detector keeps only
+
+* one O(P) vector clock per processor (the clock of that processor's
+  latest event),
+* per synchronization location, the most recent sync write (role,
+  value, writer, clock snapshot) — exactly what Definition 2.1 pairing
+  needs,
+* per data location, the remembered reader/writer accesses that some
+  processor has *not yet seen*, pruned exactly: an access ``(q, pos)``
+  is dropped the moment every other processor's clock has component
+  ``>= pos+1``, because from then on every future event is hb1-after it
+  and no new race can involve it,
+
+for O(P·V + races) state independent of trace length.  The reported
+race set is byte-identical to ``find_races`` on the materialized trace
+(differentially tested across the workload corpus): in a linearization
+of po ∪ sync chains the later event of a pair can never be hb1-before
+the earlier one, so the single epoch test ``clock_b[a.proc] < a.pos+1``
+decides unorderedness exactly.
+
+Computation events are segmented incrementally from the operation
+stream (a sync operation closes the open computation, as in
+:class:`~repro.trace.build.TraceBuilder`) and race-scanned at *close*
+time, when their READ/WRITE sets are complete; their clock is the open
+clock, which cannot change in between (only data operations intervene).
+
+When the detector is handed a finished :class:`Trace` instead of a
+live stream it linearizes po ∪ sync chains itself (deterministic Kahn
+merge).  If those chains are cyclic (possible on weak executions,
+section 3.1 — no topological consumption order exists) it falls back to
+the closure-backend post-mortem sweep, so the race-set guarantee holds
+on every input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .. import obs
+from ..machine.operations import MemoryOperation, OperationKind, SyncRole
+from ..trace.build import Trace
+from ..trace.columnar import _CODE_ROLE
+from ..trace.events import EventId, SyncEvent
+from .races import EventRace
+from .report import REPORT_FORMAT, _race_from_record, _race_record
+
+
+class _StreamEngine:
+    """The O(P·V) online core: clocks, pairing state, remembered
+    accesses, and the accumulated race set."""
+
+    def __init__(self, processor_count: int) -> None:
+        self.nproc = processor_count
+        # clock[p] = vector clock of p's latest event (updated in place:
+        # the po predecessor's clock is exactly the previous value)
+        self.clock = [[0] * processor_count for _ in range(processor_count)]
+        # addr -> (is_release, value, writer proc, clock snapshot)
+        self.last_sync_write: Dict[int, Tuple[bool, int, int, Tuple[int, ...]]] = {}
+        # addr -> [(proc, pos, is_comp)] not yet seen by every processor
+        self.writers: Dict[int, List[Tuple[int, int, bool]]] = {}
+        self.readers: Dict[int, List[Tuple[int, int, bool]]] = {}
+        # min over r != q of clock[r][q]; entries below it are settled
+        self.global_min: List[float] = [
+            float("inf") if processor_count == 1 else 0
+        ] * processor_count
+        # canonical (a, b) eid tuples -> (locations, is_data_race)
+        self.races: Dict[
+            Tuple[Tuple[int, int], Tuple[int, int]], Tuple[Set[int], bool]
+        ] = {}
+        self.event_count = 0
+        self.retained = 0
+        self.retained_peak = 0
+        self.pruned = 0
+
+    # ------------------------------------------------------------------
+    def _recompute_global_min(self) -> None:
+        clock = self.clock
+        for q in range(self.nproc):
+            self.global_min[q] = min(
+                (clock[r][q] for r in range(self.nproc) if r != q),
+                default=float("inf"),
+            )
+
+    def _note_race(self, q: int, qpos: int, q_comp: bool,
+                   p: int, pos: int, p_comp: bool, addr: int) -> None:
+        a, b = (q, qpos), (p, pos)
+        if b < a:
+            a, b = b, a
+        entry = self.races.get((a, b))
+        if entry is None:
+            self.races[(a, b)] = ({addr}, q_comp or p_comp)
+        else:
+            entry[0].add(addr)
+
+    def _scan_list(self, index: Dict[int, List[Tuple[int, int, bool]]],
+                   addr: int, proc: int, pos: int, is_comp: bool,
+                   clock: List[int]) -> None:
+        entries = index.get(addr)
+        if not entries:
+            return
+        gm = self.global_min
+        keep = []
+        for entry in entries:
+            q, qpos, q_comp = entry
+            if gm[q] >= qpos + 1:
+                # every other processor has seen (q, qpos): hb1-ordered
+                # before all current and future events, drop it
+                self.pruned += 1
+                self.retained -= 1
+                continue
+            keep.append(entry)
+            if q == proc:
+                continue  # same-processor pairs are po-ordered
+            if clock[q] < qpos + 1:
+                self._note_race(q, qpos, q_comp, proc, pos, is_comp, addr)
+        if len(keep) != len(entries):
+            index[addr] = keep
+
+    def _scan(self, proc: int, pos: int, is_comp: bool,
+              reads: Iterable[int], writes: Iterable[int]) -> None:
+        """Race-scan one event against remembered accesses, then
+        remember it.  Writer×writer and writer×reader pairs only —
+        the same candidate shape as the post-mortem sweep."""
+        # both sets are walked twice (scan, then remember) — a one-shot
+        # iterator (e.g. a columnar bitset decoder) must be materialized
+        reads = tuple(reads)
+        writes = tuple(writes)
+        clock = self.clock[proc]
+        for addr in writes:
+            self._scan_list(self.writers, addr, proc, pos, is_comp, clock)
+            self._scan_list(self.readers, addr, proc, pos, is_comp, clock)
+        for addr in reads:
+            self._scan_list(self.writers, addr, proc, pos, is_comp, clock)
+        entry = (proc, pos, is_comp)
+        for addr in writes:
+            self.writers.setdefault(addr, []).append(entry)
+            self.retained += 1
+        for addr in reads:
+            self.readers.setdefault(addr, []).append(entry)
+            self.retained += 1
+        if self.retained > self.retained_peak:
+            self.retained_peak = self.retained
+
+    # ------------------------------------------------------------------
+    def process_sync(self, proc: int, pos: int, addr: int, is_write: bool,
+                     role: SyncRole, value: int) -> None:
+        clock = self.clock[proc]
+        joined = False
+        if not is_write and role is SyncRole.ACQUIRE:
+            last = self.last_sync_write.get(addr)
+            # Definition 2.1(3): pairs iff the most recent sync write to
+            # the location is a release by another processor writing the
+            # value this acquire returns
+            if (
+                last is not None
+                and last[0]
+                and last[1] == value
+                and last[2] != proc
+            ):
+                snapshot = last[3]
+                for i in range(self.nproc):
+                    if snapshot[i] > clock[i]:
+                        clock[i] = snapshot[i]
+                        joined = True
+        clock[proc] = pos + 1
+        if joined and self.nproc > 1:
+            self._recompute_global_min()
+        if is_write:
+            self._scan(proc, pos, False, (), (addr,))
+            self.last_sync_write[addr] = (
+                role is SyncRole.RELEASE, value, proc, tuple(clock),
+            )
+        else:
+            self._scan(proc, pos, False, (addr,), ())
+        self.event_count += 1
+
+    def open_comp(self, proc: int, pos: int) -> None:
+        """A computation event starts: claim its own clock component now
+        so later releases on this processor carry it."""
+        self.clock[proc][proc] = pos + 1
+
+    def close_comp(self, proc: int, pos: int,
+                   reads: Iterable[int], writes: Iterable[int]) -> None:
+        """The computation's READ/WRITE sets are complete: scan it with
+        its open-time clock (unchanged in between — only data operations
+        intervene) and remember it."""
+        self._scan(proc, pos, True, reads, writes)
+        self.event_count += 1
+
+    def process_comp(self, proc: int, pos: int,
+                     reads: Iterable[int], writes: Iterable[int]) -> None:
+        self.open_comp(proc, pos)
+        self.close_comp(proc, pos, reads, writes)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> List[EventRace]:
+        races = [
+            EventRace(
+                a=EventId(*a),
+                b=EventId(*b),
+                locations=tuple(sorted(locations)),
+                is_data_race=is_data,
+            )
+            for (a, b), (locations, is_data) in self.races.items()
+        ]
+        races.sort(key=lambda race: (race.a, race.b))
+        return races
+
+
+@dataclass
+class StreamingReport:
+    """What online detection can report: the race set plus stream
+    statistics — no trace, no hb1 graph, no partitions (those need the
+    whole trace, which streaming deliberately never holds)."""
+
+    kind = "streaming"
+
+    processor_count: int
+    model_name: str
+    races: List[EventRace]
+    event_count: int
+    operation_count: int = 0
+    retained_peak: int = 0
+    pruned_entries: int = 0
+    used_fallback: bool = False
+
+    @property
+    def data_races(self) -> List[EventRace]:
+        return [race for race in self.races if race.is_data_race]
+
+    @property
+    def sync_races(self) -> List[EventRace]:
+        return [race for race in self.races if not race.is_data_race]
+
+    @property
+    def race_free(self) -> bool:
+        return not self.data_races
+
+    @property
+    def reported_races(self) -> List[EventRace]:
+        return self.data_races
+
+    @property
+    def certified_race_count(self) -> int:
+        """Streaming keeps no partition structure, so only the paper's
+        set-level guarantee applies (Theorem 4.2 read at the level of
+        the whole report): when any data race is reported, at least one
+        reported race occurs in some sequentially consistent execution.
+        One certified race for a racy report, zero for a clean one."""
+        return 1 if self.data_races else 0
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        lines = [
+            f"Streaming data race report ({self.model_name} execution, "
+            f"{self.event_count} events online)",
+            "=" * 70,
+        ]
+        if self.race_free:
+            lines.append("No data races detected.")
+            lines.append(
+                "By Condition 3.4(1) the execution was sequentially "
+                "consistent."
+            )
+        else:
+            lines.append(
+                f"{len(self.data_races)} data race(s) detected online "
+                f"(>=1 occurs in a sequentially consistent execution):"
+            )
+            for race in self.data_races:
+                lines.append(f"  {race.describe()}")
+            if self.sync_races:
+                lines.append(
+                    f"{len(self.sync_races)} sync-sync race(s) noted "
+                    f"(not data races per Definition 2.4)."
+                )
+        lines.append(
+            f"[retained peak {self.retained_peak} access(es), "
+            f"{self.pruned_entries} pruned"
+            + (", post-mortem fallback]" if self.used_fallback else "]")
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "format": REPORT_FORMAT,
+            "race_free": self.race_free,
+            "processor_count": self.processor_count,
+            "model_name": self.model_name,
+            "event_count": self.event_count,
+            "operation_count": self.operation_count,
+            "retained_peak": self.retained_peak,
+            "pruned_entries": self.pruned_entries,
+            "used_fallback": self.used_fallback,
+            "races": [_race_record(race) for race in self.races],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "StreamingReport":
+        if payload.get("kind") != cls.kind:
+            raise ValueError(
+                f"expected a {cls.kind} report payload, "
+                f"got kind {payload.get('kind')!r}"
+            )
+        return cls(
+            processor_count=payload["processor_count"],
+            model_name=payload["model_name"],
+            races=[_race_from_record(r) for r in payload["races"]],
+            event_count=payload["event_count"],
+            operation_count=payload.get("operation_count", 0),
+            retained_peak=payload.get("retained_peak", 0),
+            pruned_entries=payload.get("pruned_entries", 0),
+            used_fallback=payload.get("used_fallback", False),
+        )
+
+
+class StreamingDetector:
+    """Consume events online and report the exact hb1 race set."""
+
+    # ------------------------------------------------------------------
+    def analyze_operations(
+        self,
+        operations: Iterable[MemoryOperation],
+        *,
+        processor_count: int,
+        model_name: str = "unknown",
+    ) -> StreamingReport:
+        """Consume a memory-operation stream in emission order (which
+        linearizes po and the per-location sync chains by construction),
+        segmenting computation events incrementally."""
+        with obs.span("detect.streaming") as sp:
+            engine = _StreamEngine(processor_count)
+            # per-proc open computation: [pos, reads, writes]
+            open_comp: List[Optional[list]] = [None] * processor_count
+            next_pos = [0] * processor_count
+            nops = 0
+            for op in operations:
+                nops += 1
+                p = op.proc
+                if op.is_sync:
+                    current = open_comp[p]
+                    if current is not None:
+                        engine.close_comp(p, *current)
+                        open_comp[p] = None
+                    pos = next_pos[p]
+                    next_pos[p] += 1
+                    engine.process_sync(
+                        p, pos, op.addr,
+                        op.kind is OperationKind.WRITE, op.role, op.value,
+                    )
+                else:
+                    current = open_comp[p]
+                    if current is None:
+                        pos = next_pos[p]
+                        next_pos[p] += 1
+                        current = [pos, set(), set()]
+                        open_comp[p] = current
+                        engine.open_comp(p, pos)
+                    if op.kind is OperationKind.READ:
+                        current[1].add(op.addr)
+                    else:
+                        current[2].add(op.addr)
+            for p in range(processor_count):
+                current = open_comp[p]
+                if current is not None:
+                    engine.close_comp(p, *current)
+            races = engine.finish()
+            if sp.enabled:
+                sp.add("operations", nops)
+                sp.add("events", engine.event_count)
+                sp.add("retained_peak", engine.retained_peak)
+                sp.add("pruned_entries", engine.pruned)
+                sp.add("races", len(races))
+        return StreamingReport(
+            processor_count=processor_count,
+            model_name=model_name,
+            races=races,
+            event_count=engine.event_count,
+            operation_count=nops,
+            retained_peak=engine.retained_peak,
+            pruned_entries=engine.pruned,
+        )
+
+    def analyze_execution(self, result) -> StreamingReport:
+        return self.analyze_operations(
+            result.operations,
+            processor_count=result.processor_count,
+            model_name=result.model_name,
+        )
+
+    # ------------------------------------------------------------------
+    def analyze(self, trace: Trace) -> StreamingReport:
+        """Stream a finished trace: linearize po ∪ sync chains with a
+        deterministic Kahn merge and feed the engine.  On a cyclic
+        chain structure (weak sync ordering, section 3.1) fall back to
+        the post-mortem closure sweep — same race set either way."""
+        with obs.span("detect.streaming") as sp:
+            engine = _StreamEngine(trace.processor_count)
+            columns = getattr(trace, "columns", None)
+            counts = [len(proc_events) for proc_events in trace.events]
+            next_pos = [0] * trace.processor_count
+            order_ptr: Dict[int, int] = {}
+            # front[(proc, pos)] for each location's next unconsumed
+            # sync event — an event is ready when it is next in po and,
+            # if sync, next in its location's chain
+            fronts: Dict[Tuple[int, int], int] = {}
+            for addr, order in trace.sync_order.items():
+                order_ptr[addr] = 0
+                if order:
+                    fronts[(order[0].proc, order[0].pos)] = addr
+
+            def sync_addr_of(proc: int, pos: int) -> Optional[int]:
+                """The event's sync location, or None for computation."""
+                if columns is not None:
+                    row = columns.row_of(proc, pos)
+                    if columns.is_comp(row):
+                        return None
+                    return int(columns.addr[row])
+                event = trace.events[proc][pos]
+                return event.addr if isinstance(event, SyncEvent) else None
+
+            remaining = sum(counts)
+            stalled = False
+            while remaining:
+                progressed = False
+                for p in range(trace.processor_count):
+                    pos = next_pos[p]
+                    if pos >= counts[p]:
+                        continue
+                    addr = sync_addr_of(p, pos)
+                    if addr is not None:
+                        if fronts.get((p, pos)) != addr:
+                            continue  # not yet at the front of its chain
+                        if columns is not None:
+                            row = columns.row_of(p, pos)
+                            engine.process_sync(
+                                p, pos, addr, bool(columns.kind[row]),
+                                _CODE_ROLE[int(columns.role[row])],
+                                int(columns.value[row]),
+                            )
+                        else:
+                            event = trace.events[p][pos]
+                            engine.process_sync(
+                                p, pos, addr,
+                                event.op_kind is OperationKind.WRITE,
+                                event.role, event.value,
+                            )
+                        del fronts[(p, pos)]
+                        order = trace.sync_order[addr]
+                        order_ptr[addr] += 1
+                        if order_ptr[addr] < len(order):
+                            nxt = order[order_ptr[addr]]
+                            fronts[(nxt.proc, nxt.pos)] = addr
+                    else:
+                        if columns is not None:
+                            row = columns.row_of(p, pos)
+                            engine.process_comp(
+                                p, pos,
+                                columns.event_reads(row),
+                                columns.event_writes(row),
+                            )
+                        else:
+                            event = trace.events[p][pos]
+                            engine.process_comp(
+                                p, pos, event.reads, event.writes
+                            )
+                    next_pos[p] += 1
+                    remaining -= 1
+                    progressed = True
+                    break
+                if not progressed:
+                    stalled = True
+                    break
+
+            if stalled:
+                # po ∪ sync chains are cyclic: no consumption order
+                # exists, so compute the same race set post-mortem
+                from .hb1 import HappensBefore1
+                from .races import find_races
+
+                races = find_races(trace, HappensBefore1(trace))
+            else:
+                races = engine.finish()
+            if sp.enabled:
+                sp.add("events", trace.event_count)
+                sp.add("retained_peak", engine.retained_peak)
+                sp.add("pruned_entries", engine.pruned)
+                sp.add("races", len(races))
+                sp.add("fallback", 1 if stalled else 0)
+        return StreamingReport(
+            processor_count=trace.processor_count,
+            model_name=trace.model_name,
+            races=races,
+            event_count=trace.event_count,
+            retained_peak=engine.retained_peak,
+            pruned_entries=engine.pruned,
+            used_fallback=stalled,
+        )

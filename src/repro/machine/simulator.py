@@ -22,11 +22,19 @@ from .scheduler import RandomScheduler, Scheduler
 
 
 class _Recorder:
-    """Issues global sequence numbers and accumulates operations."""
+    """Issues global sequence numbers and accumulates operations.
 
-    def __init__(self) -> None:
+    ``on_operation`` is the live-emission hook: each operation is handed
+    to it the moment it is issued, in global order — what an online
+    (streaming) detector consumes without waiting for the execution to
+    finish.  The recorder still accumulates the full stream; emission is
+    in addition to, not instead of, recording.
+    """
+
+    def __init__(self, on_operation=None) -> None:
         self.ops: List[MemoryOperation] = []
         self._seq = 0
+        self._emit = on_operation
 
     def next_seq(self) -> int:
         seq = self._seq
@@ -35,6 +43,8 @@ class _Recorder:
 
     def append(self, op: MemoryOperation) -> None:
         self.ops.append(op)
+        if self._emit is not None:
+            self._emit(op)
 
 
 @dataclass
@@ -138,6 +148,7 @@ class Simulator:
         scheduler: Optional[Scheduler] = None,
         propagation: Optional[PropagationPolicy] = None,
         seed: Optional[int] = 0,
+        on_operation=None,
     ) -> None:
         self.program = program
         self.model = model
@@ -145,6 +156,7 @@ class Simulator:
         self.propagation = propagation or RandomPropagation()
         self.seed = seed
         self.rng = random.Random(seed)
+        self.on_operation = on_operation
 
     def run(self, max_steps: int = 200_000) -> ExecutionResult:
         """Simulate until all processors halt or *max_steps* elapse."""
@@ -170,7 +182,7 @@ class Simulator:
             Processor(pid, thread)
             for pid, thread in enumerate(self.program.threads)
         ]
-        recorder = _Recorder()
+        recorder = _Recorder(on_operation=self.on_operation)
         steps = 0
         # The runnable set is maintained incrementally: only the stepped
         # processor can halt, so a per-iteration rebuild is pure waste on

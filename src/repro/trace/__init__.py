@@ -9,6 +9,15 @@ from .binfile import (
 )
 from .bitvector import BitVector
 from .build import Trace, TraceBuilder, build_trace, event_of_op
+from .columnar import (
+    ColumnarTrace,
+    ColumnarTraceError,
+    EventView,
+    TraceColumns,
+    from_columnar,
+    open_columnar,
+    to_columnar,
+)
 from .events import (
     ComputationEvent,
     Event,
@@ -26,6 +35,13 @@ __all__ = [
     "BinaryTraceError",
     "read_binary_trace",
     "write_binary_trace",
+    "ColumnarTrace",
+    "ColumnarTraceError",
+    "EventView",
+    "TraceColumns",
+    "from_columnar",
+    "open_columnar",
+    "to_columnar",
     "BitVector",
     "Trace",
     "TraceBuilder",

@@ -16,11 +16,17 @@ format (:mod:`.tracefile`) carries, typically several times smaller:
 All integers are little-endian; variable ints use a u32.  The format is
 deliberately simple rather than clever — the benchmark compares it
 against JSON and against a hypothetical per-operation log.
+
+Every malformed-input path — short reads, unknown role/tag codes,
+undecodable model names, trailing garbage — surfaces as
+:class:`BinaryTraceError` carrying the byte offset of the fault, never
+a raw ``struct.error`` / ``KeyError`` / ``UnicodeDecodeError``.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Union
 
@@ -62,9 +68,13 @@ def _write_bytes(fh: BinaryIO, payload: bytes) -> None:
 
 
 def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    offset = fh.tell()
     data = fh.read(n)
     if len(data) != n:
-        raise BinaryTraceError("truncated trace file")
+        raise BinaryTraceError(
+            f"truncated trace file: wanted {n} bytes at byte {offset}, "
+            f"got {len(data)}"
+        )
     return data
 
 
@@ -132,62 +142,91 @@ def write_binary_trace(trace: Trace, path: Union[str, Path]) -> None:
                 fh.write(struct.pack("<II", eid.proc, eid.pos))
 
 
-def read_binary_trace(path: Union[str, Path]) -> Trace:
-    """Load a trace written by :func:`write_binary_trace`."""
-    with Path(path).open("rb") as fh:
-        if _read_exact(fh, 4) != MAGIC:
-            raise BinaryTraceError("not a binary trace file (bad magic)")
-        version = _read_u32(fh)
-        if version != VERSION:
-            raise BinaryTraceError(f"unsupported version {version}")
-        processor_count = _read_u32(fh)
-        memory_size = _read_u32(fh)
+def _read_binary_trace_stream(fh: BinaryIO) -> Trace:
+    """Parse the binary format from an open, seekable binary stream
+    positioned at the magic.  The stream must contain exactly one
+    trace: trailing bytes after the sync-order section are an error."""
+    try:
+        return _parse_stream(fh)
+    except struct.error as exc:  # defensive: no unpack path should leak
+        raise BinaryTraceError(
+            f"malformed trace file at byte {fh.tell()}: {exc}"
+        ) from exc
+
+
+def _parse_stream(fh: BinaryIO) -> Trace:
+    if _read_exact(fh, 4) != MAGIC:
+        raise BinaryTraceError("not a binary trace file (bad magic)")
+    version = _read_u32(fh)
+    if version != VERSION:
+        raise BinaryTraceError(f"unsupported version {version}")
+    processor_count = _read_u32(fh)
+    memory_size = _read_u32(fh)
+    offset = fh.tell()
+    try:
         model_name = _read_bytes(fh).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise BinaryTraceError(
+            f"undecodable model name at byte {offset}: {exc}"
+        ) from exc
 
-        events: List[List[Event]] = []
-        for proc in range(processor_count):
-            count = _read_u32(fh)
-            proc_events: List[Event] = []
-            for pos in range(count):
-                tag = _read_exact(fh, 1)[0]
-                eid = EventId(proc, pos)
-                if tag == _TAG_SYNC:
-                    role_code, is_write, addr = struct.unpack(
-                        "<BBI", _read_exact(fh, 6)
+    events: List[List[Event]] = []
+    for proc in range(processor_count):
+        count = _read_u32(fh)
+        proc_events: List[Event] = []
+        for pos in range(count):
+            offset = fh.tell()
+            tag = _read_exact(fh, 1)[0]
+            eid = EventId(proc, pos)
+            if tag == _TAG_SYNC:
+                role_code, is_write, addr = struct.unpack(
+                    "<BBI", _read_exact(fh, 6)
+                )
+                role = _CODE_ROLE.get(role_code)
+                if role is None:
+                    raise BinaryTraceError(
+                        f"unknown sync role code {role_code} "
+                        f"at byte {offset + 1}"
                     )
-                    value = _read_i64(fh)
-                    order_pos = _read_u32(fh)
-                    proc_events.append(SyncEvent(
-                        eid=eid,
-                        addr=addr,
-                        op_kind=(
-                            OperationKind.WRITE if is_write
-                            else OperationKind.READ
-                        ),
-                        role=_CODE_ROLE[role_code],
-                        value=value,
-                        order_pos=order_pos,
-                    ))
-                elif tag == _TAG_COMP:
-                    reads = _bitvector_from_bytes(_read_bytes(fh))
-                    writes = _bitvector_from_bytes(_read_bytes(fh))
-                    op_count = _read_u32(fh)
-                    event = ComputationEvent(eid=eid, reads=reads, writes=writes)
-                    event.op_count = op_count
-                    proc_events.append(event)
-                else:
-                    raise BinaryTraceError(f"unknown event tag {tag}")
-            events.append(proc_events)
+                value = _read_i64(fh)
+                order_pos = _read_u32(fh)
+                proc_events.append(SyncEvent(
+                    eid=eid,
+                    addr=addr,
+                    op_kind=(
+                        OperationKind.WRITE if is_write
+                        else OperationKind.READ
+                    ),
+                    role=role,
+                    value=value,
+                    order_pos=order_pos,
+                ))
+            elif tag == _TAG_COMP:
+                reads = _bitvector_from_bytes(_read_bytes(fh))
+                writes = _bitvector_from_bytes(_read_bytes(fh))
+                op_count = _read_u32(fh)
+                event = ComputationEvent(eid=eid, reads=reads, writes=writes)
+                event.op_count = op_count
+                proc_events.append(event)
+            else:
+                raise BinaryTraceError(
+                    f"unknown event tag {tag} at byte {offset}"
+                )
+        events.append(proc_events)
 
-        sync_order: Dict[int, List[EventId]] = {}
-        for _ in range(_read_u32(fh)):
-            addr = _read_u32(fh)
-            count = _read_u32(fh)
-            order = []
-            for _ in range(count):
-                proc, pos = struct.unpack("<II", _read_exact(fh, 8))
-                order.append(EventId(proc, pos))
-            sync_order[addr] = order
+    sync_order: Dict[int, List[EventId]] = {}
+    for _ in range(_read_u32(fh)):
+        addr = _read_u32(fh)
+        count = _read_u32(fh)
+        order = []
+        for _ in range(count):
+            proc, pos = struct.unpack("<II", _read_exact(fh, 8))
+            order.append(EventId(proc, pos))
+        sync_order[addr] = order
+
+    offset = fh.tell()
+    if fh.read(1):
+        raise BinaryTraceError(f"trailing garbage after byte {offset}")
 
     return Trace(
         processor_count=processor_count,
@@ -197,3 +236,25 @@ def read_binary_trace(path: Union[str, Path]) -> Trace:
         symbols=None,
         model_name=model_name,
     )
+
+
+def _read_binary_trace(path: Union[str, Path]) -> Trace:
+    """Internal, warning-free loader used by :func:`repro.load_trace`."""
+    with Path(path).open("rb") as fh:
+        return _read_binary_trace_stream(fh)
+
+
+def read_binary_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace written by :func:`write_binary_trace`.
+
+    .. deprecated::
+        Call :func:`repro.load_trace` instead — it sniffs the format
+        (columnar, binary, JSON-lines) from the magic bytes.
+    """
+    warnings.warn(
+        "read_binary_trace is deprecated; use repro.load_trace, which "
+        "auto-detects the trace format",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _read_binary_trace(path)

@@ -11,6 +11,7 @@ compactness argument of section 4.1.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -147,17 +148,15 @@ def write_trace(trace: Trace, path: Union[str, Path]) -> None:
         fh.write(json.dumps({"t": "sync_order", "orders": sync_order}) + "\n")
 
 
-def read_trace(path: Union[str, Path]) -> Trace:
-    """Load a trace previously written by :func:`write_trace`."""
-    path = Path(path)
-    with path.open("r", encoding="utf-8") as fh:
-        lines = [line for line in fh if line.strip()]
+def _parse_trace_lines(lines: List[str], label: str) -> Trace:
+    """Parse JSON-lines records (header, events, sync orders) into a
+    :class:`Trace`; *label* names the source in error messages."""
     if not lines:
-        raise TraceFormatError(f"{path}: empty trace file")
+        raise TraceFormatError(f"{label}: empty trace file")
     header = json.loads(lines[0])
     if header.get("format") != FORMAT_VERSION:
         raise TraceFormatError(
-            f"{path}: unsupported trace format {header.get('format')!r}"
+            f"{label}: unsupported trace format {header.get('format')!r}"
         )
     processor_count = header["processor_count"]
     events: List[List[Event]] = [[] for _ in range(processor_count)]
@@ -172,7 +171,7 @@ def read_trace(path: Union[str, Path]) -> Trace:
         proc_events = events[event.eid.proc]
         if event.eid.pos != len(proc_events):
             raise TraceFormatError(
-                f"{path}: event {event.eid} out of order "
+                f"{label}: event {event.eid} out of order "
                 f"(expected pos {len(proc_events)})"
             )
         proc_events.append(event)
@@ -184,3 +183,27 @@ def read_trace(path: Union[str, Path]) -> Trace:
         symbols=None,
         model_name=header.get("model", "unknown"),
     )
+
+
+def _read_trace(path: Union[str, Path]) -> Trace:
+    """Internal, warning-free loader used by :func:`repro.load_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    return _parse_trace_lines(lines, str(path))
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace previously written by :func:`write_trace`.
+
+    .. deprecated::
+        Call :func:`repro.load_trace` instead — it sniffs the format
+        (columnar, binary, JSON-lines) from the magic bytes.
+    """
+    warnings.warn(
+        "read_trace is deprecated; use repro.load_trace, which "
+        "auto-detects the trace format",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _read_trace(path)
