@@ -11,6 +11,15 @@ function of ``(program, model, policy, seed)``, the merged
 ``HuntResult.stats()``/``summary()`` are byte-identical to an
 uninterrupted run.
 
+Checkpoints cut at *settled outcomes*, never at the pool's dispatch
+batches: a parent killed mid-batch persists exactly the outcomes that
+reached it, and resume re-plans every unsettled job individually —
+batch boundaries are an executor detail with no representation here.
+Likewise the pool's wire-level recording compaction is invisible: a
+racy outcome whose recording was dropped in flight could not have been
+the lowest racy index at the time, and if a crash erases the then-lower
+index, resume simply re-runs it (purity reproduces the recording).
+
 Format (``CHECKPOINT_FORMAT`` = 1) — one JSON document::
 
     {
@@ -225,6 +234,18 @@ class LoadedCheckpoint:
     @property
     def settled_indices(self):
         return {o.job.index for o in self.outcomes}
+
+    @property
+    def first_racy_index(self) -> Optional[int]:
+        """Lowest settled racy job index, or ``None``.
+
+        Resume seeds the engine's shared racy bounds with this: under
+        ``stop_at_first`` nothing beyond it is re-planned, and either
+        way pool workers skip shipping recordings that cannot beat it
+        in the lowest-racy-index merge (the checkpoint already holds
+        the winner's recording)."""
+        racy = [o.job.index for o in self.outcomes if o.status == "racy"]
+        return min(racy) if racy else None
 
 
 def load_checkpoint(

@@ -293,6 +293,7 @@ def hunt_races(
     checkpoint_interval: int = 100,
     cancel=None,
     detector: str = "postmortem",
+    batch_size: Optional[int] = None,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -368,6 +369,11 @@ def hunt_races(
             trace cache is bypassed.  Part of the checkpoint spec:
             resuming a checkpoint written by a different detector is a
             :class:`~repro.analysis.checkpoint.CheckpointMismatch`.
+        batch_size: jobs per pool dispatch batch (``jobs > 1`` only;
+            the serial path has no wire to amortize).  Defaults to an
+            auto size targeting a couple of batches per worker —
+            override only to study the batching/latency trade-off
+            (``1`` reproduces the old job-per-pickle protocol).
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -402,4 +408,5 @@ def hunt_races(
         checkpoint_interval=checkpoint_interval,
         cancel=cancel,
         detector=detector,
+        batch_size=batch_size,
     )

@@ -11,14 +11,44 @@ serial loop gets for free and a pool must work for:
   policy list) and outcomes are merged in index order, so the merged
   :class:`~repro.analysis.hunting.HuntResult` statistics are identical
   for any worker count and any completion order.
-* **Early stop** — with ``stop_at_first`` the parent broadcasts the
-  lowest racy job index through a shared value; workers skip jobs
-  *beyond* it (jobs before it still run, preserving the serial
-  semantics of "everything up to and including the first racy run").
+* **Early stop** — with ``stop_at_first`` the lowest racy job index is
+  broadcast through a shared value (written by whichever worker finds
+  it); workers skip jobs *beyond* it (jobs before it still run,
+  preserving the serial semantics of "everything up to and including
+  the first racy run").
 * **Isolation** — a job that raises, or exceeds ``job_timeout``
   wall-clock seconds, becomes a recorded
   :class:`~repro.analysis.hunting.JobFailure` instead of killing the
   hunt; an execution that hits the step bound is counted but flagged.
+
+Parallelism only pays when the coordination layer is cheaper than the
+work it shards, so the pool path batches aggressively (the per-event
+cost of detection is near-linear — Kini et al. 2017 — which leaves
+coordination as the scaling bottleneck):
+
+* **Batched jobs** — the job list is split into seed batches; a worker
+  runs a whole batch and ships one compact :class:`BatchOutcome`
+  (parallel arrays of status/duration/race-count/fingerprint fields
+  plus sparse maps for the rare payloads), which the parent unfolds
+  back into per-try :class:`JobOutcome` streams so the merge,
+  observers, event logs, retries, and checkpoints are byte-identical
+  to the unbatched protocol.
+* **Compact wire outcomes** — a worker consults the shared best-racy
+  index before pickling a racy try's
+  :class:`~repro.machine.replay.ExecutionRecording`: a try that can no
+  longer win the lowest-racy-index merge ships without it (the winner
+  always ships its own).  Per-try span lists never cross the pipe —
+  profile spans and the status-independent metric instruments are
+  pre-aggregated in the worker and folded once per batch.
+* **Shared trace cache** — the per-worker analysis cache is backed by
+  a fork-safe shared structure (:mod:`repro.analysis.sharedcache`:
+  append-only file, lock-guarded writes, lock-free tail reads), so one
+  worker's analysis of a trace fingerprint serves every other worker
+  and the serial cache hit rate survives ``--jobs``.
+* **In-batch early stop** — workers re-check the cancel flag and the
+  racy bound before every job *inside* a batch, so ``stop_at_first``
+  and SIGINT draining stay responsive without giving back the batching
+  win (the old protocol fell back to one-job tasks for this).
 
 On top of isolation sits **recovery** (a long hunt's value is what it
 has accumulated, so failures must cost one job, not the run):
@@ -34,7 +64,11 @@ has accumulated, so failures must cost one job, not the run):
   settled outcome (atomically — see :mod:`repro.analysis.checkpoint`);
   ``resume=True`` validates the checkpoint against the hunt spec,
   skips settled jobs, and merges to statistics byte-identical to an
-  uninterrupted run.
+  uninterrupted run.  Checkpoints cut at *settled outcomes*, never at
+  batch boundaries: a parent killed mid-batch persists exactly the
+  outcomes that settled, and resume re-plans the rest (jobs are pure
+  functions of ``(program, model, policy, seed)``, so re-running a
+  half-delivered batch reproduces it).
 * A *cancel* event (``threading.Event``) stops dispatch, drains
   in-flight jobs, and finishes with a final checkpoint and a partial
   result marked ``interrupted`` — the CLI wires SIGINT/SIGTERM to it.
@@ -64,7 +98,7 @@ import threading
 import time
 import traceback as _tb
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -86,8 +120,10 @@ from ..machine.replay import (
     replay_execution,
     verify_recording,
 )
+from ..obs.profiler import AggregateRecord, merge_aggregate_maps
 from ..trace.build import build_trace
 from ..trace.fingerprint import trace_fingerprint
+from . import sharedcache
 from .checkpoint import CheckpointWriter, hunt_spec, load_checkpoint
 from .hunting import HuntResult, JobFailure, PolicyFactory
 
@@ -104,6 +140,12 @@ OutcomeObserver = Callable[["JobOutcome", int, int, int], None]
 #: never materializes a trace, so it runs with the cache bypassed.
 HUNT_DETECTORS = ("postmortem", "naive", "shb", "wcp", "streaming")
 
+#: Batch sizing: aim for this many batches per worker (enough slack to
+#: balance uneven batch durations) without exceeding the cap (which
+#: bounds how much work one straggler batch can hold hostage).
+_BATCHES_PER_WORKER = 2
+_BATCH_MAX = 64
+
 
 def _analyze(source, detector: str = "postmortem"):
     """Route report construction through the unified entry point
@@ -118,8 +160,10 @@ def _analyze(source, detector: str = "postmortem"):
 # function of the trace (see repro.trace.fingerprint), so seeds that
 # collapse to an identical trace need analyzing once; one hunt runs one
 # detector and the cache is cleared per hunt, so the key needs no
-# detector component.  Workers fork after run_hunt clears it, so each
-# worker accumulates its own cache over the jobs it drains; merged
+# detector component.  In the fork pool this dict is the L1 of the
+# cross-worker shared cache (see _init_worker): misses fall through to
+# the hunt's append-only shared file, so one worker's analysis serves
+# the others and the hit rate matches the serial run.  Merged
 # *statistics* stay worker-count-independent because a cache hit
 # returns the exact result the analysis would have produced.
 _TRACE_CACHE: Dict[str, Tuple[bool, str, int, int]] = {}
@@ -176,6 +220,84 @@ class JobOutcome:
     failure_kind: str = ""  # error classification (see JobFailure.kind)
 
 
+@dataclass
+class BatchOutcome:
+    """One batch of job outcomes in compact wire form.
+
+    Parallel arrays hold the per-try fields every outcome has; sparse
+    position-keyed maps hold the rare payloads (recordings that can
+    still win the merge, racy report digests, error texts).  Profile
+    spans and status-independent metrics are pre-aggregated — the
+    parent folds them once per batch instead of once per try.
+
+    :meth:`pack`/:meth:`unfold` are exact inverses over everything a
+    worker can produce (live executions/reports and per-try span lists
+    never cross the pipe), so the parent-side per-try outcome stream is
+    byte-identical to the old one-pickle-per-job protocol.
+    """
+
+    indices: List[int] = field(default_factory=list)
+    statuses: List[str] = field(default_factory=list)
+    completed: List[bool] = field(default_factory=list)
+    operations: List[int] = field(default_factory=list)
+    durations: List[float] = field(default_factory=list)
+    cache_hits: List[bool] = field(default_factory=list)
+    fingerprints: List[str] = field(default_factory=list)
+    race_counts: List[int] = field(default_factory=list)
+    certified: List[int] = field(default_factory=list)
+    digests: Dict[int, str] = field(default_factory=dict)
+    recordings: Dict[int, ExecutionRecording] = field(default_factory=dict)
+    errors: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+    #: span-path -> AggregateRecord.to_dict(), pre-folded over the batch
+    profile_aggs: Optional[Dict[str, dict]] = None
+    #: MetricsRegistry.to_records() of the worker-side instrument fold
+    metric_records: Optional[List[dict]] = None
+
+    @classmethod
+    def pack(cls, outcomes: Sequence[JobOutcome]) -> "BatchOutcome":
+        batch = cls()
+        for pos, outcome in enumerate(outcomes):
+            batch.indices.append(outcome.job.index)
+            batch.statuses.append(outcome.status)
+            batch.completed.append(outcome.completed)
+            batch.operations.append(outcome.operations)
+            batch.durations.append(outcome.duration)
+            batch.cache_hits.append(outcome.cache_hit)
+            batch.fingerprints.append(outcome.fingerprint)
+            batch.race_counts.append(outcome.race_count)
+            batch.certified.append(outcome.certified_races)
+            if outcome.report_digest:
+                batch.digests[pos] = outcome.report_digest
+            if outcome.recording is not None:
+                batch.recordings[pos] = outcome.recording
+            if outcome.error or outcome.traceback:
+                batch.errors[pos] = (outcome.error, outcome.traceback)
+        return batch
+
+    def unfold(self, jobs_by_index: Dict[int, HuntJob]) -> List[JobOutcome]:
+        """Rebuild the per-try outcome stream the rest of the engine
+        (merge, observers, events, retries, checkpoints) consumes."""
+        outcomes = []
+        for pos, index in enumerate(self.indices):
+            error, tb = self.errors.get(pos, ("", ""))
+            outcomes.append(JobOutcome(
+                job=jobs_by_index[index],
+                status=self.statuses[pos],
+                completed=self.completed[pos],
+                operations=self.operations[pos],
+                error=error,
+                traceback=tb,
+                recording=self.recordings.get(pos),
+                report_digest=self.digests.get(pos, ""),
+                cache_hit=self.cache_hits[pos],
+                duration=self.durations[pos],
+                fingerprint=self.fingerprints[pos],
+                race_count=self.race_counts[pos],
+                certified_races=self.certified[pos],
+            ))
+        return outcomes
+
+
 def plan_jobs(tries: int, policy_names: Sequence[str]) -> List[HuntJob]:
     """The canonical seed-major job list: attempt ``i`` is seed
     ``i // P`` under policy ``i % P``, so every policy sweeps the same
@@ -192,6 +314,32 @@ def plan_jobs(tries: int, policy_names: Sequence[str]) -> List[HuntJob]:
             policy_name=policy_names[i % count],
         )
         for i in range(tries)
+    ]
+
+
+def plan_batches(
+    jobs: Sequence[HuntJob],
+    workers: int,
+    batch_size: Optional[int] = None,
+) -> List[List[HuntJob]]:
+    """Split the job list into contiguous dispatch batches.
+
+    The default size targets :data:`_BATCHES_PER_WORKER` batches per
+    worker (load-balancing slack) capped at :data:`_BATCH_MAX` (bounds
+    the work one straggler batch holds hostage on huge sweeps).
+    Contiguity keeps each batch a run of consecutive job indices, so
+    with ``stop_at_first`` most post-racy work collapses into whole
+    batches of in-batch skips."""
+    if batch_size is None:
+        batch_size = max(
+            1,
+            min(_BATCH_MAX, -(-len(jobs) // (workers * _BATCHES_PER_WORKER))),
+        )
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    return [
+        list(jobs[i:i + batch_size])
+        for i in range(0, len(jobs), batch_size)
     ]
 
 
@@ -242,6 +390,7 @@ class _HuntState:
         profile: bool = False,
         trace_cache: bool = True,
         detector: str = "postmortem",
+        collect_metrics: bool = False,
     ) -> None:
         self.program = program
         self.model_factory = model_factory
@@ -251,6 +400,10 @@ class _HuntState:
         self.profile = profile
         self.trace_cache = trace_cache
         self.detector = detector
+        # True when the parent has a metrics registry collecting: batch
+        # workers then pre-fold the status-independent instruments
+        # (durations, cache hits) and ship them once per batch.
+        self.collect_metrics = collect_metrics
 
 
 def _execute_job(
@@ -309,7 +462,11 @@ def _execute_job_inner(
             if use_cache:
                 trace = build_trace(execution)
                 fingerprint = trace_fingerprint(trace)
-                cached = _TRACE_CACHE.get(fingerprint)
+                shared = _SHARED_CACHE
+                cached = (
+                    shared.get(fingerprint) if shared is not None
+                    else _TRACE_CACHE.get(fingerprint)
+                )
                 if cached is None:
                     report = _analyze(trace, state.detector)
                     racy = not report.race_free
@@ -319,11 +476,13 @@ def _execute_job_inner(
                         getattr(report, "certified_race_count", 0)
                         if racy else 0
                     )
-                    if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
-                        _TRACE_CACHE.clear()
-                    _TRACE_CACHE[fingerprint] = (
-                        racy, digest, race_count, certified
-                    )
+                    value = (racy, digest, race_count, certified)
+                    if shared is not None:
+                        shared.put(fingerprint, value)
+                    else:
+                        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+                            _TRACE_CACHE.clear()
+                        _TRACE_CACHE[fingerprint] = value
                 else:
                     cache_hit = True
                     racy, digest, race_count, certified = cached
@@ -368,13 +527,25 @@ def _execute_job_inner(
 _WORKER_STATE: Optional[_HuntState] = None
 _WORKER_STOP = None  # multiprocessing.Value: lowest racy index, -1 = none
 _WORKER_CANCEL = None  # multiprocessing.Value: 1 = drain, don't start work
+_WORKER_BEST = None  # multiprocessing.Value: lowest racy index seen anywhere
+_SHARED_CACHE: Optional[sharedcache.SharedTraceCache] = None
 
 
-def _init_worker(state: _HuntState, stop_at, cancel_flag) -> None:
-    global _WORKER_STATE, _WORKER_STOP, _WORKER_CANCEL
+def _init_worker(state: _HuntState, stop_at, cancel_flag, best_racy,
+                 cache_path, cache_lock) -> None:
+    global _WORKER_STATE, _WORKER_STOP, _WORKER_CANCEL, _WORKER_BEST
+    global _SHARED_CACHE
     _WORKER_STATE = state
     _WORKER_STOP = stop_at
     _WORKER_CANCEL = cancel_flag
+    _WORKER_BEST = best_racy
+    _SHARED_CACHE = (
+        sharedcache.SharedTraceCache(
+            cache_path, cache_lock, local=_TRACE_CACHE,
+            max_entries=_TRACE_CACHE_MAX,
+        )
+        if cache_path is not None else None
+    )
     # The parent orchestrates interrupts (drain + checkpoint); a
     # terminal Ctrl+C or a process-group SIGTERM reaches the workers
     # too, and workers dying mid-job would turn a graceful stop into
@@ -386,7 +557,41 @@ def _init_worker(state: _HuntState, stop_at, cancel_flag) -> None:
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
 
 
-def _worker_run(job: HuntJob) -> JobOutcome:
+def _note_racy_worker(index: int) -> None:
+    """Broadcast a racy index from the worker that found it: lowers the
+    early-stop bound (when ``stop_at_first`` armed it) without waiting
+    for the batch to reach the parent."""
+    stop = _WORKER_STOP
+    if stop is not None:
+        with stop.get_lock():
+            if stop.value < 0 or index < stop.value:
+                stop.value = index
+
+
+def _keep_recording(index: int) -> bool:
+    """Update the shared best-racy index with this racy try and decide
+    whether its recording can still win the lowest-racy-index merge.
+
+    Update-then-check under one lock: after the update the shared value
+    is ``min(previous, index)``, so ``index`` keeps its recording
+    exactly when it *is* the minimum.  The bound only ever decreases,
+    and every value it takes belongs to a racy outcome that will reach
+    the merge (or, after a crash, be reproduced by the deterministic
+    re-run), so the winning outcome always carries its recording.
+    """
+    best = _WORKER_BEST
+    if best is None:
+        return True
+    with best.get_lock():
+        if best.value < 0 or index < best.value:
+            best.value = index
+        return index <= best.value
+
+
+def _run_batch_job(job: HuntJob) -> JobOutcome:
+    """One job inside a batch: the in-batch cancellation / early-stop
+    check (so a batch never holds back a drain or an armed stop), then
+    the normal isolated execution."""
     if _WORKER_CANCEL is not None and _WORKER_CANCEL.value:
         return JobOutcome(job=job, status="skipped")
     if _WORKER_STOP is not None:
@@ -396,7 +601,46 @@ def _worker_run(job: HuntJob) -> JobOutcome:
         if 0 <= stop < job.index:
             return JobOutcome(job=job, status="skipped")
     assert _WORKER_STATE is not None
-    return _execute_job(_WORKER_STATE, job, keep_execution=False)
+    outcome = _execute_job(_WORKER_STATE, job, keep_execution=False)
+    if outcome.status == "racy":
+        _note_racy_worker(job.index)
+        if not _keep_recording(job.index):
+            outcome.recording = None  # can no longer win the merge
+    return outcome
+
+
+def _worker_run_batch(batch: Sequence[HuntJob]) -> BatchOutcome:
+    """Run a whole batch and return one compact :class:`BatchOutcome`:
+    the per-try fields as parallel arrays, plus the batch-level profile
+    and metric folds."""
+    state = _WORKER_STATE
+    assert state is not None
+    outcomes = [_run_batch_job(job) for job in batch]
+    packed = BatchOutcome.pack(outcomes)
+    if state.profile:
+        profiles = [o.profile for o in outcomes if o.profile]
+        if profiles:
+            packed.profile_aggs = {
+                path: agg.to_dict()
+                for path, agg in obs.aggregate_records(profiles).items()
+            }
+    if state.collect_metrics:
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        duration = registry.histogram(
+            "hunt_job_duration_seconds", "per-job wall time",
+        )
+        for outcome in outcomes:
+            duration.observe(outcome.duration)
+        hits = sum(1 for o in outcomes if o.cache_hit)
+        if hits:
+            registry.counter(
+                "hunt_trace_cache_hits_total",
+                "analyses served from the trace cache",
+            ).inc(hits)
+        packed.metric_records = registry.to_records()
+    return packed
 
 
 # ----------------------------------------------------------------------
@@ -432,34 +676,69 @@ class _SerialExecutor:
 
 
 class _PoolExecutor:
-    """Fork-pool execution; one pool serves every retry round."""
+    """Fork-pool execution; one pool serves every retry round.
+
+    Jobs are dispatched as batches (:func:`plan_batches`) and each
+    worker reply is one :class:`BatchOutcome`; ``run`` unfolds them so
+    callers still consume a per-try outcome stream.  Batch-level
+    profile aggregates accumulate on ``profile_aggs``; worker metric
+    records are folded into *registry* as batches arrive.
+    """
 
     def __init__(self, state: _HuntState, workers: int,
-                 stop_at_first: bool) -> None:
+                 stop_at_first: bool, *, registry=None,
+                 batch_size: Optional[int] = None,
+                 racy_floor: Optional[int] = None) -> None:
         ctx = multiprocessing.get_context("fork")
         self.workers = workers
-        self.stop_at = ctx.Value("i", -1) if stop_at_first else None
+        self.batch_size = batch_size
+        self.registry = registry
+        self.profile_aggs: Dict[str, AggregateRecord] = {}
+        seed = -1 if racy_floor is None else racy_floor
+        self.stop_at = ctx.Value("i", seed) if stop_at_first else None
+        # The recording-compaction bound: lowest racy index produced by
+        # any worker (or restored from a checkpoint).  Separate from
+        # stop_at because it is always armed — dropping a recording
+        # that cannot win the merge is sound whether or not the hunt
+        # stops at the first race.
+        self.best_racy = ctx.Value("i", seed)
         self.cancel_flag = ctx.Value("i", 0)
+        self.cache_path = None
+        cache_lock = None
+        if state.trace_cache and state.detector != "streaming":
+            self.cache_path = sharedcache.create_cache_file()
+            cache_lock = ctx.Lock()
         self.pool = ctx.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(state, self.stop_at, self.cancel_flag),
+            initargs=(state, self.stop_at, self.cancel_flag,
+                      self.best_racy, self.cache_path, cache_lock),
         )
 
     def run(self, jobs: Sequence[HuntJob]) -> Iterator[JobOutcome]:
-        # Small chunks keep the early-stop responsive; otherwise
-        # amortize the per-task IPC over larger batches.  The cap
-        # bounds how much in-flight work a cancel (drain) or a racy
-        # stop has to wait out on huge sweeps.
-        chunksize = (
-            1 if self.stop_at is not None
-            else max(1, min(64, len(jobs) // (self.workers * 8)))
-        )
-        yield from self.pool.imap_unordered(
-            _worker_run, jobs, chunksize=chunksize
-        )
+        jobs = list(jobs)
+        jobs_by_index = {job.index: job for job in jobs}
+        batches = plan_batches(jobs, self.workers, self.batch_size)
+        # chunksize stays 1: the dispatch unit is already a batch, and
+        # in-batch checks keep early stop and cancel drains responsive.
+        for batch in self.pool.imap_unordered(
+            _worker_run_batch, batches, chunksize=1
+        ):
+            if batch.metric_records and self.registry is not None:
+                self.registry.merge_records(batch.metric_records)
+            if batch.profile_aggs:
+                merge_aggregate_maps(self.profile_aggs, {
+                    path: AggregateRecord.from_dict(payload)
+                    for path, payload in batch.profile_aggs.items()
+                })
+            yield from batch.unfold(jobs_by_index)
 
     def note_racy(self, index: int) -> None:
+        # Workers broadcast their own racy finds; the parent repeats
+        # the update for restored/reclassified outcomes it alone sees.
+        with self.best_racy.get_lock():
+            if self.best_racy.value < 0 or index < self.best_racy.value:
+                self.best_racy.value = index
         if self.stop_at is None:
             return
         with self.stop_at.get_lock():
@@ -478,14 +757,34 @@ class _PoolExecutor:
         # the (already drained) task queue is empty.  A worker wedged
         # inside a job — an injected hang with no job_timeout — gets
         # SIGKILL after a grace period rather than hanging the hunt.
-        self.pool.close()
-        deadline = time.monotonic() + 5.0
-        for proc in self.pool._pool:
-            proc.join(max(0.0, deadline - time.monotonic()))
-        for proc in self.pool._pool:
-            if proc.is_alive():
-                proc.kill()
-        self.pool.join()
+        #
+        # The grace-period walk reads Pool's private worker list; that
+        # is deliberate (there is no public "join with timeout"), but
+        # it must degrade, not raise, if a future stdlib reshapes the
+        # attribute — terminate() is then safe because the task queue
+        # is already drained.
+        try:
+            try:
+                self.pool.close()
+                procs = getattr(self.pool, "_pool", None)
+                if not isinstance(procs, (list, tuple)):
+                    raise AttributeError("Pool._pool is not a process list")
+                deadline = time.monotonic() + 5.0
+                for proc in procs:
+                    proc.join(max(0.0, deadline - time.monotonic()))
+                for proc in procs:
+                    if proc.is_alive():
+                        proc.kill()
+            except Exception:
+                self.pool.terminate()
+            try:
+                self.pool.join()
+            except Exception:
+                pass  # Pool.join walks the same private list; degrade
+        finally:
+            if self.cache_path is not None:
+                sharedcache.remove_cache_file(self.cache_path)
+                self.cache_path = None
 
 
 # ----------------------------------------------------------------------
@@ -523,7 +822,7 @@ def _attach_first(
     result.seed = first.job.seed
     result.policy = first.job.policy_name
     result.recording = first.recording
-    if first.recording is None:  # pragma: no cover - racy jobs record
+    if first.recording is None:  # pragma: no cover - the winner records
         return
     if first.execution is not None:
         # In-process job: we hold the original execution; check the
@@ -632,18 +931,26 @@ def merge_outcomes(
 
 
 # ----------------------------------------------------------------------
-# telemetry folding (parent-side, one call per completed job)
+# telemetry folding (parent-side; batch workers pre-fold the
+# status-independent instruments, the parent folds the rest per job)
 # ----------------------------------------------------------------------
 
 def _fold_outcome_metrics(
     registry, outcome: JobOutcome, done: int, total: int, racy: int,
     elapsed: float, detector: str = "postmortem",
+    worker_folded: bool = False,
 ) -> None:
     """Update the hunt metric family (see the table in
     :mod:`repro.obs.metrics`) for one completed job.  Runs in the
     parent only, so gauge last-wins semantics are safe.  Retried
     attempts land in ``hunt_tries_total{status="retried"}`` without
-    advancing the job gauges."""
+    advancing the job gauges.
+
+    With *worker_folded* (the batched pool path), the duration
+    histogram and cache-hit counter already arrived pre-aggregated on
+    the batch wire and were merged once per batch — only the
+    status-labelled counter (whose ``retried`` reclassification the
+    worker cannot see) and the parent-owned gauges fold here."""
     registry.counter(
         "hunt_tries_total", "hunt jobs by policy, outcome, and detector",
         labels=("policy", "status", "detector"),
@@ -651,14 +958,15 @@ def _fold_outcome_metrics(
         policy=outcome.job.policy_name, status=outcome.status,
         detector=detector,
     )
-    if outcome.cache_hit:
-        registry.counter(
-            "hunt_trace_cache_hits_total",
-            "analyses served from the trace cache",
-        ).inc()
-    registry.histogram(
-        "hunt_job_duration_seconds", "per-job wall time",
-    ).observe(outcome.duration)
+    if not worker_folded:
+        if outcome.cache_hit:
+            registry.counter(
+                "hunt_trace_cache_hits_total",
+                "analyses served from the trace cache",
+            ).inc()
+        registry.histogram(
+            "hunt_job_duration_seconds", "per-job wall time",
+        ).observe(outcome.duration)
     registry.gauge("hunt_done", "completed jobs").set(done)
     registry.gauge("hunt_total", "planned jobs").set(total)
     registry.gauge("hunt_racy", "racy runs so far").set(racy)
@@ -696,6 +1004,7 @@ def run_hunt(
     checkpoint_interval: int = 100,
     cancel: Optional[threading.Event] = None,
     detector: str = "postmortem",
+    batch_size: Optional[int] = None,
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
@@ -708,18 +1017,27 @@ def run_hunt(
     ``status="retried"`` attempts that a later retry superseded.
 
     When a :mod:`repro.obs` profiler is active, every job (in-process
-    or forked) records per-stage spans into a job-local profiler; the
-    parent folds them into per-span-path aggregates on the active
-    profiler and on ``HuntResult.stage_profile``.  Likewise, when a
+    or forked) records per-stage spans into a job-local profiler; fork
+    workers fold a whole batch's spans into per-span-path aggregates
+    before shipping, and the parent merges one aggregate map per batch
+    (plus the serial path's per-job records) onto the active profiler
+    and ``HuntResult.stage_profile``.  Likewise, when a
     :mod:`repro.obs.metrics` registry is collecting (or one is passed
-    as *metrics*), the parent folds per-job telemetry into it — one
-    module-attribute check per hunt, so the disabled path stays free.
+    as *metrics*), workers pre-fold the status-independent instruments
+    per batch and the parent folds the status counter and gauges per
+    job — one module-attribute check per hunt, so the disabled path
+    stays free.
 
     Recovery knobs: *max_retries*/*retry_backoff* govern transient
     failure retries; *checkpoint*/*resume*/*checkpoint_interval* the
     durable progress file; *cancel* a cooperative stop that drains
     in-flight jobs and leaves ``result.interrupted`` set.  See the
     module docstring.
+
+    *batch_size* overrides the dispatch batch sizing of the pool path
+    (:func:`plan_batches`); the default targets a couple of batches
+    per worker.  ``jobs=1`` ignores it — the serial loop has no wire
+    to amortize.
 
     *detector* picks the analysis backend for every job (one of
     :data:`HUNT_DETECTORS`; ``"onthefly"`` is excluded because hunts
@@ -742,6 +1060,8 @@ def run_hunt(
         raise ValueError("checkpoint_interval must be positive")
     if resume and checkpoint is None:
         raise ValueError("resume requires a checkpoint path")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be positive (or None for auto)")
     if detector not in HUNT_DETECTORS:
         raise ValueError(
             f"unknown hunt detector {detector!r}; "
@@ -763,51 +1083,57 @@ def run_hunt(
         max_steps, stop_at_first, detector=detector,
     )
     restored: List[JobOutcome] = []
+    racy_floor: Optional[int] = None
     if resume:
         loaded = load_checkpoint(checkpoint, expected_spec=spec)
         restored = loaded.outcomes
         settled_indices = loaded.settled_indices
         job_plan = [j for j in job_plan if j.index not in settled_indices]
-        if stop_at_first:
-            racy_restored = [
-                o.job.index for o in restored if o.status == "racy"
-            ]
-            if racy_restored:
-                bound = min(racy_restored)
-                job_plan = [j for j in job_plan if j.index <= bound]
+        # The restored racy minimum seeds both shared bounds: with
+        # stop_at_first nothing beyond it is planned at all, and either
+        # way workers can skip shipping recordings that cannot beat it.
+        racy_floor = loaded.first_racy_index
+        if stop_at_first and racy_floor is not None:
+            job_plan = [j for j in job_plan if j.index <= racy_floor]
     writer = (
         CheckpointWriter(checkpoint, spec, checkpoint_interval)
         if checkpoint is not None else None
     )
 
     profiling = obs.enabled()
+    registry = metrics if metrics is not None else obs.metrics.active()
     state = _HuntState(program, model_factory, policy_list,
                        max_steps, job_timeout, profile=profiling,
-                       trace_cache=trace_cache, detector=detector)
+                       trace_cache=trace_cache, detector=detector,
+                       collect_metrics=registry is not None)
     # Start every hunt cold so hit counts describe this hunt alone and
-    # memory is bounded; workers inherit the empty cache through fork
-    # and each fills its own over the jobs it drains.
+    # memory is bounded; workers inherit the empty L1 through fork and
+    # share fresh analyses through the hunt's shared cache file.
     _TRACE_CACHE.clear()
     workers = min(jobs, max(len(job_plan), 1))
     if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
         workers = 1  # factories may be closures; spawn cannot ship them
-    registry = metrics if metrics is not None else obs.metrics.active()
     start = time.perf_counter()
     observe: Optional[OutcomeObserver] = None
     if registry is not None or on_outcome is not None:
+        worker_folded = workers > 1 and state.collect_metrics
+
         def observe(outcome, done, total, racy):
             if registry is not None:
                 _fold_outcome_metrics(
                     registry, outcome, done, total, racy,
                     time.perf_counter() - start,
                     detector=state.detector,
+                    worker_folded=worker_folded,
                 )
             if on_outcome is not None:
                 on_outcome(outcome)
 
     executor = (
         _SerialExecutor(state) if workers == 1
-        else _PoolExecutor(state, workers, stop_at_first)
+        else _PoolExecutor(state, workers, stop_at_first,
+                           registry=registry, batch_size=batch_size,
+                           racy_floor=racy_floor)
     )
 
     # Drive state shared by the settle path below.
@@ -915,6 +1241,9 @@ def run_hunt(
         aggregates = obs.aggregate_records(
             o.profile for o in observed_profiles if o.profile
         )
+        batch_aggs = getattr(executor, "profile_aggs", None)
+        if batch_aggs:
+            merge_aggregate_maps(aggregates, batch_aggs)
         profiler = obs.active()
         if profiler is not None:
             profiler.add_aggregates(aggregates)

@@ -287,6 +287,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "sweep with identical merged statistics",
     )
     hunt_p.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="jobs per pool dispatch batch (requires --jobs > 1; "
+             "default: auto-sized to a couple of batches per worker; "
+             "1 reproduces the unbatched wire protocol)",
+    )
+    hunt_p.add_argument(
         "--policies", nargs="+", metavar="NAME",
         help="propagation policies to sweep, in order "
              "(default: stubborn random-0.2 ring)",
@@ -742,6 +748,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 checkpoint_interval=args.checkpoint_interval,
                 cancel=cancel,
                 detector=args.detector,
+                batch_size=args.batch_size,
             )
         except (CheckpointError, ValueError) as exc:
             if event_log is not None:

@@ -27,6 +27,7 @@ from .profiler import (
     aggregate_records,
     count,
     enabled,
+    merge_aggregate_maps,
     span,
 )
 from .export import (
@@ -50,6 +51,7 @@ __all__ = [
     "aggregate_records",
     "count",
     "enabled",
+    "merge_aggregate_maps",
     "span",
     "PROFILE_FORMAT",
     "read_profile",

@@ -51,6 +51,15 @@ name                           type       labels / meaning
 ``hunt_elapsed_seconds``       Gauge      wall time since the hunt began
 ``hunt_throughput``            TimeSeries ``(elapsed, jobs/sec)`` samples
 =============================  =========  ==================================
+
+The fold is split across the batch wire (see
+:class:`repro.analysis.parallel.BatchOutcome`): pool workers pre-fold
+the *status-independent* instruments — the duration histogram and the
+cache-hit counter — into one ``to_records()`` payload per batch, which
+the parent ``merge_records()``s as batches arrive; the status counter
+(whose error→retried reclassification only the parent can decide) and
+every gauge/time series fold parent-side per outcome.  Totals are
+identical to the serial fold either way.
 """
 
 from __future__ import annotations

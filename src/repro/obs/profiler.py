@@ -152,6 +152,36 @@ class AggregateRecord:
         if rss is not None:
             self.peak_rss_kb = max(self.peak_rss_kb or 0, int(rss))
 
+    def fold_aggregate(self, other: "AggregateRecord") -> None:
+        """Merge another aggregate for the same path into this one —
+        the batch-level fold: workers pre-aggregate a whole batch's
+        span records and the parent folds one aggregate per path per
+        batch instead of one record per span per job."""
+        self.count += other.count
+        self.total_sec += other.total_sec
+        self.min_sec = min(self.min_sec, other.min_sec)
+        self.max_sec = max(self.max_sec, other.max_sec)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        if other.peak_rss_kb is not None:
+            self.peak_rss_kb = max(self.peak_rss_kb or 0, other.peak_rss_kb)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AggregateRecord":
+        """Rebuild an aggregate from its :meth:`to_dict` wire form."""
+        return cls(
+            path=payload["path"],
+            count=int(payload.get("count", 0)),
+            total_sec=float(payload.get("total_sec", 0.0)),
+            min_sec=float(payload.get("min_sec", float("inf"))),
+            max_sec=float(payload.get("max_sec", 0.0)),
+            counters={
+                str(k): int(v)
+                for k, v in (payload.get("counters") or {}).items()
+            },
+            peak_rss_kb=payload.get("peak_rss_kb"),
+        )
+
     def to_dict(self) -> dict:
         return {
             "t": "agg",
@@ -186,6 +216,24 @@ def aggregate_records(
                 out[path] = agg
             agg.fold(rec)
     return out
+
+
+def merge_aggregate_maps(
+    target: Dict[str, AggregateRecord],
+    incoming: Dict[str, AggregateRecord],
+) -> None:
+    """Fold *incoming* per-path aggregates into *target* in place.
+
+    The batch-wire fold: each fork worker ships one aggregate map per
+    batch (pre-folded over every job span in the batch), and the parent
+    merges maps instead of walking per-job span lists.  Deterministic
+    for any merge order up to float summation of ``total_sec``."""
+    for path, agg in incoming.items():
+        mine = target.get(path)
+        if mine is None:
+            target[path] = agg
+        else:
+            mine.fold_aggregate(agg)
 
 
 # ----------------------------------------------------------------------
@@ -243,19 +291,7 @@ class Profiler:
 
     def add_aggregates(self, aggregates: Dict[str, AggregateRecord]) -> None:
         """Merge cross-process aggregates (see :func:`aggregate_records`)."""
-        for path, agg in aggregates.items():
-            mine = self.aggregates.get(path)
-            if mine is None:
-                self.aggregates[path] = agg
-                continue
-            mine.count += agg.count
-            mine.total_sec += agg.total_sec
-            mine.min_sec = min(mine.min_sec, agg.min_sec)
-            mine.max_sec = max(mine.max_sec, agg.max_sec)
-            for cname, value in agg.counters.items():
-                mine.counters[cname] = mine.counters.get(cname, 0) + value
-            if agg.peak_rss_kb is not None:
-                mine.peak_rss_kb = max(mine.peak_rss_kb or 0, agg.peak_rss_kb)
+        merge_aggregate_maps(self.aggregates, aggregates)
 
     # -- activation ----------------------------------------------------
     def activate(self) -> "_Activation":

@@ -87,6 +87,35 @@ def test_sigkill_then_resume_matches_uninterrupted(tmp_path, resume_jobs):
     assert _stats_view(again.stdout) == _stats_view(baseline.stdout)
 
 
+def test_sigkill_mid_batch_parallel_then_resume(tmp_path):
+    """SIGKILL a batched pool hunt mid-batch: the checkpoint holds
+    exactly the settled outcomes (batch boundaries are invisible to
+    it), and resuming — serial or batched — merges to the baseline's
+    deterministic stats.  kill_parent_after=9 lands inside a dispatch
+    batch for --jobs 4 --batch-size 4 (batches of 4, parent dies after
+    the 9th settle, i.e. mid way through unfolding a batch)."""
+    baseline = _run(HUNT + ["--json"])
+    assert baseline.returncode == 1, baseline.stderr
+
+    ckpt = tmp_path / "hunt.ckpt"
+    killed = _run(
+        HUNT + ["--jobs", "4", "--batch-size", "4",
+                "--checkpoint", str(ckpt), "--checkpoint-interval", "1"],
+        faults={"kill_parent_after": 9},
+    )
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+    assert ckpt.exists()
+
+    for resume_args in (["--jobs", "1"], ["--jobs", "4", "--batch-size", "2"]):
+        resumed = _run(
+            HUNT + ["--json", *resume_args,
+                    "--checkpoint", str(ckpt), "--resume"],
+        )
+        assert resumed.returncode == 1, resumed.stderr
+        assert _stats_view(resumed.stdout) == _stats_view(baseline.stdout)
+        assert json.loads(resumed.stdout)["resumed_jobs"] >= 9
+
+
 def test_repeated_kills_make_progress_to_completion(tmp_path):
     """Resume is crash-safe itself: keep killing the hunt and
     resuming; each round preserves at least the prior settled work."""
