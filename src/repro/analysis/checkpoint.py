@@ -25,6 +25,11 @@ Format (``CHECKPOINT_FORMAT`` = 1) — one JSON document::
     {
       "format": 1,
       "complete": false,                # True once the sweep finished
+      "hunt_id": "a1b2...",             # telemetry correlation id
+                                        # (absent in legacy checkpoints;
+                                        # resume keeps it, so a resumed
+                                        # hunt's metrics/events/results
+                                        # join with the original's)
       "spec": {                         # identity of the hunt
         "program_sha": "...",           # BLAKE2b of the assembly text
         "model": "WO",
@@ -51,6 +56,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -107,6 +113,41 @@ def hunt_spec(
     }
 
 
+def make_hunt_id(spec: dict, nonce: Optional[str] = None) -> str:
+    """A compact correlation id for one hunt *run*: BLAKE2b over the
+    hunt spec plus a per-start nonce.
+
+    The spec half ties the id to the hunt's identity (program, model,
+    seed range, policies, detector); the nonce half distinguishes
+    repeated runs of the same spec — two back-to-back identical hunts
+    get different ids, while a *resume* keeps the original id by
+    reading it back from the checkpoint instead of minting a new one.
+    The id is deliberately *not* in the spec record itself: the spec is
+    validated field-by-field on resume, and the id is the one field
+    that legitimately rides across spec-identical runs.
+    """
+    if nonce is None:
+        nonce = os.urandom(8).hex()
+    digest = hashlib.blake2b(
+        (json.dumps(spec, sort_keys=True) + "|" + nonce).encode("utf-8"),
+        digest_size=8,
+    )
+    return digest.hexdigest()
+
+
+def peek_hunt_id(path: Union[str, Path]) -> Optional[str]:
+    """Best-effort read of a checkpoint's hunt_id — ``None`` for
+    missing/legacy/corrupt files (the real load reports those properly;
+    this is for callers that need the id *before* the hunt starts, like
+    the CLI wiring the event log and telemetry server on a resume)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        hunt_id = payload.get("hunt_id")
+        return hunt_id if isinstance(hunt_id, str) and hunt_id else None
+    except (OSError, ValueError, AttributeError):
+        return None
+
+
 # ----------------------------------------------------------------------
 # outcome (de)serialization — exactly what the deterministic merge and
 # the first-racy replay need, in plain JSON
@@ -139,6 +180,7 @@ def outcome_to_payload(outcome, include_recording: bool = True) -> dict:
         "duration": round(outcome.duration, 6),
         "retries": outcome.retries,
         "failure_kind": outcome.failure_kind,
+        "partition_keys": list(outcome.partition_keys),
         "recording": (
             outcome.recording.to_payload()
             if include_recording and outcome.recording is not None
@@ -175,6 +217,7 @@ def outcome_from_payload(payload: dict):
             duration=payload.get("duration", 0.0),
             retries=payload.get("retries", 0),
             failure_kind=payload.get("failure_kind", ""),
+            partition_keys=tuple(payload.get("partition_keys", ())),
             recording=(
                 ExecutionRecording.from_payload(recording)
                 if recording is not None else None
@@ -193,6 +236,7 @@ def save_checkpoint(
     spec: dict,
     outcomes: Sequence[object],
     complete: bool,
+    hunt_id: Optional[str] = None,
 ) -> None:
     """Atomically persist the settled outcomes (sorted by index).
 
@@ -214,6 +258,8 @@ def save_checkpoint(
             for o in ordered
         ],
     }
+    if hunt_id:
+        payload["hunt_id"] = hunt_id
     # Compact separators: checkpoints are rewritten periodically, so
     # the serialization cost is the overhead knob that matters.
     atomic_write_text(
@@ -226,10 +272,14 @@ class LoadedCheckpoint:
     sweep had finished, and the settled outcomes."""
 
     def __init__(self, spec: dict, complete: bool,
-                 outcomes: List[object]) -> None:
+                 outcomes: List[object],
+                 hunt_id: Optional[str] = None) -> None:
         self.spec = spec
         self.complete = complete
         self.outcomes = outcomes
+        #: correlation id the checkpoint was written under (None for
+        #: legacy checkpoints); resume adopts it so telemetry joins
+        self.hunt_id = hunt_id
 
     @property
     def settled_indices(self):
@@ -307,8 +357,12 @@ def load_checkpoint(
                 f"{path}: duplicate outcome for job {outcome.job.index}"
             )
         seen.add(outcome.job.index)
+    hunt_id = payload.get("hunt_id")
+    if hunt_id is not None and not isinstance(hunt_id, str):
+        raise CheckpointError(f"{path}: hunt_id is not a string")
     return LoadedCheckpoint(
-        spec=spec, complete=bool(payload.get("complete")), outcomes=outcomes
+        spec=spec, complete=bool(payload.get("complete")),
+        outcomes=outcomes, hunt_id=hunt_id,
     )
 
 
@@ -322,12 +376,13 @@ class CheckpointWriter:
     """
 
     def __init__(self, path: Union[str, Path], spec: dict,
-                 interval: int) -> None:
+                 interval: int, hunt_id: Optional[str] = None) -> None:
         if interval < 1:
             raise ValueError("checkpoint interval must be positive")
         self.path = Path(path)
         self.spec = spec
         self.interval = interval
+        self.hunt_id = hunt_id
         self.writes = 0
         self._since_last = 0
 
@@ -338,6 +393,7 @@ class CheckpointWriter:
             self.flush(outcomes, complete=False)
 
     def flush(self, outcomes: Sequence[object], complete: bool) -> None:
-        save_checkpoint(self.path, self.spec, outcomes, complete=complete)
+        save_checkpoint(self.path, self.spec, outcomes, complete=complete,
+                        hunt_id=self.hunt_id)
         self.writes += 1
         self._since_last = 0

@@ -160,6 +160,11 @@ class HuntResult:
     # found-per-try numerator benchmarks compare detectors by.  Lives
     # in to_json() with the detector, for the same reason.
     certified_races: int = 0
+    # Telemetry correlation id (repro.analysis.checkpoint.make_hunt_id).
+    # The same id appears in the metrics registry's hunt_info gauge,
+    # the event log's meta record, the checkpoint, and profile exports;
+    # run metadata only, so stats()/summary() stay byte-identical.
+    hunt_id: Optional[str] = None
 
     @property
     def found(self) -> bool:
@@ -211,6 +216,7 @@ class HuntResult:
         payload["resumed_jobs"] = self.resumed_jobs
         payload["detector"] = self.detector
         payload["certified_races"] = self.certified_races
+        payload["hunt_id"] = self.hunt_id
         # stats() keeps failures deterministic; the JSON view adds the
         # worker tracebacks so crashes are debuggable from the output.
         payload["failures"] = [
@@ -294,6 +300,7 @@ def hunt_races(
     cancel=None,
     detector: str = "postmortem",
     batch_size: Optional[int] = None,
+    hunt_id: Optional[str] = None,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -374,6 +381,9 @@ def hunt_races(
             auto size targeting a couple of batches per worker —
             override only to study the batching/latency trade-off
             (``1`` reproduces the old job-per-pickle protocol).
+        hunt_id: telemetry correlation id; minted automatically when
+            omitted, overridden by the checkpoint's stored id on a
+            resume.  See :func:`repro.analysis.checkpoint.make_hunt_id`.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -409,4 +419,5 @@ def hunt_races(
         cancel=cancel,
         detector=detector,
         batch_size=batch_size,
+        hunt_id=hunt_id,
     )

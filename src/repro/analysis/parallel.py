@@ -120,11 +120,17 @@ from ..machine.replay import (
     replay_execution,
     verify_recording,
 )
+from ..core.provenance import partition_coverage_keys
 from ..obs.profiler import AggregateRecord, merge_aggregate_maps
 from ..trace.build import build_trace
 from ..trace.fingerprint import trace_fingerprint
 from . import sharedcache
-from .checkpoint import CheckpointWriter, hunt_spec, load_checkpoint
+from .checkpoint import (
+    CheckpointWriter,
+    hunt_spec,
+    load_checkpoint,
+    make_hunt_id,
+)
 from .hunting import HuntResult, JobFailure, PolicyFactory
 
 ProgressCallback = Callable[[int, int, int], None]
@@ -218,6 +224,12 @@ class JobOutcome:
     traceback: str = ""  # full traceback when status == "error"
     retries: int = 0  # retry attempts that preceded this settled outcome
     failure_kind: str = ""  # error classification (see JobFailure.kind)
+    #: coverage signatures of the report's first-race provenance
+    #: partitions (see repro.core.provenance.partition_coverage_keys);
+    #: computed only for racy cache-misses while metrics collect — a
+    #: cache hit repeats a fingerprint already counted, so it cannot
+    #: contribute a new distinct partition either
+    partition_keys: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -248,6 +260,9 @@ class BatchOutcome:
     digests: Dict[int, str] = field(default_factory=dict)
     recordings: Dict[int, ExecutionRecording] = field(default_factory=dict)
     errors: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+    #: coverage partition keys, racy cache-misses only (sparse like the
+    #: other rare payloads)
+    partitions: Dict[int, List[str]] = field(default_factory=dict)
     #: span-path -> AggregateRecord.to_dict(), pre-folded over the batch
     profile_aggs: Optional[Dict[str, dict]] = None
     #: MetricsRegistry.to_records() of the worker-side instrument fold
@@ -272,6 +287,8 @@ class BatchOutcome:
                 batch.recordings[pos] = outcome.recording
             if outcome.error or outcome.traceback:
                 batch.errors[pos] = (outcome.error, outcome.traceback)
+            if outcome.partition_keys:
+                batch.partitions[pos] = list(outcome.partition_keys)
         return batch
 
     def unfold(self, jobs_by_index: Dict[int, HuntJob]) -> List[JobOutcome]:
@@ -294,6 +311,7 @@ class BatchOutcome:
                 fingerprint=self.fingerprints[pos],
                 race_count=self.race_counts[pos],
                 certified_races=self.certified[pos],
+                partition_keys=tuple(self.partitions.get(pos, ())),
             ))
         return outcomes
 
@@ -501,6 +519,13 @@ def _execute_job_inner(
             error=f"{type(exc).__name__}: {exc}",
             traceback=_tb.format_exc(),
         )
+    # Coverage keys: only racy first-analyses can contribute — a cache
+    # hit repeats a fingerprint whose partitions were keyed when first
+    # analyzed — and only while a registry collects (the disabled path
+    # stays inside the profiling-overhead budget).
+    partition_keys: Tuple[str, ...] = ()
+    if racy and report is not None and state.collect_metrics:
+        partition_keys = partition_coverage_keys(report)
     outcome = JobOutcome(
         job=job,
         status="racy" if racy else "clean",
@@ -512,6 +537,7 @@ def _execute_job_inner(
         fingerprint=fingerprint,
         race_count=race_count,
         certified_races=certified,
+        partition_keys=partition_keys,
     )
     if keep_execution:
         outcome.execution = execution
@@ -725,7 +751,8 @@ class _PoolExecutor:
             _worker_run_batch, batches, chunksize=1
         ):
             if batch.metric_records and self.registry is not None:
-                self.registry.merge_records(batch.metric_records)
+                with self.registry.hold():
+                    self.registry.merge_records(batch.metric_records)
             if batch.profile_aggs:
                 merge_aggregate_maps(self.profile_aggs, {
                     path: AggregateRecord.from_dict(payload)
@@ -967,6 +994,12 @@ def _fold_outcome_metrics(
         registry.histogram(
             "hunt_job_duration_seconds", "per-job wall time",
         ).observe(outcome.duration)
+    if outcome.status == "error":
+        registry.counter(
+            "hunt_failures_total",
+            "settled job failures by retry classification",
+            labels=("kind",),
+        ).inc(kind=outcome.failure_kind or "unretried")
     registry.gauge("hunt_done", "completed jobs").set(done)
     registry.gauge("hunt_total", "planned jobs").set(total)
     registry.gauge("hunt_racy", "racy runs so far").set(racy)
@@ -977,6 +1010,101 @@ def _fold_outcome_metrics(
         registry.timeseries(
             "hunt_throughput", "(elapsed, jobs/sec) samples",
         ).record(elapsed, done / elapsed)
+
+
+class _CoverageTracker:
+    """Parent-side distinct-set coverage fold (the live novelty signal).
+
+    Tracks the distinct trace fingerprints and first-race provenance
+    partition signatures seen across settled outcomes — including
+    checkpoint-restored ones, so a resumed hunt's coverage gauges pick
+    up where the original left off.  Set membership lives here (plain
+    parent-side sets); the registry only ever sees the cardinalities,
+    so scrapers get gauges and a growth curve without the engine
+    shipping sets anywhere.
+    """
+
+    def __init__(self) -> None:
+        self.fingerprints: set = set()
+        self.partitions: set = set()
+
+    def fold(self, registry, outcome: JobOutcome, elapsed: float) -> None:
+        grew_fp = False
+        if outcome.fingerprint and outcome.fingerprint not in \
+                self.fingerprints:
+            self.fingerprints.add(outcome.fingerprint)
+            grew_fp = True
+        grew_part = False
+        for key in outcome.partition_keys:
+            if key not in self.partitions:
+                self.partitions.add(key)
+                grew_part = True
+        if grew_fp:
+            registry.gauge(
+                "hunt_coverage_fingerprints",
+                "distinct trace fingerprints seen this hunt",
+            ).set(len(self.fingerprints))
+        if grew_part:
+            registry.gauge(
+                "hunt_coverage_provenance_partitions",
+                "distinct first-race provenance partition signatures",
+            ).set(len(self.partitions))
+        if (grew_fp or grew_part) and elapsed > 0:
+            series = registry.timeseries(
+                "hunt_coverage", "(elapsed, distinct count) growth curve",
+                labels=("kind",),
+            )
+            if grew_fp:
+                series.record(elapsed, len(self.fingerprints),
+                              kind="fingerprints")
+            if grew_part:
+                series.record(elapsed, len(self.partitions),
+                              kind="partitions")
+
+
+def _prime_hunt_metrics(registry, hunt_id: str, detector: str,
+                        model_name: str, total: int) -> None:
+    """Register the hunt metric family up front, so a scrape racing the
+    first settled outcome still sees every family (with zero samples)
+    and ``hunt_info`` joins the scrape to the hunt's other surfaces."""
+    registry.counter(
+        "hunt_tries_total", "hunt jobs by policy, outcome, and detector",
+        labels=("policy", "status", "detector"),
+    )
+    registry.counter(
+        "hunt_trace_cache_hits_total",
+        "analyses served from the trace cache",
+    )
+    registry.counter(
+        "hunt_failures_total",
+        "settled job failures by retry classification",
+        labels=("kind",),
+    )
+    registry.histogram("hunt_job_duration_seconds", "per-job wall time")
+    registry.gauge("hunt_done", "completed jobs").set(0)
+    registry.gauge("hunt_total", "planned jobs").set(total)
+    registry.gauge("hunt_racy", "racy runs so far").set(0)
+    registry.gauge(
+        "hunt_elapsed_seconds", "wall time since the hunt began",
+    ).set(0)
+    registry.timeseries("hunt_throughput", "(elapsed, jobs/sec) samples")
+    registry.gauge(
+        "hunt_coverage_fingerprints",
+        "distinct trace fingerprints seen this hunt",
+    ).set(0)
+    registry.gauge(
+        "hunt_coverage_provenance_partitions",
+        "distinct first-race provenance partition signatures",
+    ).set(0)
+    registry.timeseries(
+        "hunt_coverage", "(elapsed, distinct count) growth curve",
+        labels=("kind",),
+    )
+    registry.gauge(
+        "hunt_info",
+        "constant 1; labels join scrapes to events/checkpoints/results",
+        labels=("hunt_id", "detector", "model"),
+    ).set(1, hunt_id=hunt_id, detector=detector, model=model_name)
 
 
 # ----------------------------------------------------------------------
@@ -1005,6 +1133,7 @@ def run_hunt(
     cancel: Optional[threading.Event] = None,
     detector: str = "postmortem",
     batch_size: Optional[int] = None,
+    hunt_id: Optional[str] = None,
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
@@ -1047,6 +1176,14 @@ def run_hunt(
     detector is part of the checkpoint's hunt identity — resuming with
     a different one is a
     :class:`~repro.analysis.checkpoint.CheckpointMismatch`.
+
+    *hunt_id* is the run's telemetry correlation id
+    (:func:`~repro.analysis.checkpoint.make_hunt_id`); one is minted
+    when the caller passes none.  On a resume the checkpoint's stored
+    id always wins, so a resumed hunt's metrics, events, and results
+    join with the interrupted run's.  The id lands on
+    ``HuntResult.hunt_id``, in every checkpoint write, and — when a
+    registry collects — on the ``hunt_info`` gauge.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -1095,8 +1232,15 @@ def run_hunt(
         racy_floor = loaded.first_racy_index
         if stop_at_first and racy_floor is not None:
             job_plan = [j for j in job_plan if j.index <= racy_floor]
+        # The checkpoint's id wins: a resumed hunt is the same run for
+        # telemetry purposes (legacy checkpoints have none to keep).
+        if loaded.hunt_id:
+            hunt_id = loaded.hunt_id
+    if hunt_id is None:
+        hunt_id = make_hunt_id(spec)
     writer = (
-        CheckpointWriter(checkpoint, spec, checkpoint_interval)
+        CheckpointWriter(checkpoint, spec, checkpoint_interval,
+                         hunt_id=hunt_id)
         if checkpoint is not None else None
     )
 
@@ -1115,17 +1259,40 @@ def run_hunt(
         workers = 1  # factories may be closures; spawn cannot ship them
     start = time.perf_counter()
     observe: Optional[OutcomeObserver] = None
+    coverage: Optional[_CoverageTracker] = None
+    if registry is not None:
+        coverage = _CoverageTracker()
+        # The hold() lock only matters when a telemetry server shares
+        # the registry; without one it is uncontended and effectively
+        # free (one RLock acquire per settled outcome, parent-side).
+        with registry.hold():
+            _prime_hunt_metrics(
+                registry, hunt_id, state.detector,
+                state.model_factory().name, tries,
+            )
+            for outcome in restored:
+                coverage.fold(registry, outcome, 0.0)
+            if restored:
+                registry.gauge("hunt_done", "completed jobs") \
+                    .set(len(restored))
+                registry.gauge("hunt_racy", "racy runs so far").set(
+                    sum(1 for o in restored if o.status == "racy")
+                )
     if registry is not None or on_outcome is not None:
         worker_folded = workers > 1 and state.collect_metrics
 
         def observe(outcome, done, total, racy):
             if registry is not None:
-                _fold_outcome_metrics(
-                    registry, outcome, done, total, racy,
-                    time.perf_counter() - start,
-                    detector=state.detector,
-                    worker_folded=worker_folded,
-                )
+                with registry.hold():
+                    _fold_outcome_metrics(
+                        registry, outcome, done, total, racy,
+                        time.perf_counter() - start,
+                        detector=state.detector,
+                        worker_folded=worker_folded,
+                    )
+                    if outcome.status in ("racy", "clean"):
+                        coverage.fold(registry, outcome,
+                                      time.perf_counter() - start)
             if on_outcome is not None:
                 on_outcome(outcome)
 
@@ -1252,6 +1419,7 @@ def run_hunt(
         }
     result.jobs = workers
     result.elapsed = time.perf_counter() - start
+    result.hunt_id = hunt_id
     return result
 
 

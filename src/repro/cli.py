@@ -6,8 +6,12 @@ trace file instead; ``weakraces analyze`` runs the detector on a
 previously written trace file; ``weakraces check`` verifies Condition
 3.4 on an execution; ``weakraces hunt`` sweeps seeds x propagation
 policies (optionally across worker processes) for a racy execution,
-with ``--live`` telemetry and a ``--events`` JSONL wide-event log;
+with ``--live`` telemetry, a ``--events`` JSONL wide-event log, and a
+``--serve HOST:PORT`` HTTP telemetry endpoint (Prometheus ``/metrics``,
+JSON ``/status``, ``/healthz``);
 ``weakraces events`` validates/summarizes/tails such a log;
+``weakraces top`` renders a live dashboard from a served hunt
+(``--attach``) or an event log (``--events``);
 ``weakraces explain`` prints witness-checked provenance for every
 reported race; ``weakraces profile`` runs the pipeline under the
 :mod:`repro.obs` profiler and prints per-stage timings; ``weakraces
@@ -364,6 +368,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="base retry backoff delay (default %(default)ss; doubles "
              "per attempt, with deterministic seeded jitter)",
     )
+    hunt_p.add_argument(
+        "--serve", metavar="HOST:PORT", dest="serve_address",
+        help="serve live telemetry over HTTP while the hunt runs: "
+             "Prometheus /metrics (text exposition 0.0.4), JSON "
+             "/status, and /healthz; port 0 binds an ephemeral port "
+             "and the chosen URL is printed to stderr",
+    )
 
     ev_p = sub.add_parser(
         "events",
@@ -386,6 +397,40 @@ def _build_parser() -> argparse.ArgumentParser:
     ev_p.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the loaded log as JSON",
+    )
+
+    top_p = sub.add_parser(
+        "top",
+        help="live dashboard for a hunt (attach to --serve, or render "
+             "an --events log)",
+        description=(
+            "Render a one-screen dashboard — progress, throughput, "
+            "per-policy and per-detector racy rates, a job-duration "
+            "sparkline, coverage counters, failure classes — either "
+            "by polling a hunt's --serve telemetry endpoint "
+            "(--attach HOST:PORT) or from a 'hunt --events' JSONL "
+            "log (--events FILE, works while the hunt still runs).  "
+            "Exit status: 0 on a clean end (--once, Ctrl-C, or the "
+            "hunt finishing), 2 when the source cannot be fetched or "
+            "parsed."
+        ),
+    )
+    top_group = top_p.add_mutually_exclusive_group(required=True)
+    top_group.add_argument(
+        "--attach", metavar="HOST:PORT",
+        help="poll a live hunt's telemetry server (--serve address)",
+    )
+    top_group.add_argument(
+        "--events", metavar="FILE", dest="events_path",
+        help="render from a hunt event log instead of a live server",
+    )
+    top_p.add_argument(
+        "--interval", type=float, default=1.0, metavar="SEC",
+        help="repaint interval (default %(default)ss)",
+    )
+    top_p.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (for scripts)",
     )
 
     ex_p = sub.add_parser(
@@ -469,7 +514,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     profiler = obs.Profiler()
     with profiler.activate():
         status = _dispatch(args)
-    obs.write_profile(profiler, profile_path, meta={"command": args.command})
+    meta = {"command": args.command}
+    hunt_id = getattr(args, "_hunt_id", None)
+    if hunt_id:
+        meta["hunt_id"] = hunt_id
+    obs.write_profile(profiler, profile_path, meta=meta)
     print(f"profile written to {profile_path}", file=sys.stderr)
     return status
 
@@ -628,7 +677,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 2
         loaded = obs_events.read_events(args.file)
         if args.as_json:
-            print(json.dumps(loaded, indent=2, sort_keys=True))
+            payload = dict(loaded)
+            payload["breakdown"] = obs_events.summary_data(loaded)
+            print(json.dumps(payload, indent=2, sort_keys=True))
         elif args.tail is not None:
             for record in loaded["tries"][-max(args.tail, 0):]:
                 print(obs_events.format_try(record))
@@ -670,11 +721,22 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(f"\nDOT graph written to {args.dot}")
         return 0 if report.race_free else 1
 
+    if args.command == "top":
+        from .obs.top import run_top
+        return run_top(
+            attach=args.attach,
+            events_path=args.events_path,
+            interval=args.interval,
+            once=args.once,
+        )
+
     if args.command == "hunt":
         import os
         import signal
         import threading
-        from .analysis.checkpoint import CheckpointError
+        from .analysis.checkpoint import (
+            CheckpointError, make_hunt_id, peek_hunt_id,
+        )
         from .analysis.hunting import hunt_races, policies_by_name
         from .obs import events as obs_events
         from .obs import metrics as obs_metrics
@@ -684,6 +746,30 @@ def _dispatch(args: argparse.Namespace) -> int:
             print("hunt: --resume requires --checkpoint FILE",
                   file=sys.stderr)
             return 2
+        # Resolve the hunt id up front so every surface that mentions
+        # it — events meta, /status, profile meta, checkpoint, the
+        # final JSON — agrees.  On resume the checkpoint's stored id
+        # wins (run_hunt enforces the same precedence).
+        hunt_id = None
+        if args.resume and args.checkpoint_path:
+            hunt_id = peek_hunt_id(args.checkpoint_path)
+        if hunt_id is None:
+            hunt_id = make_hunt_id({
+                "workload": args.workload,
+                "model": args.model,
+                "detector": args.detector,
+                "tries": args.tries,
+                "policies": args.policies or "default",
+            })
+        args._hunt_id = hunt_id
+        serve_address = None
+        if args.serve_address:
+            from .obs.server import parse_serve_address
+            try:
+                serve_address = parse_serve_address(args.serve_address)
+            except ValueError as exc:
+                print(f"hunt: {exc}", file=sys.stderr)
+                return 2
         registry = None
         status_line = None
         progress = None
@@ -695,6 +781,24 @@ def _dispatch(args: argparse.Namespace) -> int:
             def progress(done: int, total: int, racy: int) -> None:
                 print(f"\rhunt: {done}/{total} executions, {racy} racy",
                       end="", file=sys.stderr, flush=True)
+        server = None
+        if serve_address is not None:
+            from .obs.server import TelemetryServer
+            if registry is None:
+                registry = obs_metrics.MetricsRegistry()
+            server = TelemetryServer(registry, info={
+                "hunt_id": hunt_id,
+                "workload": args.workload,
+                "model": args.model,
+                "detector": args.detector,
+                "tries": args.tries,
+                "jobs": args.jobs,
+                "policies": args.policies or "default",
+            }, host=serve_address[0], port=serve_address[1])
+            url = server.start()
+            print(f"hunt: telemetry serving on {url} "
+                  f"(/metrics /status /healthz)",
+                  file=sys.stderr, flush=True)
         event_log = None
         if args.events_path:
             event_log = obs_events.HuntEventLog(args.events_path, meta={
@@ -703,7 +807,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "tries": args.tries,
                 "jobs": args.jobs,
                 "policies": args.policies or "default",
-            })
+                "hunt_id": hunt_id,
+                "detector": args.detector,
+            }, detector=args.detector)
         # Graceful interruption: the first SIGINT/SIGTERM stops
         # dispatch and drains in-flight jobs (a final checkpoint and a
         # partial result still come out); a second signal means "now",
@@ -749,6 +855,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 cancel=cancel,
                 detector=args.detector,
                 batch_size=args.batch_size,
+                hunt_id=hunt_id,
             )
         except (CheckpointError, ValueError) as exc:
             if event_log is not None:
@@ -758,8 +865,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         finally:
             for signum, handler in previous_handlers.items():
                 signal.signal(signum, handler)
+            if server is not None:
+                server.stop()
             if status_line is not None:
-                status_line.finish()
+                status_line.finish(
+                    note="interrupted" if cancel.is_set() else None)
             elif progress is not None:
                 print(file=sys.stderr)  # end the live status line
         if event_log is not None:
@@ -779,6 +889,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "resumed_jobs": result.resumed_jobs,
                 "detector": result.detector,
                 "certified_races": result.certified_races,
+                "hunt_id": result.hunt_id,
             })
             event_log.close()
             print(f"hunt events written to {args.events_path}",

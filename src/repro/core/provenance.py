@@ -33,9 +33,10 @@ reported a pair its own ordering relation calls ordered.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..trace.events import EventId
 from .races import EventRace
@@ -244,6 +245,45 @@ class ProvenanceReport:
             if prov.signature == signature:
                 return prov
         return None
+
+
+def _race_text(race: EventRace) -> str:
+    locations = ",".join(str(addr) for addr in sorted(race.locations))
+    return f"{race.signature}@{locations}"
+
+
+def partition_coverage_keys(report) -> Tuple[str, ...]:
+    """Stable signatures of a racy report's *first-race provenance
+    partitions* — the hunt's coverage alphabet.
+
+    Each key is a BLAKE2b digest over the sorted data-race signatures
+    (endpoints + conflicting locations) of one first partition, so two
+    seeds whose races land in structurally identical partitions count
+    as the *same* coverage unit, while a seed that reaches a new
+    partition shape grows the hunt's distinct-partition gauge.  Keys
+    are content-derived (no component indices, which renumber across
+    traces) and sorted, so they are insensitive to partition order.
+
+    Reports without a partition analysis (naive, streaming — no G′)
+    degrade to one key per data race: the per-race coverage the
+    detector can actually distinguish.
+    """
+    partitions = getattr(report, "first_partitions", None)
+    if partitions:
+        texts = [
+            "|".join(sorted(
+                _race_text(race)
+                for race in partition.races if race.is_data_race
+            ))
+            for partition in partitions
+        ]
+    else:
+        races = getattr(report, "data_races", None) or ()
+        texts = [_race_text(race) for race in races]
+    return tuple(sorted(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+        for text in texts if text
+    ))
 
 
 def explain_races(report: RaceReport,

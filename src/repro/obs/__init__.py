@@ -5,8 +5,10 @@ Two complementary layers:
 * the span profiler (:mod:`repro.obs.profiler` + :mod:`repro.obs.export`)
   answers "where did the time go" for one bounded run;
 * the telemetry layer (:mod:`repro.obs.metrics` typed registry,
-  :mod:`repro.obs.events` structured JSONL event log, and
-  :mod:`repro.obs.live` status line) answers "what is happening right
+  :mod:`repro.obs.events` structured JSONL event log,
+  :mod:`repro.obs.live` status line, :mod:`repro.obs.exporters`
+  Prometheus exposition, :mod:`repro.obs.server` HTTP endpoint, and
+  :mod:`repro.obs.top` dashboard) answers "what is happening right
   now" for long-running hunts.
 
 The hot path calls :func:`span`/:func:`count` (near-zero-cost no-ops
@@ -17,6 +19,11 @@ and the file schemas.
 """
 
 from . import events, live, metrics
+
+# exporters/server/top are deliberately NOT imported here: each is
+# also an entry point (``python -m repro.obs.exporters``) or pulls in
+# http/urllib machinery the hot path never needs — import them as
+# submodules (``from repro.obs import server``) on demand.
 from .profiler import (
     NULL_SPAN,
     AggregateRecord,

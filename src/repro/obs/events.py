@@ -19,7 +19,11 @@ The schema (``EVENTS_FORMAT`` = 1) is JSON-lines:
   (count found), ``operations``, ``completed`` (False = step bound
   hit), plus retry provenance ``attempt``/``retries`` (optional for
   backward compatibility; ``status="retried"`` marks an attempt that
-  a later retry superseded);
+  a later retry superseded).  Newer writers add, still optionally:
+  ``detector`` (the analysis backend), ``certified`` (the report's
+  certified race count), ``failure_kind`` (settled-error
+  classification), and ``partitions`` (first-race provenance coverage
+  keys, see :func:`repro.core.provenance.partition_coverage_keys`);
 
 * ``{"t": "stage", ...}`` — one record per detection stage, folded
   across all workers: ``path`` (span path, e.g.
@@ -106,8 +110,10 @@ class HuntEventLog:
     """
 
     def __init__(self, path: Union[str, Path],
-                 meta: Optional[dict] = None) -> None:
+                 meta: Optional[dict] = None,
+                 detector: str = "") -> None:
         self.writer = EventLogWriter(path, kind="hunt", meta=meta)
+        self.detector = detector
         self.tries = 0
 
     @property
@@ -118,7 +124,7 @@ class HuntEventLog:
         """Record one job outcome (duck-typed
         :class:`repro.analysis.parallel.JobOutcome`)."""
         self.tries += 1
-        self.writer.write({
+        record = {
             "t": "try",
             "index": outcome.job.index,
             "seed": outcome.job.seed,
@@ -133,7 +139,17 @@ class HuntEventLog:
             "error": outcome.error,
             "attempt": outcome.job.attempt,
             "retries": outcome.retries,
-        })
+            "certified": getattr(outcome, "certified_races", 0),
+        }
+        if self.detector:
+            record["detector"] = self.detector
+        failure_kind = getattr(outcome, "failure_kind", "")
+        if failure_kind:
+            record["failure_kind"] = failure_kind
+        partitions = getattr(outcome, "partition_keys", ())
+        if partitions:
+            record["partitions"] = list(partitions)
+        self.writer.write(record)
 
     def write_stages(self, stage_profile: Optional[Dict[str, dict]]) -> None:
         """Append one ``stage`` record per aggregated span path (from
@@ -279,6 +295,55 @@ def format_try(record: dict) -> str:
     )
 
 
+def summary_data(loaded: Dict[str, object]) -> Dict[str, object]:
+    """Machine-readable aggregation of a loaded event log: per-policy
+    and per-detector breakdowns plus totals.  This is what ``weakraces
+    events --json`` attaches under ``"breakdown"`` and what the
+    ``top --events`` dashboard renders.
+
+    The detector of a try resolves from the record's own ``detector``
+    field (newer writers) falling back to the meta record's; logs
+    written before either existed aggregate under ``""`` and the
+    per-detector table is simply empty.
+    """
+    meta = loaded.get("meta") or {}
+    tries: List[dict] = loaded.get("tries") or []  # type: ignore[assignment]
+    ran = [t for t in tries if t["status"] not in ("skipped", "retried")]
+    per_policy: Dict[str, Dict[str, int]] = {}
+    per_detector: Dict[str, Dict[str, int]] = {}
+    by_status: Dict[str, int] = {}
+    failures_by_kind: Dict[str, int] = {}
+    meta_detector = meta.get("detector") if isinstance(meta, dict) else None
+    for record in ran:
+        racy = record["status"] == "racy"
+        by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+        policy = per_policy.setdefault(
+            record["policy"], {"tries": 0, "racy": 0})
+        policy["tries"] += 1
+        policy["racy"] += racy
+        detector = record.get("detector") or meta_detector
+        if detector:
+            cell = per_detector.setdefault(
+                str(detector), {"tries": 0, "racy": 0, "certified": 0})
+            cell["tries"] += 1
+            cell["racy"] += racy
+            if racy:
+                cell["certified"] += int(record.get("certified", 0) or 0)
+        if record["status"] == "error":
+            kind = record.get("failure_kind") or "unretried"
+            failures_by_kind[kind] = failures_by_kind.get(kind, 0) + 1
+    return {
+        "tries": len(ran),
+        "skipped": sum(1 for t in tries if t["status"] == "skipped"),
+        "retried": sum(1 for t in tries if t["status"] == "retried"),
+        "by_status": by_status,
+        "per_policy": per_policy,
+        "per_detector": per_detector,
+        "failures_by_kind": failures_by_kind,
+        "cache_hits": sum(1 for t in ran if t.get("cache_hit")),
+    }
+
+
 def summarize_events(loaded: Dict[str, object]) -> str:
     """Aggregate a loaded event log (see :func:`read_events`) into a
     human-readable summary: totals, per-policy racy rates, cache hit
@@ -332,6 +397,14 @@ def summarize_events(loaded: Dict[str, object]) -> str:
         ]
     for policy, (racy, total) in sorted(per_policy.items()):
         lines.append(f"  {policy}: {racy}/{total} racy")
+    per_detector = summary_data(loaded)["per_detector"]
+    if per_detector:
+        lines.append("  detectors:")
+        for detector, cell in sorted(per_detector.items()):  # type: ignore
+            lines.append(
+                f"    {detector}: {cell['racy']}/{cell['tries']} racy, "
+                f"{cell['certified']} certified race(s)"
+            )
     if stages:
         lines.append("  stages (aggregated across workers):")
         for record in stages:

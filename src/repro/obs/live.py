@@ -64,8 +64,17 @@ class HuntStatusLine:
         self._last_paint = now
         self._paint(self.render(now - self._started))
 
-    def render(self, elapsed: Optional[float] = None) -> str:
-        """The status line for the current state (no I/O)."""
+    def render(self, elapsed: Optional[float] = None,
+               final: bool = False, note: Optional[str] = None) -> str:
+        """The status line for the current state (no I/O).
+
+        With *final* the line describes a hunt that has stopped: the
+        rate is the whole-run average (``done / elapsed``, never a
+        stale mid-run throughput sample) and no ETA is shown — an ETA
+        or an old rate on the terminal's last line would misreport a
+        hunt that early-stopped or was interrupted.  *note* appends a
+        trailing marker (e.g. ``interrupted``).
+        """
         if elapsed is None:
             elapsed = self._clock() - self._started
         done, total, racy = self._done, self._total, self._racy
@@ -74,11 +83,12 @@ class HuntStatusLine:
         rate = done / elapsed if elapsed > 0 else 0.0
         cache_text = ""
         if registry is not None:
-            throughput = registry.get("hunt_throughput")
-            if isinstance(throughput, _metrics.TimeSeries):
-                latest = throughput.latest()
-                if latest is not None:
-                    rate = latest[1]
+            if not final:
+                throughput = registry.get("hunt_throughput")
+                if isinstance(throughput, _metrics.TimeSeries):
+                    latest = throughput.latest()
+                    if latest is not None:
+                        rate = latest[1]
             hits = registry.get("hunt_trace_cache_hits_total")
             if isinstance(hits, _metrics.Counter) and done:
                 cache_text = f"  cache {hits.total() / done:.0%}"
@@ -90,8 +100,10 @@ class HuntStatusLine:
             parts.append(f"racy {racy / done:.0%}")
         if cache_text:
             parts.append(cache_text.strip())
-        if rate > 0 and total > done:
+        if not final and rate > 0 and total > done:
             parts.append(f"eta {_format_eta((total - done) / rate)}")
+        if note:
+            parts.append(note)
         return "  ".join(parts)
 
     # -- painting ------------------------------------------------------
@@ -101,8 +113,18 @@ class HuntStatusLine:
         self.stream.write("\r" + line + padding)
         self.stream.flush()
 
-    def finish(self) -> None:
-        """Paint the final state and move to a fresh line."""
-        self._paint(self.render())
+    def finish(self, note: Optional[str] = None) -> None:
+        """Paint the true final state — unthrottled — and move to a
+        fresh line.
+
+        Throttling can swallow the last :meth:`progress` repaints (an
+        early stop or SIGINT lands whenever it lands), so the terminal
+        would otherwise keep showing the last *painted* snapshot, not
+        the final counts.  This always repaints from the latest state,
+        drops the ETA, and replaces any stale throughput sample with
+        the whole-run average; *note* marks abnormal ends (e.g.
+        ``"interrupted"``).
+        """
+        self._paint(self.render(final=True, note=note))
         self.stream.write("\n")
         self.stream.flush()

@@ -50,6 +50,21 @@ name                           type       labels / meaning
 ``hunt_racy``                  Gauge      racy runs so far
 ``hunt_elapsed_seconds``       Gauge      wall time since the hunt began
 ``hunt_throughput``            TimeSeries ``(elapsed, jobs/sec)`` samples
+``hunt_failures_total``        Counter    ``kind`` — settled-error
+                                          classification (deterministic
+                                          | exhausted | unretried)
+``hunt_info``                  Gauge      ``hunt_id``, ``detector``,
+                                          ``model`` — constant ``1``;
+                                          joins scrapes to event logs,
+                                          checkpoints, and results
+``hunt_coverage_fingerprints`` Gauge     distinct trace fingerprints
+``hunt_coverage_provenance_partitions``  Gauge — distinct first-race
+                                          provenance partition signatures
+``hunt_coverage``              TimeSeries ``(elapsed, count)`` growth
+                                          curve, labelled ``kind``
+                                          (fingerprints | partitions)
+``hunt_scrapes_total``         Counter    ``endpoint`` — telemetry-server
+                                          requests served
 =============================  =========  ==================================
 
 The fold is split across the batch wire (see
@@ -64,6 +79,7 @@ identical to the serial fold either way.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -237,19 +253,39 @@ class Histogram(_Instrument):
         return cell[2] / cell[1]
 
     def quantile(self, q: float, **labels: str) -> Optional[float]:
-        """Estimate the *q*-quantile (0..1) from the bucket counts: the
-        upper bound of the bucket holding the target rank (+inf bucket
-        answers with the largest finite bound)."""
+        """Estimate the *q*-quantile (0..1) from the bucket counts.
+
+        Ranks are assumed uniform within the bucket holding the target
+        rank, so the estimate interpolates linearly between the
+        bucket's bounds (the lowest bucket interpolates up from 0),
+        like Prometheus's ``histogram_quantile``.  Error bound: the
+        true quantile lies in the same bucket ``(lo, hi]``, so the
+        estimate is off by at most the bucket width ``hi - lo`` — and
+        is exact when observations really are uniform in the bucket.
+        Ranks landing in the implicit +inf bucket clamp to the largest
+        finite bound, which can under-estimate without bound; size the
+        top bucket above the expected maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(
+                f"histogram {self.name!r}: quantile {q} not in [0, 1]"
+            )
         cell = self._data.get(self._key(labels))
         if not cell or cell[1] == 0:
             return None
         counts, count, _ = cell
         target = q * count
+        lo = 0.0
         seen = 0
         for i, bound in enumerate(self.bounds):
+            below = seen
             seen += counts[i]
             if seen >= target:
-                return bound
+                if counts[i] == 0:
+                    return bound
+                frac = (target - below) / counts[i]
+                return lo + (bound - lo) * min(max(frac, 0.0), 1.0)
+            lo = bound
         return self.bounds[-1]
 
     def series(self) -> List[dict]:
@@ -335,10 +371,28 @@ _TYPES = {
 
 
 class MetricsRegistry:
-    """Instruments by name, with get-or-create accessors and merge."""
+    """Instruments by name, with get-or-create accessors and merge.
+
+    Instruments themselves are not thread-safe; single-threaded folds
+    (the hunt's parent-side ``observe`` callback) need no locking.  When
+    another thread *reads* the registry concurrently — the telemetry
+    server rendering ``/metrics`` while a hunt folds outcomes — both
+    sides bracket their access with :meth:`hold`::
+
+        with registry.hold():
+            text = render_prometheus(registry)
+
+    The lock is reentrant, so a writer already holding it can call
+    helpers that take it again.
+    """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.RLock()
+
+    def hold(self) -> "threading.RLock":
+        """Reentrant lock serialising cross-thread registry access."""
+        return self._lock
 
     # -- get-or-create -------------------------------------------------
     def _get(self, cls, name: str, help: str,

@@ -1,0 +1,262 @@
+"""repro.obs.server — a live telemetry endpoint for running hunts.
+
+``weakraces hunt --serve HOST:PORT`` starts a :class:`TelemetryServer`
+— a stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon
+thread — in the *parent* process.  The hunt's parent-side ``observe``
+fold is the single metrics producer (workers ship batched records they
+would ship anyway), so serving adds zero per-try work on the worker
+side; the only cross-thread coordination is the registry's reentrant
+:meth:`~repro.obs.metrics.MetricsRegistry.hold` lock, taken briefly per
+outcome fold and per scrape.
+
+Three endpoints:
+
+``/metrics``
+    Prometheus text exposition 0.0.4 (see :mod:`repro.obs.exporters`),
+    content type ``text/plain; version=0.0.4``.
+``/status``
+    A JSON snapshot assembled by :func:`hunt_status`: hunt identity
+    (``hunt_id``, workload, model, detector, policies), seeds settled
+    and remaining, racy count, throughput, per-status/-policy/-detector
+    try counts, failure classification, cache hit rate, coverage
+    counters, and job-duration quantiles.
+``/healthz``
+    ``200 ok`` while the server thread is up — a liveness probe.
+
+Port ``0`` binds an ephemeral port; the chosen one is in
+:attr:`TelemetryServer.port` / :attr:`TelemetryServer.url` (the CLI
+prints the URL to stderr so scripts can scrape it).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from . import metrics as _metrics
+from .exporters import render_prometheus
+
+__all__ = [
+    "TelemetryServer",
+    "hunt_status",
+    "parse_serve_address",
+]
+
+
+def parse_serve_address(text: str) -> Tuple[str, int]:
+    """``"HOST:PORT"`` → ``(host, port)``; port 0 means "pick one"."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--serve expects HOST:PORT (e.g. 127.0.0.1:9099), got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--serve port must be an integer, got {port_text!r}")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--serve port out of range: {port}")
+    return host, port
+
+
+def _gauge_value(registry: _metrics.MetricsRegistry, name: str,
+                 default: Optional[float] = None) -> Optional[float]:
+    instrument = registry.get(name)
+    if isinstance(instrument, _metrics.Gauge) and not instrument.labels:
+        value = instrument.value()
+        if value is not None:
+            return value
+    return default
+
+
+def _counter_breakdown(registry: _metrics.MetricsRegistry, name: str,
+                       label: str) -> Dict[str, float]:
+    """Sum a counter's series over one label dimension."""
+    instrument = registry.get(name)
+    out: Dict[str, float] = {}
+    if isinstance(instrument, _metrics.Counter):
+        for entry in instrument.series():
+            key = entry["labels"].get(label, "")
+            out[key] = out.get(key, 0) + entry["value"]
+    return out
+
+
+def hunt_status(registry: _metrics.MetricsRegistry,
+                info: Optional[Dict[str, object]] = None) -> dict:
+    """The ``/status`` snapshot, assembled from the hunt metric names
+    documented in :mod:`repro.obs.metrics` plus the static *info* the
+    CLI passes at server construction (hunt_id, workload, model, ...).
+
+    Callers sharing the registry with a writer thread should bracket
+    this with ``registry.hold()`` (the server does).
+    """
+    info = dict(info or {})
+    done = int(_gauge_value(registry, "hunt_done", 0) or 0)
+    total = int(_gauge_value(registry, "hunt_total",
+                             info.get("tries") or 0) or 0)
+    racy = int(_gauge_value(registry, "hunt_racy", 0) or 0)
+    elapsed = _gauge_value(registry, "hunt_elapsed_seconds", 0.0) or 0.0
+
+    throughput = None
+    series = registry.get("hunt_throughput")
+    if isinstance(series, _metrics.TimeSeries):
+        latest = series.latest()
+        if latest is not None:
+            throughput = latest[1]
+
+    hits = 0.0
+    cache = registry.get("hunt_trace_cache_hits_total")
+    if isinstance(cache, _metrics.Counter):
+        hits = cache.total()
+
+    duration = registry.get("hunt_job_duration_seconds")
+    quantiles = None
+    if isinstance(duration, _metrics.Histogram) and duration.count() > 0:
+        quantiles = {
+            "p50": duration.quantile(0.5),
+            "p90": duration.quantile(0.9),
+            "p99": duration.quantile(0.99),
+            "mean": duration.mean(),
+            "count": duration.count(),
+        }
+
+    status = {
+        "t": "hunt_status",
+        "hunt_id": info.get("hunt_id"),
+        "hunt": info,
+        "seeds": {
+            "settled": done,
+            "remaining": max(0, total - done),
+            "total": total,
+        },
+        "racy": racy,
+        "elapsed_sec": elapsed,
+        "throughput_per_sec": throughput,
+        "tries_by_status": _counter_breakdown(
+            registry, "hunt_tries_total", "status"),
+        "tries_by_policy": _counter_breakdown(
+            registry, "hunt_tries_total", "policy"),
+        "tries_by_detector": _counter_breakdown(
+            registry, "hunt_tries_total", "detector"),
+        "failures_by_kind": _counter_breakdown(
+            registry, "hunt_failures_total", "kind"),
+        "cache": {
+            "hits": hits,
+            "hit_rate": (hits / done) if done else None,
+        },
+        "coverage": {
+            "fingerprints": int(_gauge_value(
+                registry, "hunt_coverage_fingerprints", 0) or 0),
+            "provenance_partitions": int(_gauge_value(
+                registry, "hunt_coverage_provenance_partitions", 0) or 0),
+        },
+        "job_duration_sec": quantiles,
+    }
+    return status
+
+
+class TelemetryServer:
+    """Serve a registry (and static hunt info) over HTTP.
+
+    Lifecycle::
+
+        server = TelemetryServer(registry, info={"hunt_id": hunt_id, ...})
+        url = server.start()        # binds, spawns the daemon thread
+        ...                         # hunt runs; scrapers GET url/metrics
+        server.stop()               # shuts the listener down
+
+    The handler never touches hunt state directly — only the registry
+    (under its :meth:`~repro.obs.metrics.MetricsRegistry.hold` lock)
+    and the immutable *info* dict — so a slow or hostile scraper cannot
+    perturb the hunt beyond brief lock holds.
+    """
+
+    def __init__(self, registry: _metrics.MetricsRegistry,
+                 info: Optional[Dict[str, object]] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.registry = registry
+        self.info: Dict[str, object] = dict(info or {})
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> str:
+        """Bind, start serving on a daemon thread, return the URL."""
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # silence the default stderr access log
+            def log_message(self, format: str, *args) -> None:  # noqa: A002
+                pass
+
+            def do_GET(self) -> None:
+                try:
+                    server._handle(self)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # scraper went away mid-response
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- request handling ----------------------------------------------
+    def _count_scrape(self, endpoint: str) -> None:
+        self.registry.counter(
+            "hunt_scrapes_total",
+            "Telemetry-server requests served, by endpoint.",
+            labels=("endpoint",),
+        ).inc(endpoint=endpoint)
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz":
+            body = b"ok\n"
+            content_type = "text/plain; charset=utf-8"
+        elif path == "/metrics":
+            with self.registry.hold():
+                self._count_scrape("metrics")
+                body = render_prometheus(self.registry).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/status":
+            with self.registry.hold():
+                self._count_scrape("status")
+                status = hunt_status(self.registry, self.info)
+            body = (json.dumps(status, sort_keys=True) + "\n").encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = b"not found\n"
+            request.send_response(404)
+            request.send_header("Content-Type", "text/plain; charset=utf-8")
+            request.send_header("Content-Length", str(len(body)))
+            request.end_headers()
+            request.wfile.write(body)
+            return
+        request.send_response(200)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)

@@ -1,0 +1,409 @@
+"""repro.obs.top — a terminal dashboard for hunts.
+
+``weakraces top --attach HOST:PORT`` polls a live hunt's telemetry
+server (see :mod:`repro.obs.server`) and repaints a one-screen,
+curses-free ANSI dashboard: progress, throughput, per-policy and
+per-detector racy rates, a job-duration histogram sparkline, coverage
+counters, cache hit rate, and the failure-classification table.
+``weakraces top --events FILE`` renders the same dashboard from a
+``hunt --events`` JSONL log instead — post-hoc, or over a growing file
+while the hunt runs.
+
+The module splits cleanly into a data layer and a render layer:
+
+* :class:`TopSnapshot` — one dashboard's worth of numbers, with
+  constructors :func:`snapshot_from_http` (GET ``/status`` +
+  ``/metrics``, the exposition parsed by the strict vendored parser in
+  :mod:`repro.obs.exporters`) and :func:`snapshot_from_events`
+  (:func:`repro.obs.events.read_events` + ``summary_data``);
+* :func:`render_top` — pure snapshot → text, which is what the tests
+  drive;
+* :func:`run_top` — the repaint loop (ANSI home + clear-to-end, no
+  curses), with ``--once`` for scripts and a graceful "hunt finished"
+  exit when a previously healthy endpoint goes away.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import events as _events
+from .exporters import ExpositionError, parse_exposition
+
+__all__ = [
+    "TopError",
+    "TopSnapshot",
+    "snapshot_from_http",
+    "snapshot_from_events",
+    "sparkline",
+    "render_top",
+    "run_top",
+]
+
+#: sparkline glyphs, lowest to highest
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+#: duration bounds used when binning an event log ourselves (matches
+#: the hunt histogram's DEFAULT_BUCKETS, +inf implicit)
+_EVENT_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+
+
+class TopError(RuntimeError):
+    """The dashboard could not fetch or parse its data source."""
+
+
+@dataclass
+class TopSnapshot:
+    """Everything one dashboard frame needs, source-agnostic."""
+
+    source: str                       # "http://..." or an events path
+    hunt_id: Optional[str] = None
+    info: Dict[str, object] = field(default_factory=dict)
+    settled: int = 0
+    total: int = 0
+    racy: int = 0
+    elapsed_sec: float = 0.0
+    throughput: Optional[float] = None
+    tries_by_status: Dict[str, float] = field(default_factory=dict)
+    per_policy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    per_detector: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    failures_by_kind: Dict[str, float] = field(default_factory=dict)
+    cache_hits: float = 0.0
+    coverage_fingerprints: int = 0
+    coverage_partitions: int = 0
+    duration_quantiles: Optional[Dict[str, float]] = None
+    # (upper_bound_label, count) per bucket, non-cumulative, +Inf last
+    duration_buckets: List[Tuple[str, float]] = field(default_factory=list)
+    finished: bool = False
+
+
+# ----------------------------------------------------------------------
+# data layer
+# ----------------------------------------------------------------------
+
+def _fetch(url: str, timeout: float) -> bytes:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read()
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise TopError(f"cannot fetch {url}: {exc}") from None
+
+
+def _duration_buckets_from_metrics(text: str) -> List[Tuple[str, float]]:
+    """Extract the job-duration histogram from exposition text as
+    non-cumulative ``(le-label, count)`` pairs (validated first)."""
+    families = parse_exposition(text)
+    family = families.get("hunt_job_duration_seconds")
+    if family is None:
+        return []
+    pairs: List[Tuple[float, str, float]] = []
+    for sample in family.samples:
+        if sample.name.endswith("_bucket") and "le" in sample.labels:
+            le = sample.labels["le"]
+            bound = float("inf") if le == "+Inf" else float(le)
+            pairs.append((bound, le, sample.value))
+    pairs.sort(key=lambda item: item[0])
+    out: List[Tuple[str, float]] = []
+    previous = 0.0
+    for _, le, cumulative in pairs:
+        out.append((le, cumulative - previous))
+        previous = cumulative
+    return out
+
+
+def snapshot_from_http(base_url: str,
+                       timeout: float = 5.0) -> TopSnapshot:
+    """One frame from a live telemetry server (``/status`` +
+    ``/metrics``).  Raises :class:`TopError` on connection or parse
+    failures."""
+    base = base_url.rstrip("/")
+    if not base.startswith("http"):
+        base = "http://" + base
+    try:
+        status = json.loads(_fetch(base + "/status", timeout))
+    except ValueError as exc:
+        raise TopError(f"{base}/status: invalid JSON: {exc}") from None
+    try:
+        buckets = _duration_buckets_from_metrics(
+            _fetch(base + "/metrics", timeout).decode("utf-8"))
+    except ExpositionError as exc:
+        raise TopError(f"{base}/metrics: {exc}") from None
+    seeds = status.get("seeds") or {}
+    per_policy = {
+        policy: {"tries": tries}
+        for policy, tries in (status.get("tries_by_policy") or {}).items()
+    }
+    per_detector = {
+        detector: {"tries": tries}
+        for detector, tries in (status.get("tries_by_detector") or {}).items()
+    }
+    coverage = status.get("coverage") or {}
+    cache = status.get("cache") or {}
+    return TopSnapshot(
+        source=base,
+        hunt_id=status.get("hunt_id"),
+        info=status.get("hunt") or {},
+        settled=int(seeds.get("settled", 0) or 0),
+        total=int(seeds.get("total", 0) or 0),
+        racy=int(status.get("racy", 0) or 0),
+        elapsed_sec=float(status.get("elapsed_sec", 0.0) or 0.0),
+        throughput=status.get("throughput_per_sec"),
+        tries_by_status=status.get("tries_by_status") or {},
+        per_policy=per_policy,
+        per_detector=per_detector,
+        failures_by_kind=status.get("failures_by_kind") or {},
+        cache_hits=float(cache.get("hits", 0) or 0),
+        coverage_fingerprints=int(coverage.get("fingerprints", 0) or 0),
+        coverage_partitions=int(
+            coverage.get("provenance_partitions", 0) or 0),
+        duration_quantiles=status.get("job_duration_sec"),
+        duration_buckets=buckets,
+    )
+
+
+def snapshot_from_events(path: str) -> TopSnapshot:
+    """One frame from a ``hunt --events`` JSONL log (works on a log
+    still being appended to — the tolerant reader skips a torn final
+    line)."""
+    import os
+    if not os.path.exists(path):
+        raise TopError(f"cannot read {path}: no such file")
+    try:
+        loaded = _events.read_events(path)
+    except OSError as exc:
+        raise TopError(f"cannot read {path}: {exc}") from None
+    meta = loaded.get("meta") or {}
+    if not isinstance(meta, dict):
+        meta = {}
+    breakdown = _events.summary_data(loaded)
+    tries: List[dict] = loaded.get("tries") or []  # type: ignore[assignment]
+    ran = [t for t in tries if t["status"] not in ("skipped", "retried")]
+    fingerprints = {t["fingerprint"] for t in ran if t.get("fingerprint")}
+    partitions: set = set()
+    for record in ran:
+        partitions.update(record.get("partitions") or ())
+    durations = sorted(t["duration_sec"] for t in ran)
+    counts = [0.0] * (len(_EVENT_BUCKET_BOUNDS) + 1)
+    for value in durations:
+        for i, bound in enumerate(_EVENT_BUCKET_BOUNDS):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = [str(bound) for bound in _EVENT_BUCKET_BOUNDS] + ["+Inf"]
+    quantiles = None
+    if durations:
+        def pct(q: float) -> float:
+            return durations[min(int(q * len(durations)),
+                                 len(durations) - 1)]
+        quantiles = {
+            "p50": pct(0.5), "p90": pct(0.9), "p99": pct(0.99),
+            "mean": sum(durations) / len(durations),
+            "count": len(durations),
+        }
+    summary = loaded.get("summary")
+    finished = isinstance(summary, dict)
+    total = meta.get("tries")
+    elapsed = 0.0
+    racy = int(breakdown["by_status"].get("racy", 0))  # type: ignore[union-attr]
+    if finished:
+        elapsed = float(summary.get("elapsed_sec", 0.0) or 0.0)
+    per_policy = {
+        policy: dict(cell)
+        for policy, cell in breakdown["per_policy"].items()  # type: ignore
+    }
+    for policy, cell in per_policy.items():
+        cell["racy"] = cell.get("racy", 0)
+    return TopSnapshot(
+        source=str(path),
+        hunt_id=meta.get("hunt_id"),
+        info={key: meta[key] for key in
+              ("workload", "model", "detector", "jobs", "policies")
+              if key in meta},
+        settled=int(breakdown["tries"]),  # type: ignore[arg-type]
+        total=int(total) if isinstance(total, int) else len(ran),
+        racy=racy,
+        elapsed_sec=elapsed,
+        throughput=(int(breakdown["tries"]) / elapsed  # type: ignore
+                    if elapsed > 0 else None),
+        tries_by_status=dict(breakdown["by_status"]),  # type: ignore[arg-type]
+        per_policy=per_policy,
+        per_detector={d: dict(c) for d, c in
+                      breakdown["per_detector"].items()},  # type: ignore
+        failures_by_kind=dict(
+            breakdown["failures_by_kind"]),  # type: ignore[arg-type]
+        cache_hits=float(breakdown["cache_hits"]),  # type: ignore[arg-type]
+        coverage_fingerprints=len(fingerprints),
+        coverage_partitions=len(partitions),
+        duration_quantiles=quantiles,
+        duration_buckets=list(zip(labels, counts)),
+        finished=finished,
+    )
+
+
+# ----------------------------------------------------------------------
+# render layer (pure)
+# ----------------------------------------------------------------------
+
+def sparkline(counts: Sequence[float]) -> str:
+    """Counts → one glyph per bucket (▁..█), linear in the max."""
+    if not counts:
+        return ""
+    peak = max(counts)
+    if peak <= 0:
+        return _SPARKS[0] * len(counts)
+    out = []
+    for count in counts:
+        index = 0 if count <= 0 else 1 + int(
+            (count / peak) * (len(_SPARKS) - 2) + 0.5)
+        out.append(_SPARKS[min(index, len(_SPARKS) - 1)])
+    return "".join(out)
+
+
+def _bar(fraction: float, width: int = 28) -> str:
+    filled = int(max(0.0, min(1.0, fraction)) * width + 0.5)
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_top(snap: TopSnapshot) -> str:
+    """The dashboard frame for *snap* (no I/O, no ANSI — the repaint
+    loop adds cursor control)."""
+    lines: List[str] = []
+    title_bits = [
+        str(snap.info.get(key))
+        for key in ("workload", "model", "detector")
+        if snap.info.get(key)
+    ]
+    title = " ".join(title_bits) or "hunt"
+    lines.append(f"weakraces top — {title}"
+                 + (f"  [hunt {snap.hunt_id}]" if snap.hunt_id else ""))
+    lines.append(f"source: {snap.source}"
+                 + ("  (finished)" if snap.finished else ""))
+    fraction = snap.settled / snap.total if snap.total else 0.0
+    rate = (f"{snap.throughput:.1f}/s"
+            if snap.throughput is not None else "-")
+    lines.append(
+        f"progress [{_bar(fraction)}] {snap.settled}/{snap.total} "
+        f"({fraction:.0%})  rate {rate}  elapsed {snap.elapsed_sec:.1f}s"
+    )
+    racy_rate = snap.racy / snap.settled if snap.settled else 0.0
+    status_text = ", ".join(
+        f"{int(count)} {status}"
+        for status, count in sorted(snap.tries_by_status.items())
+    ) or "none"
+    lines.append(f"racy {snap.racy} ({racy_rate:.0%})  tries: {status_text}")
+    cache_rate = snap.cache_hits / snap.settled if snap.settled else 0.0
+    lines.append(
+        f"cache {int(snap.cache_hits)} hits ({cache_rate:.0%})  "
+        f"coverage: {snap.coverage_fingerprints} fingerprint(s), "
+        f"{snap.coverage_partitions} provenance partition(s)"
+    )
+    if snap.duration_buckets:
+        counts = [count for _, count in snap.duration_buckets]
+        quant = snap.duration_quantiles or {}
+        quant_text = "  ".join(
+            f"{name} {quant[name] * 1000:.2f}ms"
+            for name in ("p50", "p90", "p99") if quant.get(name) is not None
+        )
+        lines.append(
+            f"job duration {sparkline(counts)} "
+            f"(le {snap.duration_buckets[0][0]}s..+Inf)"
+            + (f"  {quant_text}" if quant_text else "")
+        )
+    if snap.per_policy:
+        lines.append("policies:")
+        for policy, cell in sorted(snap.per_policy.items()):
+            tries = int(cell.get("tries", 0))
+            racy = cell.get("racy")
+            racy_text = f"{int(racy)}/{tries} racy" if racy is not None \
+                else f"{tries} tries"
+            lines.append(f"  {policy:<16} {racy_text}")
+    if snap.per_detector:
+        lines.append("detectors:")
+        for detector, cell in sorted(snap.per_detector.items()):
+            tries = int(cell.get("tries", 0))
+            racy = cell.get("racy")
+            certified = cell.get("certified")
+            text = f"{tries} tries"
+            if racy is not None:
+                text = f"{int(racy)}/{tries} racy"
+            if certified is not None:
+                text += f", {int(certified)} certified"
+            lines.append(f"  {detector:<16} {text}")
+    if snap.failures_by_kind:
+        failure_text = ", ".join(
+            f"{int(count)} {kind}"
+            for kind, count in sorted(snap.failures_by_kind.items())
+        )
+        lines.append(f"failures: {failure_text}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# repaint loop
+# ----------------------------------------------------------------------
+
+def run_top(*, attach: Optional[str] = None,
+            events_path: Optional[str] = None,
+            interval: float = 1.0, once: bool = False,
+            stream=None, clock=time.monotonic,
+            sleep=time.sleep) -> int:
+    """Drive the dashboard until interrupted.
+
+    Exit status: 0 on a clean end (``--once``, Ctrl-C, or a live hunt
+    that finished — the endpoint going away after at least one good
+    frame), 2 when the source cannot be fetched or parsed at all.
+    """
+    import sys as _sys
+    out = stream if stream is not None else _sys.stdout
+    if (attach is None) == (events_path is None):
+        print("top: exactly one of --attach or --events is required",
+              file=_sys.stderr)
+        return 2
+
+    def take() -> TopSnapshot:
+        if attach is not None:
+            return snapshot_from_http(attach)
+        return snapshot_from_events(events_path)
+
+    painted_ok = False
+    try:
+        while True:
+            try:
+                snap = take()
+            except TopError as exc:
+                if painted_ok and attach is not None:
+                    # the hunt (and its server) ended between polls
+                    out.write("\nhunt finished (telemetry endpoint gone)\n")
+                    out.flush()
+                    return 0
+                print(f"top: {exc}", file=_sys.stderr)
+                return 2
+            frame = render_top(snap)
+            if once:
+                out.write(frame + "\n")
+                out.flush()
+                return 0
+            # home the cursor and clear to end-of-screen: flicker-free
+            # repaint without curses
+            out.write("\x1b[H\x1b[2J" if not painted_ok else "\x1b[H")
+            out.write(frame + "\n\x1b[J")
+            out.flush()
+            painted_ok = True
+            if snap.finished:
+                out.write("hunt finished\n")
+                out.flush()
+                return 0
+            sleep(max(interval, 0.1))
+    except KeyboardInterrupt:
+        out.write("\n")
+        out.flush()
+        return 0

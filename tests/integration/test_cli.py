@@ -324,6 +324,81 @@ def test_hunt_live_status_line(capsys):
     assert "jobs/s" in err
 
 
+def test_events_json_carries_breakdown(tmp_path, capsys):
+    import json
+    log = tmp_path / "hunt-events.jsonl"
+    main(["hunt", "workqueue-buggy", "--tries", "5", "--detector", "shb",
+          "--events", str(log)])
+    capsys.readouterr()
+    assert main(["events", str(log)]) == 0
+    assert "detectors:" in capsys.readouterr().out
+    assert main(["events", str(log), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    breakdown = doc["breakdown"]
+    assert breakdown["tries"] == 5
+    assert "shb" in breakdown["per_detector"]
+    assert breakdown["per_detector"]["shb"]["tries"] == 5
+
+
+def test_hunt_serve_prints_url_and_correlates_hunt_id(tmp_path, capsys):
+    import json
+    log = tmp_path / "hunt-events.jsonl"
+    code = main(["hunt", "workqueue-buggy", "--tries", "5", "--json",
+                 "--serve", "127.0.0.1:0", "--events", str(log)])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "telemetry serving on http://127.0.0.1:" in captured.err
+    assert "/metrics /status /healthz" in captured.err
+    result = json.loads(captured.out)
+    meta = json.loads(log.read_text().splitlines()[0])
+    summary = json.loads(log.read_text().splitlines()[-1])
+    assert result["hunt_id"]
+    assert meta["hunt_id"] == result["hunt_id"]
+    assert summary["hunt_id"] == result["hunt_id"]
+
+
+def test_hunt_serve_rejects_bad_address(capsys):
+    code = main(["hunt", "racy-counter", "--tries", "2",
+                 "--serve", "9099"])
+    assert code == 2
+    assert "--serve expects HOST:PORT" in capsys.readouterr().err
+
+
+def test_hunt_profile_meta_carries_hunt_id(tmp_path, capsys):
+    import json
+    profile = tmp_path / "hunt.profile.jsonl"
+    out = tmp_path / "result.json"
+    code = main(["hunt", "racy-counter", "--tries", "3", "--json",
+                 "--profile", str(profile)])
+    assert code == 1
+    captured = capsys.readouterr()
+    result = json.loads(captured.out)
+    header = json.loads(profile.read_text().splitlines()[0])
+    assert header["t"] == "meta"
+    assert header["command"] == "hunt"
+    assert header["hunt_id"] == result["hunt_id"]
+    del out
+
+
+def test_top_once_from_events(tmp_path, capsys):
+    log = tmp_path / "hunt-events.jsonl"
+    main(["hunt", "workqueue-buggy", "--tries", "5", "--events", str(log)])
+    capsys.readouterr()
+    code = main(["top", "--events", str(log), "--once"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "weakraces top — workqueue-buggy" in out
+    assert "5/5 (100%)" in out
+    assert "job duration" in out
+
+
+def test_top_bad_source_exits_2(tmp_path, capsys):
+    code = main(["top", "--events", str(tmp_path / "nope.jsonl"),
+                 "--once"])
+    assert code == 2
+    assert "top:" in capsys.readouterr().err
+
+
 def test_hunt_worker_failures_exit_3(monkeypatch, capsys):
     import json
     from repro.analysis import hunting

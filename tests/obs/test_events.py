@@ -16,6 +16,7 @@ from repro.obs.events import (
     format_try,
     read_events,
     summarize_events,
+    summary_data,
     validate_events,
 )
 from repro.programs.workqueue import buggy_workqueue_program
@@ -274,6 +275,59 @@ def test_summarize_empty_log():
     assert "0 tries (none)" in text
 
 
+def test_summarize_events_per_detector_breakdown(tmp_path):
+    path = tmp_path / "log.jsonl"
+    _write_lines(path, [
+        {"t": "meta", "schema": EVENTS_FORMAT, "kind": "hunt",
+         "workload": "wq", "detector": "postmortem"},
+        _try_record(index=0, status="racy", races=1,
+                    detector="shb", certified=2),
+        _try_record(index=1, status="clean", detector="shb"),
+        # no per-record detector: falls back to the meta record's
+        _try_record(index=2, status="racy", races=1, certified=1),
+    ])
+    assert validate_events(path) == []
+    text = summarize_events(read_events(path))
+    assert "detectors:" in text
+    assert "shb: 1/2 racy, 2 certified race(s)" in text
+    assert "postmortem: 1/1 racy, 1 certified race(s)" in text
+
+
+def test_summary_data_aggregates(tmp_path):
+    path = tmp_path / "log.jsonl"
+    _write_lines(path, [
+        {"t": "meta", "schema": EVENTS_FORMAT, "kind": "hunt",
+         "detector": "wcp"},
+        _try_record(index=0, status="racy", races=1, certified=1,
+                    cache_hit=True),
+        _try_record(index=1, status="clean", policy="lazy"),
+        _try_record(index=2, status="error",
+                    failure_kind="deterministic"),
+        _try_record(index=3, status="error"),  # no kind → unretried
+        _try_record(index=4, status="retried"),
+        _try_record(index=5, status="skipped"),
+    ])
+    data = summary_data(read_events(path))
+    assert data["tries"] == 4
+    assert data["skipped"] == 1
+    assert data["retried"] == 1
+    assert data["by_status"] == {"racy": 1, "clean": 1, "error": 2}
+    assert data["per_policy"]["stubborn"]["tries"] == 3
+    assert data["per_policy"]["lazy"] == {"tries": 1, "racy": 0}
+    assert data["per_detector"]["wcp"] == {
+        "tries": 4, "racy": 1, "certified": 1,
+    }
+    assert data["failures_by_kind"] == {"deterministic": 1, "unretried": 1}
+    assert data["cache_hits"] == 1
+
+
+def test_summary_data_no_detector_anywhere():
+    data = summary_data({"meta": {"t": "meta"}, "tries": [
+        _try_record(index=0, status="racy"),
+    ], "stages": [], "summary": None})
+    assert data["per_detector"] == {}
+
+
 # ----------------------------------------------------------------------
 # HuntEventLog fed by the real engine
 # ----------------------------------------------------------------------
@@ -306,6 +360,30 @@ def test_hunt_event_log_end_to_end(tmp_path):
     assert all(t["fingerprint"] for t in loaded["tries"])  # cache on
     assert loaded["summary"]["tries"] == 6
     assert loaded["stages"] == []
+
+
+def test_hunt_event_log_enriched_try_fields(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    path = tmp_path / "hunt.jsonl"
+    log = HuntEventLog(path, meta={"detector": "shb"}, detector="shb")
+    hunt_races(
+        buggy_workqueue_program(), _wo, tries=4, jobs=1,
+        on_outcome=log.on_outcome, detector="shb",
+        metrics=MetricsRegistry(),  # collection on → partition keys flow
+    )
+    log.close()
+    assert validate_events(path) == []
+    tries = read_events(path)["tries"]
+    assert all(t["detector"] == "shb" for t in tries)
+    racy = [t for t in tries if t["status"] == "racy"]
+    assert racy and all(t["certified"] >= 1 for t in racy)
+    # the first analysis of each distinct trace carries its partition
+    # coverage keys; cache hits repeat the fingerprint without them
+    keyed = [t for t in racy if t.get("partitions")]
+    assert keyed and all(
+        not t["cache_hit"] for t in keyed
+    )
 
 
 def test_hunt_event_log_records_stage_aggregates(tmp_path):

@@ -130,3 +130,48 @@ def test_finish_moves_to_fresh_line():
     out = line.stream.getvalue()
     assert out.endswith("\n")
     assert "hunt 2/2" in out
+
+
+# ----------------------------------------------------------------------
+# the final render: true counts on early stop, no stale ETA/rate
+# ----------------------------------------------------------------------
+
+def test_finish_paints_true_counts_past_the_throttle():
+    # an early stop lands mid-throttle-window: the last progress ticks
+    # were swallowed, and the terminal still shows the old snapshot
+    clock = FakeClock(100.0)
+    line = _line(clock=clock, min_interval=10.0)
+    line.progress(5, 100, 1)  # first paint lands
+    clock.advance(0.01)
+    line.progress(37, 100, 12)  # throttled away (early stop: done<total)
+    assert "hunt 37/100" not in line.stream.getvalue()
+    line.finish()
+    out = line.stream.getvalue()
+    assert "hunt 37/100" in out.split("\r")[-1]
+    assert out.endswith("\n")
+
+
+def test_finish_drops_eta_and_stale_throughput():
+    reg = metrics.MetricsRegistry()
+    # a stale mid-run sample much higher than the whole-run average
+    reg.timeseries("hunt_throughput").record(1.0, 500.0)
+    clock = FakeClock()
+    line = _line(registry=reg, clock=clock)
+    clock.advance(10.0)
+    line._done, line._total, line._racy = 20, 100, 4
+    live = line.render()
+    assert "500.0 jobs/s" in live and "eta" in live
+    final = line.render(final=True)
+    # the final line reports the whole-run average and never an ETA —
+    # a stopped hunt has no future to estimate
+    assert "2.0 jobs/s" in final
+    assert "500.0" not in final
+    assert "eta" not in final
+
+
+def test_finish_note_marks_interruption():
+    clock = FakeClock()
+    line = _line(clock=clock)
+    line.progress(3, 10, 1)
+    line.finish(note="interrupted")
+    assert line.stream.getvalue().rstrip("\n").endswith("interrupted")

@@ -85,15 +85,34 @@ def test_histogram_buckets_count_sum_mean():
     assert h.series()[0]["buckets"] == [1, 2, 1, 1]  # last = +inf
 
 
-def test_histogram_quantile_returns_bucket_bound():
+def test_histogram_quantile_interpolates_within_bucket():
     h = Histogram("dur", buckets=(0.01, 0.1, 1.0))
     for value in (0.005, 0.05, 0.05, 0.5):
         h.observe(value)
-    assert h.quantile(0.5) == 0.1
-    assert h.quantile(1.0) == 1.0
+    # target rank 2 of 4 lands halfway into the (0.01, 0.1] bucket
+    # (1 observation below it, 2 inside): 0.01 + 0.5 * (0.1 - 0.01)
+    assert h.quantile(0.5) == pytest.approx(0.055)
+    assert h.quantile(1.0) == pytest.approx(1.0)
+    # estimate error is bounded by the bucket width: p50 differs from
+    # the true quantile (0.05) by < 0.09
+    assert abs(h.quantile(0.5) - 0.05) < 0.1 - 0.01
     # the +inf bucket answers with the largest finite bound
     h.observe(9.0)
     assert h.quantile(1.0) == 1.0
+    # the lowest bucket interpolates up from zero
+    low = Histogram("low", buckets=(0.01, 0.1))
+    low.observe(0.004)
+    low.observe(0.006)
+    assert low.quantile(0.5) == pytest.approx(0.005)
+
+
+def test_histogram_quantile_rejects_out_of_range():
+    h = Histogram("dur", buckets=(0.01,))
+    h.observe(0.005)
+    with pytest.raises(MetricError):
+        h.quantile(1.5)
+    with pytest.raises(MetricError):
+        h.quantile(-0.1)
 
 
 def test_histogram_empty_quantile_and_mean():
@@ -201,6 +220,45 @@ def test_merge_timeseries_interleaves_and_respects_capacity():
     assert parent.get("rate").points() == [
         (2.0, 20.0), (3.0, 30.0), (4.0, 40.0),
     ]
+
+
+def test_merge_records_interleaves_labeled_coverage_series():
+    # the hunt_coverage family is a labeled timeseries; cross-worker
+    # record merges must interleave per label cell, by timestamp
+    parent = MetricsRegistry()
+    ts = parent.timeseries("hunt_coverage", labels=("kind",), capacity=8)
+    ts.record(1.0, 1.0, kind="fingerprints")
+    ts.record(3.0, 2.0, kind="fingerprints")
+    ts.record(2.0, 1.0, kind="partitions")
+    worker = MetricsRegistry()
+    other = worker.timeseries("hunt_coverage", labels=("kind",), capacity=8)
+    other.record(2.0, 10.0, kind="fingerprints")
+    other.record(4.0, 11.0, kind="fingerprints")
+    other.record(1.0, 20.0, kind="partitions")
+    parent.merge_records(worker.to_records())
+    merged = parent.get("hunt_coverage")
+    assert merged.points(kind="fingerprints") == [
+        (1.0, 1.0), (2.0, 10.0), (3.0, 2.0), (4.0, 11.0),
+    ]
+    assert merged.points(kind="partitions") == [(1.0, 20.0), (2.0, 1.0)]
+
+
+def test_merge_records_coverage_ring_cap_keeps_newest():
+    parent = MetricsRegistry()
+    ts = parent.timeseries("hunt_coverage", labels=("kind",), capacity=3)
+    for i in range(3):
+        ts.record(float(i), float(i), kind="fingerprints")
+    worker = MetricsRegistry()
+    other = worker.timeseries("hunt_coverage", labels=("kind",), capacity=3)
+    for i in range(3, 6):
+        other.record(float(i), float(i), kind="fingerprints")
+    parent.merge_records(worker.to_records())
+    merged = parent.get("hunt_coverage")
+    # capacity survives the merge: oldest samples fall off, per cell
+    assert merged.points(kind="fingerprints") == [
+        (3.0, 3.0), (4.0, 4.0), (5.0, 5.0),
+    ]
+    assert merged.latest(kind="fingerprints") == (5.0, 5.0)
 
 
 def test_merge_creates_missing_instruments():
