@@ -23,6 +23,7 @@ from repro.analysis.hunting import hunt_races
 from repro.ioutil import atomic_write_json
 from repro.machine.models import make_model
 from repro.programs.kernels import lock_shadow_program, racy_counter_program
+from repro.programs.litmus import store_buffering_program
 from repro.programs.workqueue import buggy_workqueue_program
 
 TRIES = 96
@@ -244,6 +245,67 @@ def _rate_stats(jobs: int, tries: int, repeats: int,
     }, last
 
 
+# Robustness-verdict overhead: store-buffering/TSO is the acceptance
+# workload (small ops, every try verified, a deterministic robust /
+# non-robust mix), so the verified-vs-unverified ratio isolates the
+# per-try cost of building po ∪ rf ∪ co ∪ fr and sorting/cycle-finding.
+ROBUSTNESS_TRIES = 24
+
+
+def _robustness_bench(tries: int, repeats: int) -> dict:
+    """Median-of-N serial hunt throughput with the robustness verdict
+    off and on, plus the (deterministic) verdict mix of the run."""
+
+    def rate(verify: bool):
+        samples = []
+        last = None
+        for i in range(repeats + 1):
+            start = time.perf_counter()
+            last = hunt_races(
+                store_buffering_program(),
+                lambda: make_model("TSO"),
+                tries=tries,
+                jobs=1,
+                verify_robustness=verify,
+            )
+            elapsed = time.perf_counter() - start
+            if i == 0:
+                continue  # warmup
+            samples.append(tries / elapsed if elapsed > 0 else float("inf"))
+        med = statistics.median(samples)
+        spread = (max(samples) - min(samples)) / med if med else 0.0
+        return {
+            "rate": med,
+            "spread_frac": round(spread, 4),
+        }, last
+
+    base_stats, _ = rate(False)
+    verified_stats, verified = rate(True)
+    assert verified.verified_tries == tries
+    assert verified.non_robust_tries >= 1, (
+        "store-buffering on TSO lost its non-robust outcomes"
+    )
+    overhead = max(
+        0.0,
+        1.0 - verified_stats["rate"] / base_stats["rate"]
+        if base_stats["rate"] else 0.0,
+    )
+    return {
+        "workload": "store-buffering/TSO",
+        "tries": tries,
+        "unverified_tries_per_sec": round(base_stats["rate"], 2),
+        "verified_tries_per_sec": round(verified_stats["rate"], 2),
+        "verdict_overhead_frac": round(overhead, 4),
+        "robust_tries": verified.robust_tries,
+        "non_robust_tries": verified.non_robust_tries,
+        "soundness": verified.soundness,
+        "spread_frac": {
+            "unverified": base_stats["spread_frac"],
+            "verified": verified_stats["spread_frac"],
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Quick hunt-throughput smoke (writes BENCH_hunting.json)"
@@ -357,6 +419,7 @@ def main(argv=None) -> int:
     )
 
     detector_table = _detector_sweep()
+    robustness = _robustness_bench(ROBUSTNESS_TRIES, args.repeats)
 
     payload = {
         "workload": "workqueue-buggy/WO",
@@ -400,6 +463,7 @@ def main(argv=None) -> int:
         ),
         "detector_tries": DETECTOR_TRIES,
         "detectors": detector_table,
+        "bench_robustness": robustness,
     }
     # acceptance: SHB's per-race certificates beat the baseline's
     # one-per-partition guarantee on at least one buggy workload
@@ -441,6 +505,15 @@ def main(argv=None) -> int:
             f"{d}={row[d]['certified_per_try']:.3f}" for d in DETECTORS
         )
         print(f"  {workload:16s} {cells}")
+    print(
+        f"robustness verdicts ({robustness['workload']}, "
+        f"tries={robustness['tries']}): "
+        f"verified {robustness['verified_tries_per_sec']:.2f} vs "
+        f"unverified {robustness['unverified_tries_per_sec']:.2f} "
+        f"tries/sec ({robustness['verdict_overhead_frac']:.1%} overhead; "
+        f"{robustness['robust_tries']} robust / "
+        f"{robustness['non_robust_tries']} non-robust)"
+    )
     print(f"wrote {args.output}")
 
     if args.events_path:
@@ -538,6 +611,39 @@ def main(argv=None) -> int:
                     failed = True
         if failed:
             return 1
+        # Robustness guard: verified throughput must not regress, and
+        # the verdict mix is deterministic — any drift in the robust /
+        # non-robust split is a behavior change, not noise.  A missing
+        # committed section is a new row and passes.
+        committed_rob = committed.get("bench_robustness") or {}
+        committed_verified = committed_rob.get("verified_tries_per_sec")
+        if committed_verified and \
+                committed_rob.get("tries") == robustness["tries"]:
+            rob_floor = committed_verified * (1.0 - args.max_regression)
+            now_verified = robustness["verified_tries_per_sec"]
+            verdict = "OK" if now_verified >= rob_floor else "REGRESSION"
+            print(
+                f"robustness guard: verified {now_verified:.2f} vs "
+                f"committed {committed_verified:.2f} tries/sec "
+                f"(floor {rob_floor:.2f}): {verdict}"
+            )
+            if now_verified < rob_floor:
+                print(
+                    f"FAIL: verified-hunt throughput regressed "
+                    f"{1 - now_verified / committed_verified:.1%} "
+                    f"(> {args.max_regression:.0%} allowed)",
+                    file=sys.stderr,
+                )
+                return 1
+            for key in ("robust_tries", "non_robust_tries", "soundness"):
+                if committed_rob.get(key) != robustness[key]:
+                    print(
+                        f"FAIL: robustness verdict mix changed: {key} "
+                        f"{committed_rob.get(key)!r} -> "
+                        f"{robustness[key]!r}",
+                        file=sys.stderr,
+                    )
+                    return 1
 
     if args.check_scaling:
         # The CI scaling smoke: 2 workers must beat serial by the

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """The performance motivation for weak memory models (paper section 2.2).
 
-Runs data-race-free kernels under all five memory models and tabulates
+Runs data-race-free kernels under all seven memory models and tabulates
 stall cycles.  On write-heavy DRF code:
 
 * SC stalls on every data write (stall-until-complete);

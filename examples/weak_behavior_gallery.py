@@ -7,7 +7,7 @@ checks the other's, and on a weak machine both writes can sit buffered
 while both reads return stale zeros — both processors end up in the
 critical section, an outcome sequential consistency forbids.
 
-This example runs the litmus across all five models, shows the paper's
+This example runs the litmus across all seven models, shows the paper's
 machinery catching it (the flags race; Condition 3.4 still holds; the
 detector's report points at the flags), and contrasts the Test&Set-
 locked variant, which is data-race-free and therefore sequentially

@@ -3,7 +3,8 @@
 A from-scratch reproduction of Adve, Hill, Miller & Netzer's post-mortem
 dynamic data race detection for weak memory systems, together with the
 simulated multiprocessor substrate (SC, WO, RCsc, DRF0, DRF1 memory
-models), the event-trace instrumentation of section 4.1, the
+models, plus TSO/PSO store-buffer models with per-trace robustness
+verdicts), the event-trace instrumentation of section 4.1, the
 first-partition reporting algorithm of section 4.2, the Condition 3.4 /
 SCP verification machinery of section 3, and on-the-fly and naive
 baselines.
@@ -31,6 +32,7 @@ from . import obs
 from .api import (
     DETECTOR_NAMES,
     TRACE_FORMATS,
+    check_robustness,
     detect,
     explain,
     load_trace,
@@ -51,6 +53,7 @@ from .analysis import (
 )
 from .core import (
     Condition34Report,
+    RobustnessReport,
     FirstRaceOnTheFlyDetector,
     locate_first_races_on_the_fly,
     EventRace,
@@ -128,6 +131,8 @@ __all__ = [
     "RaceProvenance",
     "explain_races",
     "Condition34Report",
+    "RobustnessReport",
+    "check_robustness",
     "EventRace",
     "HappensBefore1",
     "OnTheFlyDetector",

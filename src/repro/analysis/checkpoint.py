@@ -37,7 +37,8 @@ Format (``CHECKPOINT_FORMAT`` = 1) — one JSON document::
         "policies": ["stubborn", ...],  # names, in sweep order
         "max_steps": 200000,
         "stop_at_first": false,
-        "detector": "postmortem"        # absent in legacy checkpoints
+        "detector": "postmortem",       # absent in legacy checkpoints
+        "verify_robustness": false      # absent in legacy checkpoints
       },
       "outcomes": [ {...}, ... ]        # settled jobs, by index
     }
@@ -93,6 +94,7 @@ def hunt_spec(
     max_steps: int,
     stop_at_first: bool,
     detector: str = "postmortem",
+    verify_robustness: bool = False,
 ) -> dict:
     """The hunt-identity record a checkpoint is validated against.
 
@@ -101,6 +103,11 @@ def hunt_spec(
     flag traces the baseline calls clean), so resuming across detectors
     would silently merge incompatible verdicts.  Checkpoints written
     before the field existed are treated as ``"postmortem"`` on load.
+
+    ``verify_robustness`` is identity for the same reason: a hunt that
+    verified every try cannot honestly merge outcomes from one that
+    did not (the restored tries would have no verdicts).  Legacy
+    checkpoints load as ``False`` — the only mode hunts then had.
     """
     return {
         "program_sha": program_fingerprint(program),
@@ -110,6 +117,7 @@ def hunt_spec(
         "max_steps": max_steps,
         "stop_at_first": bool(stop_at_first),
         "detector": detector,
+        "verify_robustness": bool(verify_robustness),
     }
 
 
@@ -181,6 +189,8 @@ def outcome_to_payload(outcome, include_recording: bool = True) -> dict:
         "retries": outcome.retries,
         "failure_kind": outcome.failure_kind,
         "partition_keys": list(outcome.partition_keys),
+        "robust": outcome.robust,
+        "robustness": outcome.robustness,
         "recording": (
             outcome.recording.to_payload()
             if include_recording and outcome.recording is not None
@@ -218,6 +228,8 @@ def outcome_from_payload(payload: dict):
             retries=payload.get("retries", 0),
             failure_kind=payload.get("failure_kind", ""),
             partition_keys=tuple(payload.get("partition_keys", ())),
+            robust=payload.get("robust"),
+            robustness=payload.get("robustness"),
             recording=(
                 ExecutionRecording.from_payload(recording)
                 if recording is not None else None
@@ -330,8 +342,10 @@ def load_checkpoint(
     if not isinstance(spec, dict):
         raise CheckpointError(f"{path}: checkpoint has no spec record")
     # Legacy checkpoints predate the detector field; they were written
-    # by the only detector hunts then had.
+    # by the only detector hunts then had.  Same for verify_robustness:
+    # legacy hunts never verified.
     spec.setdefault("detector", "postmortem")
+    spec.setdefault("verify_robustness", False)
     if expected_spec is not None:
         mismatched = [
             key for key in sorted(set(expected_spec) | set(spec))

@@ -165,10 +165,41 @@ class HuntResult:
     # the event log's meta record, the checkpoint, and profile exports;
     # run metadata only, so stats()/summary() stay byte-identical.
     hunt_id: Optional[str] = None
+    # Robustness verification (repro.core.robustness): when enabled,
+    # every try carries a verdict — did the execution have an SC
+    # justification?  Verdicts are deterministic per job, but the whole
+    # family is gated on verify_robustness so hunts that never asked
+    # keep stats()/summary() byte-identical to the historical output.
+    verify_robustness: bool = False
+    verified_tries: int = 0
+    robust_tries: int = 0
+    non_robust_tries: int = 0
+    # The lowest-index non-robust try's RobustnessReport.to_json()
+    # payload: the violating cycle and SC-prefix boundary, exactly as
+    # the worker computed them (rebuild with repro.report_from_json).
+    first_non_robust: Optional[dict] = None
 
     @property
     def found(self) -> bool:
         return self.racy_runs > 0
+
+    @property
+    def soundness(self) -> Optional[str]:
+        """The detector-soundness claim this hunt's verdicts support.
+
+        ``None`` when robustness was not verified (no claim either
+        way).  ``"sc-justified"`` when every verified try was robust:
+        each analyzed execution has an SC justification, so SC-based
+        detection theory applies to all of them directly.
+        ``"degraded"`` when any try was non-robust: those executions
+        genuinely left sequential consistency, and the detector's
+        guarantees hold only up to each one's SC-prefix boundary
+        (Condition 3.4's clause 2 territory — see
+        ``docs/detection_pipeline.md``).
+        """
+        if not self.verify_robustness:
+            return None
+        return "degraded" if self.non_robust_tries else "sc-justified"
 
     @property
     def executions_per_second(self) -> float:
@@ -217,6 +248,14 @@ class HuntResult:
         payload["detector"] = self.detector
         payload["certified_races"] = self.certified_races
         payload["hunt_id"] = self.hunt_id
+        if self.verify_robustness:
+            payload["robustness"] = {
+                "verified_tries": self.verified_tries,
+                "robust": self.robust_tries,
+                "non_robust": self.non_robust_tries,
+                "soundness": self.soundness,
+                "first_non_robust": self.first_non_robust,
+            }
         # stats() keeps failures deterministic; the JSON view adds the
         # worker tracebacks so crashes are debuggable from the output.
         payload["failures"] = [
@@ -271,6 +310,18 @@ class HuntResult:
                 "no racy execution found (not a proof of data-race-"
                 "freedom; see analysis.exhaustive for that)"
             )
+        if self.verify_robustness:
+            lines.append(
+                f"  robustness: {self.robust_tries}/{self.verified_tries} "
+                f"verified tries robust"
+            )
+            if self.non_robust_tries:
+                lines.append(
+                    f"  SOUNDNESS DEGRADED: {self.non_robust_tries} "
+                    f"execution(s) have no SC justification; detector "
+                    f"guarantees hold only up to each one's SC-prefix "
+                    f"boundary"
+                )
         if self.interrupted:
             lines.append(
                 "hunt interrupted: statistics cover the settled jobs "
@@ -301,6 +352,7 @@ def hunt_races(
     detector: str = "postmortem",
     batch_size: Optional[int] = None,
     hunt_id: Optional[str] = None,
+    verify_robustness: bool = False,
 ) -> HuntResult:
     """Sweep seeds x propagation policies looking for racy executions.
 
@@ -384,6 +436,12 @@ def hunt_races(
         hunt_id: telemetry correlation id; minted automatically when
             omitted, overridden by the checkpoint's stored id on a
             resume.  See :func:`repro.analysis.checkpoint.make_hunt_id`.
+        verify_robustness: attach a robustness verdict
+            (:func:`repro.core.robustness.check_robustness`) to every
+            try.  Verdicts survive batching, checkpoints, and resume;
+            aggregate counts land on the result and any non-robust try
+            downgrades :attr:`HuntResult.soundness` to ``"degraded"``.
+            Part of the checkpoint spec, like the detector.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -420,4 +478,5 @@ def hunt_races(
         detector=detector,
         batch_size=batch_size,
         hunt_id=hunt_id,
+        verify_robustness=verify_robustness,
     )

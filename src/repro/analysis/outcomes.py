@@ -78,6 +78,7 @@ def _clone_weak_memory(m: MemorySystem) -> MemorySystem:
                      set(pw.remaining))
         for pw in m._pending
     ]
+    out._store_order = m._store_order
     out.flush_count = m.flush_count
     out.propagated_writes = m.propagated_writes
     out._delivery_log = None  # enumeration never records deliveries

@@ -224,6 +224,14 @@ class JobOutcome:
     traceback: str = ""  # full traceback when status == "error"
     retries: int = 0  # retry attempts that preceded this settled outcome
     failure_kind: str = ""  # error classification (see JobFailure.kind)
+    #: robustness verdict (None = not verified): does the execution
+    #: have a sequentially consistent justification?
+    robust: Optional[bool] = None
+    #: full RobustnessReport.to_json() payload, kept for non-robust
+    #: tries only (the violating cycle and SC-prefix boundary are the
+    #: part worth persisting; robust tries' witnesses are one op-count-
+    #: sized list each and fully reproducible from the job identity)
+    robustness: Optional[dict] = None
     #: coverage signatures of the report's first-race provenance
     #: partitions (see repro.core.provenance.partition_coverage_keys);
     #: computed only for racy cache-misses while metrics collect — a
@@ -263,6 +271,11 @@ class BatchOutcome:
     #: coverage partition keys, racy cache-misses only (sparse like the
     #: other rare payloads)
     partitions: Dict[int, List[str]] = field(default_factory=dict)
+    #: robustness verdicts, verified tries only (sparse: absent when
+    #: the hunt did not verify robustness)
+    robust: Dict[int, bool] = field(default_factory=dict)
+    #: non-robust tries' RobustnessReport payloads (cycle + SC prefix)
+    robustness: Dict[int, dict] = field(default_factory=dict)
     #: span-path -> AggregateRecord.to_dict(), pre-folded over the batch
     profile_aggs: Optional[Dict[str, dict]] = None
     #: MetricsRegistry.to_records() of the worker-side instrument fold
@@ -289,6 +302,10 @@ class BatchOutcome:
                 batch.errors[pos] = (outcome.error, outcome.traceback)
             if outcome.partition_keys:
                 batch.partitions[pos] = list(outcome.partition_keys)
+            if outcome.robust is not None:
+                batch.robust[pos] = outcome.robust
+            if outcome.robustness is not None:
+                batch.robustness[pos] = outcome.robustness
         return batch
 
     def unfold(self, jobs_by_index: Dict[int, HuntJob]) -> List[JobOutcome]:
@@ -312,6 +329,8 @@ class BatchOutcome:
                 race_count=self.race_counts[pos],
                 certified_races=self.certified[pos],
                 partition_keys=tuple(self.partitions.get(pos, ())),
+                robust=self.robust.get(pos),
+                robustness=self.robustness.get(pos),
             ))
         return outcomes
 
@@ -409,6 +428,7 @@ class _HuntState:
         trace_cache: bool = True,
         detector: str = "postmortem",
         collect_metrics: bool = False,
+        verify_robustness: bool = False,
     ) -> None:
         self.program = program
         self.model_factory = model_factory
@@ -422,6 +442,9 @@ class _HuntState:
         # workers then pre-fold the status-independent instruments
         # (durations, cache hits) and ship them once per batch.
         self.collect_metrics = collect_metrics
+        # Attach a robustness verdict (repro.core.robustness) to every
+        # try: does the execution have an SC justification?
+        self.verify_robustness = verify_robustness
 
 
 def _execute_job(
@@ -513,6 +536,21 @@ def _execute_job_inner(
                     getattr(report, "certified_race_count", 0)
                     if racy else 0
                 )
+            # The robustness verdict consumes the operation stream
+            # (reads-from never reaches the trace — §4.1), so the
+            # trace cache cannot serve it; it runs per execution,
+            # inside the time limit like the rest of the job body.
+            robust: Optional[bool] = None
+            robustness_payload: Optional[dict] = None
+            if state.verify_robustness:
+                from ..core.robustness import (
+                    check_robustness as _check_robust,
+                )
+
+                verdict = _check_robust(execution)
+                robust = verdict.robust
+                if not verdict.robust:
+                    robustness_payload = verdict.to_json()
     except Exception as exc:  # isolated, recorded by the merge
         return JobOutcome(
             job=job, status="error",
@@ -538,6 +576,8 @@ def _execute_job_inner(
         race_count=race_count,
         certified_races=certified,
         partition_keys=partition_keys,
+        robust=robust,
+        robustness=robustness_payload,
     )
     if keep_execution:
         outcome.execution = execution
@@ -912,6 +952,7 @@ def merge_outcomes(
         racy_runs=0,
         clean_runs=0,
         detector=state.detector,
+        verify_robustness=state.verify_robustness,
     )
     first: Optional[JobOutcome] = None
     for outcome in sorted(outcomes, key=lambda o: o.job.index):
@@ -942,6 +983,16 @@ def merge_outcomes(
         racy = outcome.status == "racy"
         if racy:
             result.certified_races += outcome.certified_races
+        if outcome.robust is not None:
+            result.verified_tries += 1
+            if outcome.robust:
+                result.robust_tries += 1
+            else:
+                result.non_robust_tries += 1
+                # Index-ordered fold: the first non-robust verdict kept
+                # here is the lowest-index one, deterministically.
+                if result.first_non_robust is None:
+                    result.first_non_robust = outcome.robustness
         p_racy, p_total = result.per_policy.get(job.policy_name, (0, 0))
         result.per_policy[job.policy_name] = (p_racy + racy, p_total + 1)
         s_racy, s_total = result.per_seed.get(job.seed, (0, 0))
@@ -965,7 +1016,7 @@ def merge_outcomes(
 def _fold_outcome_metrics(
     registry, outcome: JobOutcome, done: int, total: int, racy: int,
     elapsed: float, detector: str = "postmortem",
-    worker_folded: bool = False,
+    worker_folded: bool = False, model: str = "",
 ) -> None:
     """Update the hunt metric family (see the table in
     :mod:`repro.obs.metrics`) for one completed job.  Runs in the
@@ -1000,6 +1051,15 @@ def _fold_outcome_metrics(
             "settled job failures by retry classification",
             labels=("kind",),
         ).inc(kind=outcome.failure_kind or "unretried")
+    if outcome.robust is not None:
+        registry.counter(
+            "hunt_robust_tries_total",
+            "robustness verdicts on verified hunt tries",
+            labels=("model", "verdict"),
+        ).inc(
+            model=model,
+            verdict="robust" if outcome.robust else "non-robust",
+        )
     registry.gauge("hunt_done", "completed jobs").set(done)
     registry.gauge("hunt_total", "planned jobs").set(total)
     registry.gauge("hunt_racy", "racy runs so far").set(racy)
@@ -1080,6 +1140,11 @@ def _prime_hunt_metrics(registry, hunt_id: str, detector: str,
         "settled job failures by retry classification",
         labels=("kind",),
     )
+    registry.counter(
+        "hunt_robust_tries_total",
+        "robustness verdicts on verified hunt tries",
+        labels=("model", "verdict"),
+    )
     registry.histogram("hunt_job_duration_seconds", "per-job wall time")
     registry.gauge("hunt_done", "completed jobs").set(0)
     registry.gauge("hunt_total", "planned jobs").set(total)
@@ -1134,6 +1199,7 @@ def run_hunt(
     detector: str = "postmortem",
     batch_size: Optional[int] = None,
     hunt_id: Optional[str] = None,
+    verify_robustness: bool = False,
 ) -> HuntResult:
     """Execute the seed x policy sweep on *jobs* workers and merge.
 
@@ -1184,6 +1250,14 @@ def run_hunt(
     join with the interrupted run's.  The id lands on
     ``HuntResult.hunt_id``, in every checkpoint write, and — when a
     registry collects — on the ``hunt_info`` gauge.
+
+    *verify_robustness* attaches a robustness verdict
+    (:func:`repro.core.robustness.check_robustness`) to every try:
+    verdicts ride each outcome (surviving batching, checkpoints, and
+    resume), fold into ``hunt_robust_tries_total{model,verdict}``, and
+    aggregate on the result — any non-robust try downgrades the
+    result's soundness claim (see :attr:`HuntResult.soundness`).  Part
+    of the checkpoint spec, like the detector.
     """
     if tries < 1:
         raise ValueError("tries must be positive")
@@ -1218,6 +1292,7 @@ def run_hunt(
     spec = hunt_spec(
         program, model_factory().name, tries, policy_names,
         max_steps, stop_at_first, detector=detector,
+        verify_robustness=verify_robustness,
     )
     restored: List[JobOutcome] = []
     racy_floor: Optional[int] = None
@@ -1249,7 +1324,8 @@ def run_hunt(
     state = _HuntState(program, model_factory, policy_list,
                        max_steps, job_timeout, profile=profiling,
                        trace_cache=trace_cache, detector=detector,
-                       collect_metrics=registry is not None)
+                       collect_metrics=registry is not None,
+                       verify_robustness=verify_robustness)
     # Start every hunt cold so hit counts describe this hunt alone and
     # memory is bounded; workers inherit the empty L1 through fork and
     # share fresh analyses through the hunt's shared cache file.
@@ -1280,6 +1356,7 @@ def run_hunt(
                 )
     if registry is not None or on_outcome is not None:
         worker_folded = workers > 1 and state.collect_metrics
+        fold_model = state.model_factory().name
 
         def observe(outcome, done, total, racy):
             if registry is not None:
@@ -1289,6 +1366,7 @@ def run_hunt(
                         time.perf_counter() - start,
                         detector=state.detector,
                         worker_folded=worker_folded,
+                        model=fold_model,
                     )
                     if outcome.status in ("racy", "clean"):
                         coverage.fold(registry, outcome,

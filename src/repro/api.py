@@ -325,6 +325,34 @@ def detect(
     )
 
 
+def check_robustness(source):
+    """Robustness verdict for *source*: does the observed execution
+    have a sequentially consistent justification?
+
+    *source* is anything :func:`detect` accepts **except** a bare
+    trace: an :class:`~repro.machine.simulator.ExecutionResult` or an
+    iterable of :class:`~repro.machine.operations.MemoryOperation`.
+    Trace files and :class:`~repro.trace.build.Trace` objects do not
+    record read values or observed writers (paper section 4.1), and
+    the reads-from relation is exactly what robustness is about.
+
+    Returns a :class:`~repro.core.robustness.RobustnessReport` with
+    the SC witness order when robust, or the minimal po/rf/co/fr
+    violating cycle plus the SC-prefix boundary when not.
+    """
+    from .core.robustness import check_robustness as _check
+
+    resolved = _resolve_source(source)
+    if isinstance(resolved, Trace):
+        raise TypeError(
+            "check_robustness needs the reads-from relation and so "
+            "consumes the operation stream; pass an ExecutionResult "
+            "or a MemoryOperation iterable — trace files do not "
+            "record observed writers (paper section 4.1)"
+        )
+    return _check(resolved)
+
+
 def explain(source, *, include_sync: bool = False):
     """Detect races on *source* and build witness-checked provenance
     for each one (``weakraces explain`` in library form).
@@ -354,6 +382,7 @@ def report_from_json(payload: dict) -> ReportType:
     kind this build understands.
     """
     from .core.predictive import SHBReport, WCPReport
+    from .core.robustness import RobustnessReport
 
     readers = {
         "postmortem": RaceReport.from_json,
@@ -362,6 +391,7 @@ def report_from_json(payload: dict) -> ReportType:
         "streaming": StreamingReport.from_json,
         "shb": SHBReport.from_json,
         "wcp": WCPReport.from_json,
+        "robustness": RobustnessReport.from_json,
     }
     kind = payload.get("kind")
     reader = readers.get(kind)
@@ -376,6 +406,7 @@ def report_from_json(payload: dict) -> ReportType:
 __all__ = [
     "DETECTOR_NAMES",
     "TRACE_FORMATS",
+    "check_robustness",
     "detect",
     "explain",
     "load_trace",

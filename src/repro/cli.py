@@ -171,6 +171,13 @@ def _build_parser() -> argparse.ArgumentParser:
     chk_p.add_argument("--model", default="WO", choices=ALL_MODEL_NAMES)
     chk_p.add_argument("--seed", type=int, default=0)
     chk_p.add_argument(
+        "--robustness", action="store_true",
+        help="also verify robustness: search the execution for an SC "
+             "justification (total order consistent with program order "
+             "+ reads-from) and print the witness or the minimal "
+             "violating cycle with its SC-prefix boundary",
+    )
+    chk_p.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the verdict as JSON",
     )
@@ -367,6 +374,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--retry-backoff", type=float, default=0.05, metavar="SEC",
         help="base retry backoff delay (default %(default)ss; doubles "
              "per attempt, with deterministic seeded jitter)",
+    )
+    hunt_p.add_argument(
+        "--verify-robustness", action="store_true",
+        help="attach a robustness verdict to every try (does the "
+             "execution have an SC justification?); any non-robust try "
+             "downgrades the result's detector-soundness claim.  Part "
+             "of the checkpoint identity, like --detector",
     )
     hunt_p.add_argument(
         "--serve", metavar="HOST:PORT", dest="serve_address",
@@ -794,6 +808,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "tries": args.tries,
                 "jobs": args.jobs,
                 "policies": args.policies or "default",
+                "verify_robustness": args.verify_robustness,
             }, host=serve_address[0], port=serve_address[1])
             url = server.start()
             print(f"hunt: telemetry serving on {url} "
@@ -856,6 +871,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 detector=args.detector,
                 batch_size=args.batch_size,
                 hunt_id=hunt_id,
+                verify_robustness=args.verify_robustness,
             )
         except (CheckpointError, ValueError) as exc:
             if event_log is not None:
@@ -890,6 +906,15 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "detector": result.detector,
                 "certified_races": result.certified_races,
                 "hunt_id": result.hunt_id,
+                **(
+                    {
+                        "verified_tries": result.verified_tries,
+                        "robust_tries": result.robust_tries,
+                        "non_robust_tries": result.non_robust_tries,
+                        "soundness": result.soundness,
+                    }
+                    if result.verify_robustness else {}
+                ),
             })
             event_log.close()
             print(f"hunt events written to {args.events_path}",
@@ -1004,14 +1029,22 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "check":
         report = check_condition_34(result)
+        robustness = None
+        if args.robustness:
+            from .api import check_robustness
+            robustness = check_robustness(result)
         if args.as_json:
             payload = report.to_json()
             payload["stale_reads"] = len(result.stale_reads)
+            if robustness is not None:
+                payload["robustness"] = robustness.to_json()
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             print(report.summary())
             print(f"  SCP cuts (per processor): {report.scp.cuts}")
             print(f"  stale reads: {len(result.stale_reads)}")
+            if robustness is not None:
+                print(robustness.format())
         return 0 if report.ok else 1
 
     # command == "run"

@@ -35,7 +35,19 @@ from .provenance import (
 )
 from .races import EventRace, data_races, find_races
 from .report import RaceReport
-from .scp import Condition34Report, SCPrefix, check_condition_34, extract_scp
+from .robustness import (
+    OrderEdge,
+    RobustnessReport,
+    build_order_graph,
+    check_robustness,
+)
+from .scp import (
+    Condition34Report,
+    SCPrefix,
+    check_condition_34,
+    close_scp,
+    extract_scp,
+)
 from .timeline import render_timeline
 from .vector_clock import VectorClock
 
@@ -76,9 +88,14 @@ __all__ = [
     "data_races",
     "find_races",
     "RaceReport",
+    "OrderEdge",
+    "RobustnessReport",
+    "build_order_graph",
+    "check_robustness",
     "Condition34Report",
     "SCPrefix",
     "check_condition_34",
+    "close_scp",
     "extract_scp",
     "render_timeline",
     "VectorClock",

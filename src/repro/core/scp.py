@@ -55,19 +55,25 @@ class SCPrefix:
         return all(cut is None for cut in self.cuts)
 
 
-def extract_scp(
-    result: ExecutionResult, hb: Optional[OpHappensBefore] = None
+def close_scp(
+    operations,
+    raw_cuts: List[Optional[int]],
+    hb: Optional[OpHappensBefore] = None,
 ) -> SCPrefix:
-    """The simulator-ground-truth SCP of an execution.
+    """hb1-prefix closure of per-processor raw cuts (Definition 3.1):
+    if an included operation has an excluded hb1 predecessor, the cut
+    of its processor moves up to it.  The iteration is monotone (cuts
+    only decrease) and therefore terminates.
 
-    Starts from the taint-derived raw cuts and iterates hb1-prefix
-    closure (Definition 3.1): if an included operation has an excluded
-    hb1 predecessor, the cut of its processor moves up to it.  The
-    iteration is monotone (cuts only decrease) and therefore terminates.
+    The cut list is padded with ``None`` to cover every processor that
+    appears in *operations*, so a short (or empty) list is safe.
     """
-    hb = hb or OpHappensBefore(result.operations)
-    cuts: List[Optional[int]] = list(result.raw_scp_cuts)
-    ops = result.operations
+    hb = hb or OpHappensBefore(list(operations))
+    cuts: List[Optional[int]] = list(raw_cuts)
+    ops = hb.operations
+    procs = max((op.proc for op in ops), default=-1) + 1
+    if len(cuts) < procs:
+        cuts.extend([None] * (procs - len(cuts)))
 
     def included_seqs() -> Set[int]:
         out = set()
@@ -91,6 +97,14 @@ def extract_scp(
         if changed:
             included = included_seqs()
     return SCPrefix(cuts=cuts, included=included)
+
+
+def extract_scp(
+    result: ExecutionResult, hb: Optional[OpHappensBefore] = None
+) -> SCPrefix:
+    """The simulator-ground-truth SCP of an execution: the taint-derived
+    raw cuts, closed under hb1 (see :func:`close_scp`)."""
+    return close_scp(result.operations, result.raw_scp_cuts, hb)
 
 
 @dataclass

@@ -17,8 +17,10 @@ from .models import (
     DataRaceFree0,
     DataRaceFree1,
     MemoryModel,
+    PartialStoreOrder,
     ReleaseConsistencySC,
     SequentialConsistency,
+    TotalStoreOrder,
     WeakOrdering,
     make_model,
 )
@@ -46,6 +48,7 @@ from .propagation import (
     HomeDirectoryPropagation,
     PropagationPolicy,
     RandomPropagation,
+    StoreBufferPropagation,
     StubbornPropagation,
 )
 from .scheduler import (
@@ -63,7 +66,8 @@ __all__ = [
     "MemorySystem", "PendingWrite", "ReadResult",
     "ALL_MODEL_NAMES", "WEAK_MODEL_NAMES", "CostModel",
     "DataRaceFree0", "DataRaceFree1", "MemoryModel",
-    "ReleaseConsistencySC", "SequentialConsistency", "WeakOrdering",
+    "PartialStoreOrder", "ReleaseConsistencySC", "SequentialConsistency",
+    "TotalStoreOrder", "WeakOrdering",
     "make_model",
     "MemoryOperation", "OperationKind", "SyncRole",
     "Processor",
@@ -73,7 +77,7 @@ __all__ = [
     "record_execution", "replay_execution",
     "EagerPropagation", "HoldbackPropagation", "HomeDirectoryPropagation",
     "PropagationPolicy",
-    "RandomPropagation", "StubbornPropagation",
+    "RandomPropagation", "StoreBufferPropagation", "StubbornPropagation",
     "BurstScheduler", "RandomScheduler", "RoundRobin", "Scheduler",
     "ScriptedScheduler",
     "ExecutionResult", "ProcessorStats", "Simulator", "run_program",

@@ -83,6 +83,9 @@ class MemorySystem:
             fresh_views() for _ in range(processor_count)
         ]
         self._pending: List[PendingWrite] = []
+        # FIFO discipline on voluntary deliveries (TSO/PSO); the model
+        # is fixed for the system's lifetime, so resolve it once.
+        self._store_order = model.store_order_granularity()
         # voluntary-delivery log: (seq, reader) per propagate() call,
         # drained by the recorder between steps.  None = logging off.
         self._delivery_log: Optional[List[Tuple[int, int]]] = None
@@ -195,10 +198,37 @@ class MemorySystem:
             self.flush_count += 1
         return drained
 
-    def propagate(self, pw: PendingWrite, reader: int) -> None:
-        """Deliver one pending write to one reader (policy hook)."""
+    def delivery_allowed(self, pw: PendingWrite, reader: int) -> bool:
+        """Store-order guard: under a FIFO buffer discipline a write may
+        reach a reader only after every older write ahead of it in the
+        writer's queue (TSO: the whole buffer; PSO: the same-address
+        queue) has reached that reader.  ``_pending`` is append-ordered
+        by seq, so the scan stops at *pw* itself."""
+        if self._store_order is None:
+            return True
+        for other in self._pending:
+            if other.seq >= pw.seq:
+                break
+            if other.writer != pw.writer:
+                continue
+            if self._store_order == "addr" and other.addr != pw.addr:
+                continue
+            if reader in other.remaining:
+                return False
+        return True
+
+    def propagate(self, pw: PendingWrite, reader: int) -> bool:
+        """Deliver one pending write to one reader (policy hook).
+
+        Returns True when the delivery happened; a delivery the model's
+        store-order discipline forbids is skipped (and not logged), so
+        every propagation policy stays sound under TSO/PSO without
+        knowing about buffers.
+        """
         if reader not in pw.remaining:
-            return
+            return False
+        if not self.delivery_allowed(pw, reader):
+            return False
         pw.remaining.discard(reader)
         self._apply(reader, pw.addr, pw.value, pw.seq, pw.taint)
         if not pw.remaining:
@@ -207,6 +237,7 @@ class MemorySystem:
         if self._delivery_log is not None:
             self._delivery_log.append((pw.seq, reader))
             self.deliveries_logged += 1
+        return True
 
     def enable_delivery_log(self) -> None:
         """Start logging voluntary deliveries (recorder hook).

@@ -1,13 +1,16 @@
-"""Memory-model implementations: SC plus the four weak models the paper
-covers (WO, RCsc, DRF0, DRF1)."""
+"""Memory-model implementations: SC, the four weak models the paper
+covers (WO, RCsc, DRF0, DRF1), and the store-buffer machines (TSO,
+PSO) that exercise the robustness checker."""
 
 from typing import Dict, Type
 
 from .base import CostModel, MemoryModel
 from .drf0 import DataRaceFree0
 from .drf1 import DataRaceFree1
+from .pso import PartialStoreOrder
 from .rcsc import ReleaseConsistencySC
 from .sc import SequentialConsistency
+from .tso import TotalStoreOrder
 from .wo import WeakOrdering
 
 MODEL_REGISTRY: Dict[str, Type[MemoryModel]] = {
@@ -18,21 +21,28 @@ MODEL_REGISTRY: Dict[str, Type[MemoryModel]] = {
         ReleaseConsistencySC,
         DataRaceFree0,
         DataRaceFree1,
+        TotalStoreOrder,
+        PartialStoreOrder,
     )
 }
 
-WEAK_MODEL_NAMES = ("WO", "RCsc", "DRF0", "DRF1")
-ALL_MODEL_NAMES = ("SC",) + WEAK_MODEL_NAMES
+# Derived from the registry so registering a model can never leave the
+# tuples stale; registry insertion order is the presentation order.
+ALL_MODEL_NAMES = tuple(MODEL_REGISTRY)
+WEAK_MODEL_NAMES = tuple(
+    name for name, cls in MODEL_REGISTRY.items()
+    if cls is not SequentialConsistency
+)
 
 
 def make_model(name: str, costs: CostModel = CostModel()) -> MemoryModel:
-    """Instantiate a model by its paper name (``SC``, ``WO``, ``RCsc``,
-    ``DRF0``, ``DRF1``)."""
+    """Instantiate a model by its paper name (see ``ALL_MODEL_NAMES``)."""
     try:
         cls = MODEL_REGISTRY[name]
     except KeyError:
         raise ValueError(
-            f"unknown memory model {name!r}; choose from {sorted(MODEL_REGISTRY)}"
+            f"unknown memory model {name!r}; "
+            f"choose from {', '.join(ALL_MODEL_NAMES)}"
         ) from None
     return cls(costs)
 
@@ -45,6 +55,8 @@ __all__ = [
     "ReleaseConsistencySC",
     "DataRaceFree0",
     "DataRaceFree1",
+    "TotalStoreOrder",
+    "PartialStoreOrder",
     "MODEL_REGISTRY",
     "WEAK_MODEL_NAMES",
     "ALL_MODEL_NAMES",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Optional
 
 from ..operations import SyncRole
 
@@ -53,6 +54,21 @@ class MemoryModel(abc.ABC):
     @abc.abstractmethod
     def flushes_at(self, role: SyncRole) -> bool:
         """True if issuing a sync op with *role* flushes buffered writes."""
+
+    def store_order_granularity(self) -> Optional[str]:
+        """FIFO discipline imposed on *voluntary* buffered-write
+        deliveries (flushes always drain in issue order).
+
+        * ``None`` — no discipline: a pending write may reach a reader
+          in any per-reader order (WO/RCsc/DRF0/DRF1).
+        * ``"proc"`` — one FIFO per processor (TSO): a write reaches a
+          reader only after every older buffered write of the same
+          processor has reached that reader.
+        * ``"addr"`` — one FIFO per (processor, address) (PSO): writes
+          to the same location stay ordered, writes to different
+          locations may drain out of issue order.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # stall accounting

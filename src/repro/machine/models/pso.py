@@ -1,0 +1,38 @@
+"""Partial store order (the SPARC PSO store-buffer model).
+
+Like :mod:`TSO <repro.machine.models.tso>`, but the store buffer is
+split per address: writes to the *same* location still drain in issue
+order, while writes to *different* locations may drain in any order
+(the ``"addr"`` store-order granularity).  That is precisely the
+write→write reordering behind the paper's Figure 2b — the new
+``QEmpty`` value overtaking the new ``Q`` — so PSO is the weakest
+store-buffer machine this simulator models.
+
+Releases and RMW write halves still drain the whole buffer (the
+program-visible analogue of the ``STBAR`` a correct PSO unlock emits),
+so data-race-free programs remain sequentially consistent and
+Condition 3.4 holds by the Theorem 3.5 construction; racy programs get
+the full per-address reordering freedom.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class PartialStoreOrder(MemoryModel):
+    """PSO: per-(processor, address) FIFOs that may drain out of order."""
+
+    name = "PSO"
+
+    def buffers_data_writes(self) -> bool:
+        return True
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        return role in (SyncRole.RELEASE, SyncRole.SYNC_ONLY)
+
+    def store_order_granularity(self) -> Optional[str]:
+        return "addr"

@@ -1,0 +1,41 @@
+"""Total store order (the SPARC/x86 store-buffer model).
+
+Each processor owns a single FIFO store buffer: data writes enter at
+the tail and drain to the rest of the machine strictly in issue order
+(the ``"proc"`` store-order granularity enforced by
+:meth:`repro.machine.memory.MemorySystem.propagate`).  A processor
+reads its own buffered stores early (own-write early visibility), so
+the only reordering TSO admits is a later *read* completing before an
+older buffered *write* — the store-buffering litmus outcome — while
+write→write order is preserved, which is exactly why the Figure 2b
+``QEmpty``-overtakes-``Q`` reordering cannot happen here.
+
+Releases and RMW write halves (``SYNC_ONLY``) drain the buffer; plain
+acquires do not wait for the issuer's buffered writes (loads never
+drain a TSO store buffer).  Because releases flush, TSO still obeys
+Condition 3.4 by the Theorem 3.5 construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..operations import SyncRole
+from .base import MemoryModel
+
+
+class TotalStoreOrder(MemoryModel):
+    """TSO: per-processor FIFO store buffer, drained in issue order."""
+
+    name = "TSO"
+
+    def buffers_data_writes(self) -> bool:
+        return True
+
+    def flushes_at(self, role: SyncRole) -> bool:
+        # RMW write halves (SYNC_ONLY) drain like the x86 LOCK prefix;
+        # acquires are ordinary loads and never wait for the buffer.
+        return role in (SyncRole.RELEASE, SyncRole.SYNC_ONLY)
+
+    def store_order_granularity(self) -> Optional[str]:
+        return "proc"

@@ -174,7 +174,9 @@ def _do_test_and_set(p: Processor, i: Instruction, m: MemorySystem, r: Recorder)
               res.observed_write, res.stale)
     # The write half of a Test&Set is synchronization but NOT a release
     # (section 2.1 of the paper): it communicates nothing about prior
-    # operations of this processor.
+    # operations of this processor.  Store-buffer models (TSO/PSO) still
+    # drain the buffer here — write_sync flushes when the model flushes
+    # at SYNC_ONLY — matching RMW drain semantics on real hardware.
     wseq = r.next_seq()
     extra = m.write_sync(p.pid, ea, 1, wseq, p.control_taint, SyncRole.SYNC_ONLY)
     p._record(r, wseq, OperationKind.WRITE, SyncRole.SYNC_ONLY, ea, 1, None, False)

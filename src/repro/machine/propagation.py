@@ -15,6 +15,11 @@ The policy controls that freedom:
   chosen set of addresses; reproduces a targeted reordering, e.g. the
   paper's Figure 2b where the new value of ``QEmpty`` reaches P2 before
   the new value of ``Q``.
+* :class:`StoreBufferPropagation` — drain each processor's buffer
+  head-first with a per-step probability; the natural companion to the
+  TSO/PSO store-buffer models (whose FIFO guard any policy here
+  already respects, since illegal deliveries are skipped inside
+  :meth:`~repro.machine.memory.MemorySystem.propagate`).
 """
 
 from __future__ import annotations
@@ -78,6 +83,35 @@ class HoldbackPropagation(PropagationPolicy):
                 continue
             for reader in list(pw.remaining):
                 memory.propagate(pw, reader)
+
+
+class StoreBufferPropagation(PropagationPolicy):
+    """Drain store buffers head-first, one entry per processor per step.
+
+    Each step, every processor's *oldest* pending write (its buffer
+    head) is delivered to all readers still owed it with probability
+    *p*; younger entries wait their turn.  Under TSO this is exactly a
+    hardware store buffer draining; under PSO the per-address FIFO
+    guard still lets younger writes to other locations overtake at
+    flush boundaries.  On unordered models it simply drains
+    oldest-first.
+    """
+
+    def __init__(self, probability: float = 0.5) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.probability = probability
+
+    def step(self, memory: MemorySystem, rng: random.Random) -> None:
+        heads: dict = {}
+        for pw in memory.pending_writes():
+            # _pending is append-ordered by seq: first hit is the head.
+            heads.setdefault(pw.writer, pw)
+        for writer in sorted(heads):
+            if rng.random() < self.probability:
+                pw = heads[writer]
+                for reader in sorted(pw.remaining):
+                    memory.propagate(pw, reader)
 
 
 class HomeDirectoryPropagation(PropagationPolicy):

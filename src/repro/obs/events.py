@@ -149,6 +149,9 @@ class HuntEventLog:
         partitions = getattr(outcome, "partition_keys", ())
         if partitions:
             record["partitions"] = list(partitions)
+        robust = getattr(outcome, "robust", None)
+        if robust is not None:
+            record["robust"] = robust
         self.writer.write(record)
 
     def write_stages(self, stage_profile: Optional[Dict[str, dict]]) -> None:

@@ -142,6 +142,8 @@ def hunt_status(registry: _metrics.MetricsRegistry,
             registry, "hunt_tries_total", "detector"),
         "failures_by_kind": _counter_breakdown(
             registry, "hunt_failures_total", "kind"),
+        "robustness_by_verdict": _counter_breakdown(
+            registry, "hunt_robust_tries_total", "verdict"),
         "cache": {
             "hits": hits,
             "hit_rate": (hits / done) if done else None,

@@ -75,6 +75,9 @@ class TopSnapshot:
     per_policy: Dict[str, Dict[str, float]] = field(default_factory=dict)
     per_detector: Dict[str, Dict[str, float]] = field(default_factory=dict)
     failures_by_kind: Dict[str, float] = field(default_factory=dict)
+    #: robustness verdict counts ({"robust": n, "non-robust": m});
+    #: empty when the hunt did not verify robustness
+    robust_by_verdict: Dict[str, float] = field(default_factory=dict)
     cache_hits: float = 0.0
     coverage_fingerprints: int = 0
     coverage_partitions: int = 0
@@ -159,6 +162,7 @@ def snapshot_from_http(base_url: str,
         per_policy=per_policy,
         per_detector=per_detector,
         failures_by_kind=status.get("failures_by_kind") or {},
+        robust_by_verdict=status.get("robustness_by_verdict") or {},
         cache_hits=float(cache.get("hits", 0) or 0),
         coverage_fingerprints=int(coverage.get("fingerprints", 0) or 0),
         coverage_partitions=int(
@@ -185,6 +189,12 @@ def snapshot_from_events(path: str) -> TopSnapshot:
     breakdown = _events.summary_data(loaded)
     tries: List[dict] = loaded.get("tries") or []  # type: ignore[assignment]
     ran = [t for t in tries if t["status"] not in ("skipped", "retried")]
+    robust_by_verdict: Dict[str, float] = {}
+    for record in ran:
+        verdict = record.get("robust")
+        if verdict is not None:
+            key = "robust" if verdict else "non-robust"
+            robust_by_verdict[key] = robust_by_verdict.get(key, 0) + 1
     fingerprints = {t["fingerprint"] for t in ran if t.get("fingerprint")}
     partitions: set = set()
     for record in ran:
@@ -240,6 +250,7 @@ def snapshot_from_events(path: str) -> TopSnapshot:
                       breakdown["per_detector"].items()},  # type: ignore
         failures_by_kind=dict(
             breakdown["failures_by_kind"]),  # type: ignore[arg-type]
+        robust_by_verdict=robust_by_verdict,
         cache_hits=float(breakdown["cache_hits"]),  # type: ignore[arg-type]
         coverage_fingerprints=len(fingerprints),
         coverage_partitions=len(partitions),
@@ -300,6 +311,16 @@ def render_top(snap: TopSnapshot) -> str:
         for status, count in sorted(snap.tries_by_status.items())
     ) or "none"
     lines.append(f"racy {snap.racy} ({racy_rate:.0%})  tries: {status_text}")
+    if snap.robust_by_verdict:
+        verified = sum(snap.robust_by_verdict.values())
+        non_robust = snap.robust_by_verdict.get("non-robust", 0)
+        verdict = "SOUNDNESS DEGRADED" if non_robust else "sc-justified"
+        lines.append(
+            f"robustness: "
+            f"{int(snap.robust_by_verdict.get('robust', 0))} robust, "
+            f"{int(non_robust)} non-robust of {int(verified)} verified "
+            f"({verdict})"
+        )
     cache_rate = snap.cache_hits / snap.settled if snap.settled else 0.0
     lines.append(
         f"cache {int(snap.cache_hits)} hits ({cache_rate:.0%})  "

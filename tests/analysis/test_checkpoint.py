@@ -61,9 +61,11 @@ def test_program_fingerprint_tracks_program_text():
 def test_hunt_spec_fields():
     spec = _spec()
     assert set(spec) == {"program_sha", "model", "tries", "policies",
-                        "max_steps", "stop_at_first", "detector"}
+                        "max_steps", "stop_at_first", "detector",
+                        "verify_robustness"}
     assert spec["policies"] == ["stubborn", "ring"]
     assert spec["detector"] == "postmortem"
+    assert spec["verify_robustness"] is False
 
 
 # ----------------------------------------------------------------------

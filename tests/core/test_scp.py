@@ -133,3 +133,69 @@ def test_contains_accepts_ops_and_seqs(figure2_result):
     scp = extract_scp(figure2_result)
     op = figure2_result.operations[0]
     assert scp.contains(op) == scp.contains(op.seq)
+
+
+# ----------------------------------------------------------------------
+# degenerate inputs: zero and single-operation executions
+# ----------------------------------------------------------------------
+
+class TestDegenerateInputs:
+    def _single_op_result(self, model="WO"):
+        b = ProgramBuilder()
+        x = b.var("x")
+        with b.thread() as t:
+            t.write(x, 1)
+        return run_program(b.build(), make_model(model), seed=0)
+
+    def test_close_scp_empty_operations(self):
+        from repro.core.scp import close_scp
+        scp = close_scp([], [])
+        assert scp.size == 0
+        assert scp.is_whole_execution
+        assert scp.cuts == []
+
+    def test_close_scp_pads_short_cut_list(self):
+        result = run_figure2(make_model("WO"))
+        from repro.core.scp import close_scp
+        padded = close_scp(result.operations, [])
+        assert len(padded.cuts) == result.processor_count
+        assert padded.is_whole_execution
+
+    def test_close_scp_empty_cuts_equals_no_cuts(self):
+        result = run_figure2(make_model("WO"))
+        from repro.core.scp import close_scp
+        nones = close_scp(result.operations,
+                          [None] * result.processor_count)
+        empty = close_scp(result.operations, [])
+        assert nones.cuts == empty.cuts
+        assert nones.included == empty.included
+
+    def test_zero_op_execution_condition_34(self):
+        b = ProgramBuilder()
+        b.var("x")
+        with b.thread():
+            pass  # a thread with no instructions
+        result = run_program(b.build(), make_model("WO"), seed=0)
+        assert len(result.operations) == 0
+        report = check_condition_34(result)
+        assert report.ok
+        scp = extract_scp(result)
+        assert scp.size == 0
+        assert scp.is_whole_execution
+        from repro.core.robustness import check_robustness
+        assert check_robustness(result).robust
+
+    def test_single_op_execution_condition_34(self):
+        result = self._single_op_result()
+        report = check_condition_34(result)
+        assert report.ok
+        scp = extract_scp(result)
+        assert scp.is_whole_execution
+        assert scp.size == 1
+
+    def test_single_op_execution_robust(self):
+        from repro.core.robustness import check_robustness
+        result = self._single_op_result()
+        report = check_robustness(result)
+        assert report.robust
+        assert report.witness == [result.operations[0].seq]

@@ -73,7 +73,7 @@ def test_unknown_workload_rejected():
 
 def test_unknown_model_rejected():
     with pytest.raises(SystemExit):
-        main(["run", "figure1a", "--model", "TSO"])
+        main(["run", "figure1a", "--model", "XC"])
 
 
 def test_static_command(capsys):
@@ -492,3 +492,71 @@ def test_hunt_detector_summary_note(capsys):
                  "--tries", "4"])
     assert code == 1
     assert "detector=shb" in capsys.readouterr().out
+
+
+def test_check_robustness_flag(capsys):
+    code = main(["check", "store-buffering", "--model", "TSO",
+                 "--seed", "3", "--robustness"])
+    out = capsys.readouterr().out
+    assert "Robustness verdict" in out
+    assert "NON-ROBUST" in out
+    assert "--fr-->" in out
+    assert "SC prefix" in out
+    # exit status still reflects Condition 3.4, which holds here
+    assert code == 0
+
+
+def test_check_robustness_json_round_trips(capsys):
+    import json
+    from repro.api import report_from_json
+    from repro.core.robustness import RobustnessReport
+    assert main(["check", "store-buffering", "--model", "TSO",
+                 "--seed", "3", "--robustness", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    report = report_from_json(doc["robustness"])
+    assert isinstance(report, RobustnessReport)
+    assert not report.robust
+    assert len(report.cycle) == 4
+
+
+def test_check_without_robustness_flag_omits_verdict(capsys):
+    import json
+    assert main(["check", "store-buffering", "--model", "TSO",
+                 "--seed", "3", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "robustness" not in doc
+
+
+def test_hunt_verify_robustness_json(capsys):
+    import json
+    code = main(["hunt", "store-buffering", "--model", "TSO",
+                 "--tries", "16", "--verify-robustness", "--json"])
+    assert code in (0, 1)
+    doc = json.loads(capsys.readouterr().out)
+    rob = doc["robustness"]
+    assert rob["verified_tries"] == 16
+    assert rob["non_robust"] >= 1
+    assert rob["soundness"] == "degraded"
+    assert rob["first_non_robust"]["kind"] == "robustness"
+
+
+def test_hunt_verify_robustness_summary(capsys):
+    main(["hunt", "store-buffering", "--model", "TSO",
+          "--tries", "16", "--verify-robustness"])
+    out = capsys.readouterr().out
+    assert "robustness:" in out
+    assert "SOUNDNESS DEGRADED" in out
+
+
+def test_hunt_verify_robustness_events_summary(tmp_path, capsys):
+    import json
+    path = tmp_path / "hunt.jsonl"
+    main(["hunt", "store-buffering", "--model", "TSO",
+          "--tries", "8", "--verify-robustness",
+          "--events", str(path)])
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    summary = [r for r in records if r["t"] == "summary"][0]
+    assert summary["verified_tries"] == 8
+    assert summary["soundness"] in ("sc-justified", "degraded")
+    tries = [r for r in records if r["t"] == "try"]
+    assert all("robust" in r for r in tries)

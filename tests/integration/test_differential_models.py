@@ -1,0 +1,110 @@
+"""Differential matrix: workload corpus × detectors × TSO/PSO.
+
+Every detector variant must run on every corpus execution under the
+store-buffer models, streaming must stay byte-equal to the post-mortem
+sweep there, and the robustness verdict must be internally consistent
+on every trace: SC executions always robust, a violating cycle only
+ever justified by at least one stale read.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.parallel import HUNT_DETECTORS
+from repro.core.robustness import check_robustness
+from repro.machine.models import make_model
+from repro.machine.simulator import run_program
+from repro.programs import (
+    buggy_workqueue_program,
+    figure1a_program,
+    figure1b_program,
+    iriw_program,
+    lock_shadow_program,
+    locked_counter_program,
+    producer_consumer_program,
+    racy_counter_program,
+    single_race_program,
+)
+from repro.programs.litmus import store_buffering_program
+
+CORPUS = [
+    racy_counter_program,
+    buggy_workqueue_program,
+    figure1a_program,
+    figure1b_program,
+    single_race_program,
+    locked_counter_program,
+    producer_consumer_program,
+    iriw_program,
+    lock_shadow_program,
+]
+
+STORE_BUFFER_MODELS = ["TSO", "PSO"]
+
+
+def _race_keys(report):
+    return [(r.a, r.b, r.locations, r.is_data_race) for r in report.races]
+
+
+@pytest.mark.parametrize("build", CORPUS, ids=lambda p: p.__name__)
+@pytest.mark.parametrize("model", STORE_BUFFER_MODELS)
+def test_every_detector_runs_on_store_buffer_models(build, model):
+    """All hunt detectors settle every corpus workload under TSO/PSO
+    without error, and the exact detectors agree on the race set."""
+    result = run_program(build(), make_model(model), seed=7)
+    reports = {
+        name: repro.detect(result, detector=name)
+        for name in HUNT_DETECTORS
+    }
+    assert _race_keys(reports["streaming"]) == \
+        _race_keys(reports["postmortem"])
+    # the naive flat detector over-approximates the sound report
+    assert len(reports["naive"].races) >= sum(
+        1 for r in reports["postmortem"].races if r.is_data_race
+    )
+    for name, report in reports.items():
+        payload = report.to_json()
+        assert payload.get("kind"), name
+        clone = repro.report_from_json(payload)
+        assert clone.to_json() == payload, name
+    assert reports["streaming"].to_json()["model_name"] == model
+
+
+@pytest.mark.parametrize("build", CORPUS, ids=lambda p: p.__name__)
+@pytest.mark.parametrize("model", ["SC"] + STORE_BUFFER_MODELS)
+@pytest.mark.parametrize("seed", [0, 7])
+def test_robustness_verdict_consistent(build, model, seed):
+    """Verdict invariants over the full matrix: SC is always robust;
+    a violating cycle requires a stale read (fr is the only backward
+    edge) and always carries one; witness and cycle are exclusive."""
+    result = run_program(build(), make_model(model), seed=seed)
+    report = check_robustness(result)
+    assert report.stale_reads == len(result.stale_reads)
+    if model == "SC":
+        assert report.robust
+    if not result.stale_reads:
+        assert report.robust
+    if report.robust:
+        assert report.cycle == []
+        assert len(report.witness) == len(result.operations)
+    else:
+        assert report.witness == []
+        assert any(edge.kind == "fr" for edge in report.cycle)
+        assert report.scp_size < report.operation_count
+
+
+@pytest.mark.parametrize("model", STORE_BUFFER_MODELS)
+def test_store_buffering_separates_sc_from_store_buffers(model):
+    """The differential headline: some seed shows the SB weak outcome
+    (non-robust) under TSO/PSO while SC never does."""
+    weak = False
+    for seed in range(16):
+        weak_result = run_program(store_buffering_program(),
+                                  make_model(model), seed=seed)
+        weak = weak or not check_robustness(weak_result).robust
+        sc_result = run_program(store_buffering_program(),
+                                make_model("SC"), seed=seed)
+        assert check_robustness(sc_result).robust
+    assert weak, f"{model} never produced the non-robust SB outcome"

@@ -9,8 +9,10 @@ from repro.machine.models import (
     CostModel,
     DataRaceFree0,
     DataRaceFree1,
+    PartialStoreOrder,
     ReleaseConsistencySC,
     SequentialConsistency,
+    TotalStoreOrder,
     WeakOrdering,
     make_model,
 )
@@ -23,12 +25,20 @@ class TestRegistry:
             assert make_model(name).name == name
 
     def test_unknown_name(self):
-        with pytest.raises(ValueError):
-            make_model("TSO")
+        with pytest.raises(ValueError) as exc:
+            make_model("XC")
+        # the error lists every registered name, from one source of truth
+        for name in ALL_MODEL_NAMES:
+            assert name in str(exc.value)
 
     def test_weak_models_subset(self):
         assert set(WEAK_MODEL_NAMES) < set(MODEL_REGISTRY)
         assert "SC" not in WEAK_MODEL_NAMES
+
+    def test_tuples_registry_driven(self):
+        assert set(ALL_MODEL_NAMES) == set(MODEL_REGISTRY)
+        assert set(WEAK_MODEL_NAMES) == set(MODEL_REGISTRY) - {"SC"}
+        assert {"TSO", "PSO"} <= set(WEAK_MODEL_NAMES)
 
 
 class TestBufferingRules:
@@ -36,7 +46,8 @@ class TestBufferingRules:
         assert not SequentialConsistency().buffers_data_writes()
 
     @pytest.mark.parametrize("cls", [WeakOrdering, ReleaseConsistencySC,
-                                     DataRaceFree0, DataRaceFree1])
+                                     DataRaceFree0, DataRaceFree1,
+                                     TotalStoreOrder, PartialStoreOrder])
     def test_weak_models_buffer(self, cls):
         assert cls().buffers_data_writes()
 
@@ -56,6 +67,28 @@ class TestFlushRules:
         assert m.flushes_at(SyncRole.RELEASE)
         assert not m.flushes_at(SyncRole.ACQUIRE)
         assert not m.flushes_at(SyncRole.SYNC_ONLY)
+
+    @pytest.mark.parametrize("cls", [TotalStoreOrder, PartialStoreOrder])
+    def test_store_buffer_family_drains_at_release_and_rmw(self, cls):
+        m = cls()
+        assert m.flushes_at(SyncRole.RELEASE)
+        assert m.flushes_at(SyncRole.SYNC_ONLY)  # RMW write half drains
+        assert not m.flushes_at(SyncRole.ACQUIRE)  # loads never drain
+        assert not m.flushes_at(SyncRole.NONE)
+
+
+class TestStoreOrderGranularity:
+    @pytest.mark.parametrize("cls", [SequentialConsistency, WeakOrdering,
+                                     ReleaseConsistencySC, DataRaceFree0,
+                                     DataRaceFree1])
+    def test_unordered_models_have_no_discipline(self, cls):
+        assert cls().store_order_granularity() is None
+
+    def test_tso_single_fifo_per_processor(self):
+        assert TotalStoreOrder().store_order_granularity() == "proc"
+
+    def test_pso_fifo_per_address(self):
+        assert PartialStoreOrder().store_order_granularity() == "addr"
 
 
 class TestStallAccounting:

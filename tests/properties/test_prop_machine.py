@@ -190,3 +190,69 @@ def test_binary_trace_roundtrip(seed, tmp_path_factory):
     assert loaded.sync_order == trace.sync_order
     for pa, pb in zip(trace.events, loaded.events):
         assert [type(e).__name__ for e in pa] == [type(e).__name__ for e in pb]
+
+
+# ----------------------------------------------------------------------
+# TSO store buffer: FIFO drain
+# ----------------------------------------------------------------------
+
+@given(seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_tso_store_buffer_drains_fifo(seed):
+    """TSO forbids visible write→write reordering: once a reader has
+    observed some write *w* by processor *q*, every po-later read on
+    that reader returns, for each address, a value at least as new (in
+    coherence order = commit-seq order) as *q*'s last write to that
+    address older than *w* — unless the read is forwarded from the
+    reader's own store buffer."""
+    program = random_racy_program(seed % 300, race_prob=0.5)
+    result = run_program(program, make_model("TSO"), seed=seed)
+    ops = list(result.operations)
+    by_seq = {op.seq: op for op in ops}
+    reads_by_proc = {}
+    for op in ops:
+        if op.is_read:
+            reads_by_proc.setdefault(op.proc, []).append(op)
+    for proc, reads in reads_by_proc.items():
+        for i, first in enumerate(reads):
+            if first.observed_write is None:
+                continue
+            w = by_seq[first.observed_write]
+            if w.proc == proc:
+                continue
+            # q's writes that are po-older than w, newest per address
+            floor = {}
+            for op in ops:
+                if op.proc == w.proc and op.is_write and op.seq <= w.seq:
+                    floor[op.addr] = op.seq
+            for later in reads[i:]:
+                bound = floor.get(later.addr)
+                if bound is None:
+                    continue
+                observed = later.observed_write
+                if observed is None:
+                    raise AssertionError(
+                        f"read {later} sees the initial value after "
+                        f"{w} (and its FIFO-older write {bound}) were "
+                        f"already visible"
+                    )
+                if by_seq[observed].proc == proc:
+                    continue  # own-buffer forwarding is allowed
+                assert observed >= bound, (
+                    f"write->write reordering under TSO: {later} "
+                    f"observes seq {observed} although seq {bound} "
+                    f"drained before the already-visible {w}"
+                )
+
+
+@given(seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_sc_executions_always_robust(seed):
+    """Any SC execution of any generated program must admit an SC
+    justification covering every operation."""
+    from repro.core.robustness import check_robustness
+    program = random_racy_program(seed % 300, race_prob=0.5)
+    result = run_program(program, make_model("SC"), seed=seed)
+    report = check_robustness(result)
+    assert report.robust
+    assert len(report.witness) == len(result.operations)
